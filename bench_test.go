@@ -1,0 +1,411 @@
+// Package repro's benchmark harness: one testing.B benchmark per figure
+// of the paper's evaluation section, each running a scaled-down version
+// of the experiment and reporting the figure's headline metric via
+// b.ReportMetric, plus ablation benches for the design choices called
+// out in DESIGN.md §5.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/cbr"
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/experiments"
+	"repro/internal/formula"
+	"repro/internal/lossmodel"
+	"repro/internal/rng"
+	"repro/internal/tfrc"
+)
+
+// benchSizing is small enough to keep the full bench suite within a few
+// minutes while preserving every figure's qualitative shape.
+var benchSizing = experiments.Sizing{
+	Events:    15000,
+	SimFactor: 0.1,
+	Pairs:     []int{1, 4},
+	PairsCap:  2,
+}
+
+func BenchmarkFig01(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig1()
+		if i == 0 {
+			b.ReportMetric(float64(len(t.Rows)), "grid-points")
+		}
+	}
+}
+
+func BenchmarkFig02(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		f := formula.NewPFTKStandard(formula.Params{R: 1, Q: 4, B: 1})
+		ratio, _ = formula.DeviationFromConvexity(f, 1.01, 50, 40000)
+	}
+	b.ReportMetric(ratio, "deviation-ratio")
+}
+
+func BenchmarkFig03(b *testing.B) {
+	var lastDrop float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig3(tfrc.PFTKSimplified, benchSizing)
+		l8 := t.Column("L8")
+		lastDrop = l8[0] - l8[len(l8)-1]
+	}
+	b.ReportMetric(lastDrop, "normalized-drop")
+}
+
+func BenchmarkFig04(b *testing.B) {
+	var drop float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig4(0.1, benchSizing)
+		l8 := t.Column("L8")
+		drop = l8[0] - l8[len(l8)-1]
+	}
+	b.ReportMetric(drop, "normalized-drop-over-cv")
+}
+
+func BenchmarkFig05(b *testing.B) {
+	var norm float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig5(benchSizing)
+		if len(t.Rows) > 0 {
+			norm = t.Rows[len(t.Rows)-1][3]
+		}
+	}
+	b.ReportMetric(norm, "tfrc-normalized")
+}
+
+func BenchmarkFig06(b *testing.B) {
+	var overshoot float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig6(benchSizing)
+		col := t.Column("pftksimp_norm")
+		overshoot = col[len(col)-1]
+	}
+	b.ReportMetric(overshoot, "pftk-heavy-loss-normalized")
+}
+
+func BenchmarkFig07(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig7(benchSizing)
+		// Mean p_tfrc / p_tcp over rows with data (Claim 3: >= 1).
+		var sumT, sumC float64
+		for _, row := range t.Rows {
+			sumT += row[2]
+			sumC += row[3]
+		}
+		if sumC > 0 {
+			ratio = sumT / sumC
+		}
+	}
+	b.ReportMetric(ratio, "p-tfrc-over-p-tcp")
+}
+
+func BenchmarkFig08(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig8(benchSizing)
+		s := 0.0
+		for _, row := range t.Rows {
+			s += row[2]
+		}
+		if len(t.Rows) > 0 {
+			mean = s / float64(len(t.Rows))
+		}
+	}
+	b.ReportMetric(mean, "tfrc-over-tcp-throughput")
+}
+
+func BenchmarkFig09(b *testing.B) {
+	var below float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig9(benchSizing)
+		n := 0
+		for _, row := range t.Rows {
+			if row[2] <= row[1] {
+				n++
+			}
+		}
+		if len(t.Rows) > 0 {
+			below = float64(n) / float64(len(t.Rows))
+		}
+	}
+	b.ReportMetric(below, "tcp-below-formula-fraction")
+}
+
+func BenchmarkFig10(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig10(benchSizing)
+		worst = 0
+		for _, row := range t.Rows {
+			if v := row[2]; v > worst || -v > worst {
+				if v < 0 {
+					v = -v
+				}
+				worst = v
+			}
+		}
+	}
+	b.ReportMetric(worst, "max-abs-covnorm")
+}
+
+func BenchmarkFig11(b *testing.B) {
+	var maxRatio float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig11(benchSizing)
+		maxRatio = 0
+		for _, row := range t.Rows {
+			if row[3] > maxRatio {
+				maxRatio = row[3]
+			}
+		}
+	}
+	b.ReportMetric(maxRatio, "max-tfrc-over-tcp")
+}
+
+func BenchmarkFig12to15(b *testing.B) {
+	var pRatio float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig12to15(benchSizing)
+		s, n := 0.0, 0
+		for _, row := range t.Rows {
+			s += row[4]
+			n++
+		}
+		if n > 0 {
+			pRatio = s / float64(n)
+		}
+	}
+	b.ReportMetric(pRatio, "mean-pprime-over-p")
+}
+
+func BenchmarkFig16(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig16(benchSizing)
+		s := 0.0
+		for _, row := range t.Rows {
+			s += row[3]
+		}
+		if len(t.Rows) > 0 {
+			mean = s / float64(len(t.Rows))
+		}
+	}
+	b.ReportMetric(mean, "mean-tfrc-over-tcp")
+}
+
+func BenchmarkFig17(b *testing.B) {
+	var comp float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig17(benchSizing)
+		s, n := 0.0, 0
+		for _, row := range t.Rows {
+			if row[2] > 0 {
+				s += row[2]
+				n++
+			}
+		}
+		if n > 0 {
+			comp = s / float64(n)
+		}
+	}
+	b.ReportMetric(comp, "mean-competing-pprime-over-p")
+}
+
+func BenchmarkFig18to19(b *testing.B) {
+	var normTCP float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig18to19(benchSizing)
+		s, n := 0.0, 0
+		for _, row := range t.Rows {
+			s += row[6]
+			n++
+		}
+		if n > 0 {
+			normTCP = s / float64(n)
+		}
+	}
+	b.ReportMetric(normTCP, "mean-tcp-obedience")
+}
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.TableI()
+		if len(t.Rows) != 4 {
+			b.Fatal("tableI should list 4 WAN profiles")
+		}
+	}
+}
+
+func BenchmarkClaim3(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Claim3()
+		spread = t.Rows[len(t.Rows)-1][2] / t.Rows[0][2] // p''/p'
+	}
+	b.ReportMetric(spread, "poisson-over-tcp")
+}
+
+func BenchmarkClaim4(b *testing.B) {
+	var fluid float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Claim4()
+		for _, row := range t.Rows {
+			if row[0] == 0.5 {
+				fluid = row[2]
+			}
+		}
+	}
+	b.ReportMetric(fluid, "fluid-ratio-beta-half")
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationWeights compares the TFRC flat-then-linear weights
+// against uniform and exponential weighting of the estimator at the same
+// window, reporting the normalized throughput of each.
+func BenchmarkAblationWeights(b *testing.B) {
+	f := formula.NewPFTKSimplified(formula.DefaultParams())
+	run := func(w []float64, seed uint64) float64 {
+		return core.RunBasic(core.Config{
+			Formula: f,
+			Weights: w,
+			Process: lossmodel.DesignShiftedExp(0.2, 0.9, rng.New(seed)),
+			Events:  benchSizing.Events,
+		}).Normalized
+	}
+	var tfrcW, unifW, expW float64
+	for i := 0; i < b.N; i++ {
+		tfrcW = run(estimator.TFRCWeights(8), 1)
+		unifW = run(estimator.UniformWeights(8), 2)
+		expW = run(estimator.ExponentialWeights(8, 0.7), 3)
+	}
+	b.ReportMetric(tfrcW, "tfrc-weights")
+	b.ReportMetric(unifW, "uniform-weights")
+	b.ReportMetric(expW, "exp-weights")
+}
+
+// BenchmarkAblationComprehensive reports the throughput gap between the
+// comprehensive and basic controls (Proposition 2's direction).
+func BenchmarkAblationComprehensive(b *testing.B) {
+	f := formula.NewPFTKSimplified(formula.DefaultParams())
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		mk := func() core.Config {
+			return core.Config{
+				Formula: f,
+				Weights: estimator.TFRCWeights(8),
+				Process: lossmodel.DesignShiftedExp(0.25, 0.95, rng.New(11)),
+				Events:  benchSizing.Events,
+			}
+		}
+		basic := core.RunBasic(mk())
+		comp := core.RunComprehensive(mk())
+		gap = comp.Normalized - basic.Normalized
+	}
+	b.ReportMetric(gap, "comprehensive-minus-basic")
+}
+
+// BenchmarkAblationQueue compares loss-event statistics under RED and
+// DropTail for the same flow mix: RED's early drops desynchronize loss
+// events across flows.
+func BenchmarkAblationQueue(b *testing.B) {
+	var redP, dtP float64
+	for i := 0; i < b.N; i++ {
+		pr := experiments.NS2Profile().Scale(benchSizing.SimFactor, 0)
+		red := experiments.RunSim(pr.Config(4, 8, 21))
+		cfg := pr.Config(4, 8, 21)
+		cfg.Queue = experiments.DropTail
+		cfg.Buffer = 100
+		dt := experiments.RunSim(cfg)
+		redP, dtP = red.TFRC.LossEventRate, dt.TFRC.LossEventRate
+	}
+	b.ReportMetric(redP, "red-p")
+	b.ReportMetric(dtP, "droptail-p")
+}
+
+// BenchmarkAblationLossGrouping compares TFRC-style within-one-RTT loss
+// grouping against per-loss events, via the audio scenario where the
+// grouping window is the only difference between geometric intervals
+// and raw Bernoulli drops.
+func BenchmarkAblationLossGrouping(b *testing.B) {
+	params := formula.ParamsForRTT(0.2)
+	var grouped float64
+	for i := 0; i < b.N; i++ {
+		res := cbr.NewAudio(formula.NewPFTKSimplified(params), 4, 0.02, 0.2, 31).
+			Run(benchSizing.Events, benchSizing.Events/10)
+		grouped = res.LossEventRate
+	}
+	b.ReportMetric(grouped, "per-loss-event-rate")
+}
+
+// BenchmarkAblationEstimatorWindow sweeps L and reports the heavy-loss
+// conservativeness at each (the paper's central sensitivity).
+func BenchmarkAblationEstimatorWindow(b *testing.B) {
+	f := formula.NewPFTKSimplified(formula.DefaultParams())
+	var l2, l16 float64
+	for i := 0; i < b.N; i++ {
+		run := func(L int, seed uint64) float64 {
+			return core.RunBasic(core.Config{
+				Formula: f,
+				Weights: estimator.TFRCWeights(L),
+				Process: lossmodel.DesignShiftedExp(0.3, 0.95, rng.New(seed)),
+				Events:  benchSizing.Events,
+			}).Normalized
+		}
+		l2, l16 = run(2, 41), run(16, 42)
+	}
+	b.ReportMetric(l2, "L2-normalized")
+	b.ReportMetric(l16, "L16-normalized")
+}
+
+// BenchmarkFluidClaim4 times the analytic fluid simulation itself.
+func BenchmarkFluidClaim4(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = analytic.SimulateFluidShared(analytic.DefaultAIMD(), 200, 8, 20000, 7).Ratio
+	}
+	b.ReportMetric(ratio, "loss-rate-ratio")
+}
+
+// BenchmarkAblationDiscounting compares TFRC with and without RFC 3448
+// history discounting on the same scenario.
+func BenchmarkAblationDiscounting(b *testing.B) {
+	var plain, disc float64
+	for i := 0; i < b.N; i++ {
+		pr := experiments.NS2Profile().Scale(benchSizing.SimFactor, 0)
+		p := experiments.RunSim(pr.Config(1, 8, 63))
+		cfg := pr.Config(1, 8, 63)
+		cfg.HistoryDiscounting = true
+		d := experiments.RunSim(cfg)
+		plain, disc = p.TFRC.Throughput, d.TFRC.Throughput
+	}
+	b.ReportMetric(plain, "plain-throughput")
+	b.ReportMetric(disc, "discounting-throughput")
+}
+
+// BenchmarkAblationCrossTraffic compares foreground loss-event rates
+// with and without heavy-tailed background load.
+func BenchmarkAblationCrossTraffic(b *testing.B) {
+	var clean, loaded float64
+	for i := 0; i < b.N; i++ {
+		pr := experiments.INRIA.Scale(benchSizing.SimFactor, 0)
+		cfg := pr.Config(2, 8, 31)
+		cfg.CrossLoad = 0
+		c := experiments.RunSim(cfg)
+		cfg2 := pr.Config(2, 8, 31)
+		cfg2.CrossLoad = 0.3
+		l := experiments.RunSim(cfg2)
+		clean, loaded = c.TFRC.LossEventRate, l.TFRC.LossEventRate
+	}
+	b.ReportMetric(clean, "clean-p")
+	b.ReportMetric(loaded, "crossload-p")
+}

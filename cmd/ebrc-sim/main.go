@@ -1,0 +1,108 @@
+// Command ebrc-sim runs a single custom dumbbell scenario and prints
+// the per-class results plus the TCP-friendliness breakdown — a
+// flag-driven companion to cmd/ebrc's fixed figure sweeps.
+//
+// Example:
+//
+//	ebrc-sim -capacity 15e6 -queue red -tfrc 2 -tcp 2 -L 8 -seconds 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/formula"
+	"repro/internal/tfrc"
+)
+
+func main() {
+	capacityBits := flag.Float64("capacity", 15e6, "bottleneck rate in bits/second")
+	queue := flag.String("queue", "red", "bottleneck queue: droptail or red")
+	buffer := flag.Int("buffer", 100, "DropTail buffer in packets")
+	delay := flag.Float64("delay", 0.01, "bottleneck one-way propagation delay, seconds")
+	revDelay := flag.Float64("revdelay", 0.03, "reverse-path delay, seconds")
+	nTFRC := flag.Int("tfrc", 1, "number of TFRC flows")
+	nTCP := flag.Int("tcp", 1, "number of TCP flows")
+	window := flag.Int("L", 8, "TFRC loss-interval window")
+	seconds := flag.Float64("seconds", 300, "measured simulation seconds")
+	warmup := flag.Float64("warmup", 50, "warmup seconds (discarded)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	comprehensive := flag.Bool("comprehensive", true, "enable TFRC comprehensive control")
+	discounting := flag.Bool("discounting", false, "enable RFC 3448 history discounting")
+	crossLoad := flag.Float64("cross", 0, "background cross-traffic load fraction")
+	probeRate := flag.Float64("probe", 0, "Poisson probe rate in packets/second (0 = off)")
+	formulaName := flag.String("formula", "pftk-standard",
+		"TFRC formula: sqrt, pftk-standard or pftk-simplified")
+	flag.Parse()
+
+	var kind tfrc.FormulaKind
+	switch *formulaName {
+	case "sqrt":
+		kind = tfrc.SQRT
+	case "pftk-standard":
+		kind = tfrc.PFTKStandard
+	case "pftk-simplified":
+		kind = tfrc.PFTKSimplified
+	default:
+		fmt.Fprintf(os.Stderr, "ebrc-sim: unknown formula %q\n", *formulaName)
+		os.Exit(2)
+	}
+
+	cfg := experiments.SimConfig{
+		Capacity:           *capacityBits / 8,
+		BaseDelay:          *delay,
+		RevDelay:           *revDelay,
+		NTFRC:              *nTFRC,
+		NTCP:               *nTCP,
+		L:                  *window,
+		Comprehensive:      *comprehensive,
+		HistoryDiscounting: *discounting,
+		TFRCFormula:        kind,
+		Duration:           *seconds,
+		Warmup:             *warmup,
+		Seed:               *seed,
+		RevJitter:          0.2,
+		CrossLoad:          *crossLoad,
+		ProbeRate:          *probeRate,
+	}
+	switch *queue {
+	case "droptail":
+		cfg.Queue = experiments.DropTail
+		cfg.Buffer = *buffer
+	case "red":
+		cfg.Queue = experiments.RED
+		cfg.BDPPackets = cfg.Capacity / 1000 * (2**delay + *revDelay)
+	default:
+		fmt.Fprintf(os.Stderr, "ebrc-sim: unknown queue %q\n", *queue)
+		os.Exit(2)
+	}
+
+	res := experiments.RunSim(cfg)
+	printClass := func(name string, cs experiments.ClassStats) {
+		if cs.Flows == 0 {
+			return
+		}
+		fmt.Printf("%-8s flows=%d  x̄=%8.1f pkt/s  p=%.6f  rtt=%6.1f ms  events=%d\n",
+			name, cs.Flows, cs.Throughput, cs.LossEventRate, cs.MeanRTT*1000, cs.Events)
+	}
+	printClass("TFRC", res.TFRC)
+	printClass("TCP", res.TCP)
+	printClass("Poisson", res.Poisson)
+
+	if res.TFRC.Flows > 0 && res.TCP.Flows > 0 &&
+		res.TFRC.Events > 0 && res.TCP.Events > 0 {
+		tf, tc := res.TFRC, res.TCP
+		ftf := formula.NewPFTKStandard(formula.ParamsForRTT(tf.MeanRTT))
+		ftc := formula.NewPFTKStandard(formula.ParamsForRTT(tc.MeanRTT))
+		fmt.Println("\nTCP-friendliness breakdown:")
+		fmt.Printf("  x̄/x̄'        = %.3f\n", tf.Throughput/tc.Throughput)
+		fmt.Printf("  x̄/f(p,r)    = %.3f\n", tf.Throughput/ftf.Rate(math.Max(tf.LossEventRate, 1e-9)))
+		fmt.Printf("  p'/p         = %.3f\n", tc.LossEventRate/tf.LossEventRate)
+		fmt.Printf("  r'/r         = %.3f\n", tc.MeanRTT/tf.MeanRTT)
+		fmt.Printf("  x̄'/f(p',r') = %.3f\n", tc.Throughput/ftc.Rate(math.Max(tc.LossEventRate, 1e-9)))
+		fmt.Printf("  cov[θ,θ̂]p²  = %+.4f\n", tf.CovNorm)
+	}
+}

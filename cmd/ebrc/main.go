@@ -1,0 +1,123 @@
+// Command ebrc regenerates the data behind every figure of the paper's
+// evaluation section as TSV on stdout.
+//
+// Usage:
+//
+//	ebrc [-quick] [-events N] [-simfactor F] <experiment> [...]
+//	ebrc list
+//	ebrc all
+//
+// Experiments: fig1 fig2 fig3 fig3c fig4 fig5 fig6 fig7 fig8 fig9 fig10
+// fig11 fig12-15 fig16 fig17 fig18-19 tableI claim3 claim4.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/experiments"
+	"repro/internal/tfrc"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the scaled-down Quick sizing")
+	events := flag.Int("events", 0, "override the Monte Carlo event budget")
+	simFactor := flag.Float64("simfactor", 0, "override the simulation duration factor (0..1]")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ebrc [flags] <experiment> [...]\n")
+		fmt.Fprintf(os.Stderr, "       ebrc list | all\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sz := experiments.Full
+	if *quick {
+		sz = experiments.Quick
+	}
+	if *events > 0 {
+		sz.Events = *events
+	}
+	if *simFactor > 0 {
+		sz.SimFactor = *simFactor
+	}
+
+	runners := registry(sz)
+	args := flag.Args()
+	if args[0] == "list" {
+		names := make([]string, 0, len(runners))
+		for n := range runners {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+	if args[0] == "all" {
+		names := make([]string, 0, len(runners))
+		for n := range runners {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		args = names
+	}
+	for _, name := range args {
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ebrc: unknown experiment %q (try: ebrc list)\n", name)
+			os.Exit(2)
+		}
+		for _, t := range run() {
+			if err := t.WriteTSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "ebrc: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func registry(sz experiments.Sizing) map[string]func() []*experiments.Table {
+	one := func(t *experiments.Table) []*experiments.Table { return []*experiments.Table{t} }
+	return map[string]func() []*experiments.Table{
+		"fig1": func() []*experiments.Table { return one(experiments.Fig1()) },
+		"fig2": func() []*experiments.Table {
+			return []*experiments.Table{experiments.Fig2(), experiments.Fig2Summary()}
+		},
+		"fig3": func() []*experiments.Table {
+			return []*experiments.Table{
+				experiments.Fig3(tfrc.SQRT, sz),
+				experiments.Fig3(tfrc.PFTKSimplified, sz),
+			}
+		},
+		"fig3c": func() []*experiments.Table { return one(experiments.Fig3Comprehensive(sz)) },
+		"fig4": func() []*experiments.Table {
+			a := experiments.Fig4(0.01, sz)
+			a.Name = "fig4-p001"
+			b := experiments.Fig4(0.1, sz)
+			b.Name = "fig4-p01"
+			return []*experiments.Table{a, b}
+		},
+		"fig5":     func() []*experiments.Table { return one(experiments.Fig5(sz)) },
+		"fig6":     func() []*experiments.Table { return one(experiments.Fig6(sz)) },
+		"fig7":     func() []*experiments.Table { return one(experiments.Fig7(sz)) },
+		"fig8":     func() []*experiments.Table { return one(experiments.Fig8(sz)) },
+		"fig9":     func() []*experiments.Table { return one(experiments.Fig9(sz)) },
+		"fig10":    func() []*experiments.Table { return one(experiments.Fig10(sz)) },
+		"fig11":    func() []*experiments.Table { return one(experiments.Fig11(sz)) },
+		"fig12-15": func() []*experiments.Table { return one(experiments.Fig12to15(sz)) },
+		"fig16":    func() []*experiments.Table { return one(experiments.Fig16(sz)) },
+		"fig17":    func() []*experiments.Table { return one(experiments.Fig17(sz)) },
+		"fig18-19": func() []*experiments.Table { return one(experiments.Fig18to19(sz)) },
+		"tableI":   func() []*experiments.Table { return one(experiments.TableI()) },
+		"claim3":   func() []*experiments.Table { return one(experiments.Claim3()) },
+		"claim4":   func() []*experiments.Table { return one(experiments.Claim4()) },
+	}
+}

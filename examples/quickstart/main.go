@@ -1,0 +1,48 @@
+// Quickstart: run the paper's basic equation-based rate control on a
+// designed loss process and check conservativeness (Theorem 1).
+//
+// It builds the PFTK-simplified throughput formula, drives the basic
+// control with i.i.d. shifted-exponential loss-event intervals at a
+// chosen loss-event rate and coefficient of variation, and prints the
+// normalized throughput x̄/f(p) together with the theory's verdict.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/formula"
+	"repro/internal/lossmodel"
+	"repro/internal/rng"
+)
+
+func main() {
+	f := formula.NewPFTKSimplified(formula.DefaultParams())
+
+	fmt.Println("basic control, PFTK-simplified, TFRC weights L=8, cv[θ]=0.9")
+	fmt.Println("p\tx̄/f(p)\tcov[θ,θ̂]p²\tverdict")
+	for _, p := range []float64{0.01, 0.05, 0.1, 0.2, 0.4} {
+		cfg := core.Config{
+			Formula: f,
+			Weights: estimator.TFRCWeights(8),
+			Process: lossmodel.DesignShiftedExp(p, 0.9, rng.New(42)),
+			Events:  100000,
+		}
+		res := core.RunBasic(cfg)
+		lo, hi := core.EstimatorRange(core.Config{
+			Formula: f,
+			Weights: estimator.TFRCWeights(8),
+			Process: lossmodel.DesignShiftedExp(p, 0.9, rng.New(42)),
+			Events:  100000,
+		}, 20000, 0.05, 0.95)
+		rep := core.Classify(f, res, lo, hi, 0.05)
+		fmt.Printf("%.2f\t%.4f\t%+.4f\t\t%s\n",
+			p, res.Normalized, res.CovThetaHatNorm, rep.Verdict)
+	}
+	fmt.Println()
+	fmt.Println("Conservativeness strengthens with p — the PFTK throughput drop")
+	fmt.Println("under heavy loss that the paper's Claim 1 explains.")
+}

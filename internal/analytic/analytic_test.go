@@ -1,0 +1,230 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/formula"
+)
+
+func TestClaim4RatioTCPSetting(t *testing.T) {
+	// β = 1/2 gives exactly 16/9 ≈ 1.7778 (the paper's headline value).
+	got := Claim4Ratio(DefaultAIMD())
+	if math.Abs(got-16.0/9) > 1e-12 {
+		t.Fatalf("ratio = %v, want 16/9", got)
+	}
+}
+
+func TestClaim4RatioFromRates(t *testing.T) {
+	// The ratio must equal the quotient of the two displayed loss-event
+	// rates for any (α, β, c).
+	a := AIMDParams{Alpha: 0.7, Beta: 0.3}
+	c := 123.0
+	want := AIMDLossEventRate(a, c) / EBRCLossEventRate(a, c)
+	if got := Claim4Ratio(a); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ratio = %v, want %v", got, want)
+	}
+}
+
+func TestAIMDLossEventRateScaling(t *testing.T) {
+	a := DefaultAIMD()
+	// p' scales as 1/c².
+	r1 := AIMDLossEventRate(a, 10)
+	r2 := AIMDLossEventRate(a, 20)
+	if math.Abs(r1/r2-4) > 1e-12 {
+		t.Fatalf("capacity scaling = %v, want 4", r1/r2)
+	}
+	// β = 1/2, α = 1, c = 10: p' = 2/((3/4)·100) = 1/37.5.
+	if math.Abs(r1-2.0/75) > 1e-12 {
+		t.Fatalf("p' = %v, want %v", r1, 2.0/75)
+	}
+}
+
+func TestEBRCFixedPointConsistency(t *testing.T) {
+	// The EBRC loss-event rate is the fixed point f(p) = c.
+	a := DefaultAIMD()
+	c := 50.0
+	p := EBRCLossEventRate(a, c)
+	if got := a.LossThroughput(p); math.Abs(got-c)/c > 1e-12 {
+		t.Fatalf("f(p) = %v, want capacity %v", got, c)
+	}
+}
+
+func TestFluidSharedShowsDeviation(t *testing.T) {
+	// Claim 4's verification: when one AIMD and one EBRC share a link,
+	// AIMD sees a larger loss-event rate, with a ratio above 1 but less
+	// pronounced than the isolated-source 16/9.
+	res := SimulateFluidShared(DefaultAIMD(), 200, 8, 40000, 1)
+	if res.LossEvents < 100 {
+		t.Fatalf("too few loss events: %d", res.LossEvents)
+	}
+	if res.Ratio <= 1.05 {
+		t.Fatalf("loss-rate ratio = %v, want clearly above 1", res.Ratio)
+	}
+	if res.Ratio >= 16.0/9*1.3 {
+		t.Fatalf("loss-rate ratio = %v, want less pronounced than ~16/9", res.Ratio)
+	}
+	// Both sources get meaningful throughput.
+	if res.AIMDRate <= 0 || res.EBRCRate <= 0 {
+		t.Fatalf("degenerate rates: %+v", res)
+	}
+	if res.AIMDRate+res.EBRCRate > 200 {
+		t.Fatalf("combined rate exceeds capacity: %+v", res)
+	}
+}
+
+func TestFluidSharedEBRCSmootherRate(t *testing.T) {
+	// The EBRC source's loss-event rate should be below the AIMD one —
+	// the mechanism behind TFRC's non-TCP-friendliness at small N.
+	res := SimulateFluidShared(DefaultAIMD(), 100, 8, 30000, 2)
+	if res.EBRCLossRate >= res.AIMDLossRate {
+		t.Fatalf("EBRC loss rate %v should be below AIMD %v",
+			res.EBRCLossRate, res.AIMDLossRate)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultAIMD().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []AIMDParams{
+		{Alpha: 0, Beta: 0.5},
+		{Alpha: 1, Beta: 0},
+		{Alpha: 1, Beta: 1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("expected error for %+v", bad)
+		}
+	}
+}
+
+func TestCongestionModelPoisson(t *testing.T) {
+	m := TwoStateCongestion(0.001, 0.1, 0.25)
+	// Poisson sees the plain time average.
+	want := 0.75*0.001 + 0.25*0.1
+	if got := m.PoissonSeenRate(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("p'' = %v, want %v", got, want)
+	}
+}
+
+func TestClaim3Ordering(t *testing.T) {
+	m := TwoStateCongestion(0.001, 0.08, 0.3)
+	f := formula.NewPFTKStandard(formula.ParamsForRTT(0.05))
+	tcp, ebrc, poisson := m.Claim3Ordering(f, []int{2, 4, 8, 16})
+	if !(tcp < poisson) {
+		t.Fatalf("p'(%v) should be < p''(%v)", tcp, poisson)
+	}
+	prev := tcp
+	for i, p := range ebrc {
+		if p < tcp-1e-12 || p > poisson+1e-12 {
+			t.Fatalf("EBRC L-index %d: p=%v outside [%v, %v]", i, p, tcp, poisson)
+		}
+		// Larger L (less responsive) sees a larger loss-event rate —
+		// the monotonicity visible in Figure 7.
+		if p < prev-1e-12 {
+			t.Fatalf("p not increasing in L: %v after %v", p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestResponsiveLimits(t *testing.T) {
+	m := TwoStateCongestion(0.002, 0.05, 0.4)
+	f := formula.NewSQRT(formula.ParamsForRTT(0.1))
+	// Responsiveness 0 reduces to Poisson.
+	if got, want := m.ResponsiveSeenRate(f, 0), m.PoissonSeenRate(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("responsiveness 0: %v, want %v", got, want)
+	}
+	// Responsiveness 1 weights good states more: below Poisson.
+	if got := m.ResponsiveSeenRate(f, 1); got >= m.PoissonSeenRate() {
+		t.Fatalf("fully responsive %v not below Poisson %v", got, m.PoissonSeenRate())
+	}
+}
+
+func TestSeenLossEventRateDegenerate(t *testing.T) {
+	// One state: every source sees the same rate.
+	m := NewCongestionModel([]float64{1}, []float64{0.05})
+	if got := m.SeenLossEventRate([]float64{3.7}); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("single-state rate = %v", got)
+	}
+}
+
+func TestEBRCResponsivenessMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for _, L := range []int{1, 2, 4, 8, 16, 32} {
+		r := EBRCResponsiveness(L)
+		if r <= 0 || r > 1 || r >= prev && L > 1 {
+			t.Fatalf("responsiveness(L=%d) = %v not decreasing", L, r)
+		}
+		prev = r
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { AIMDLossEventRate(DefaultAIMD(), 0) },
+		func() { EBRCLossEventRate(DefaultAIMD(), -1) },
+		func() { DefaultAIMD().LossThroughput(0) },
+		func() { SimulateFluidShared(AIMDParams{Alpha: 1, Beta: 2}, 10, 8, 1000, 1) },
+		func() { SimulateFluidShared(DefaultAIMD(), 10, 0, 1000, 1) },
+		func() { SimulateFluidShared(DefaultAIMD(), 10, 8, 5, 1) },
+		func() { NewCongestionModel([]float64{0.5}, []float64{0.1, 0.2}) },
+		func() { NewCongestionModel([]float64{0.5, 0.4}, []float64{0.1, 0.2}) },
+		func() { NewCongestionModel([]float64{0.5, 0.5}, []float64{0, 0.2}) },
+		func() { TwoStateCongestion(0.01, 0.1, 0.5).SeenLossEventRate([]float64{1}) },
+		func() { TwoStateCongestion(0.01, 0.1, 0.5).SeenLossEventRate([]float64{0, 0}) },
+		func() {
+			TwoStateCongestion(0.01, 0.1, 0.5).ResponsiveSeenRate(formula.NewSQRT(formula.DefaultParams()), 2)
+		},
+		func() { EBRCResponsiveness(0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: for any two-state model and responsiveness levels r1 <= r2,
+// the more responsive source sees a loss-event rate that is not larger
+// (the mechanism of Claim 3).
+func TestQuickResponsivenessMonotone(t *testing.T) {
+	f := formula.NewPFTKStandard(formula.ParamsForRTT(0.05))
+	check := func(a, b, c, d, e uint8) bool {
+		pGood := 0.0005 + float64(a)/255*0.01
+		pBad := pGood*2 + float64(b)/255*0.2
+		if pBad > 1 {
+			pBad = 1
+		}
+		piBad := 0.05 + float64(c)/255*0.9
+		m := TwoStateCongestion(pGood, pBad, piBad)
+		r1 := float64(d) / 255
+		r2 := float64(e) / 255
+		if r1 > r2 {
+			r1, r2 = r2, r1
+		}
+		return m.ResponsiveSeenRate(f, r2) <= m.ResponsiveSeenRate(f, r1)+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Claim 4's ratio is always > 1 (AIMD always sees more loss
+// events in this model) and decreases with β.
+func TestQuickClaim4RatioAboveOne(t *testing.T) {
+	check := func(a uint8) bool {
+		beta := 0.05 + float64(a)/255*0.9
+		r := Claim4Ratio(AIMDParams{Alpha: 1, Beta: beta})
+		return r > 1 && r <= 4
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+// Package cbr provides the non-adaptive probe senders of the paper's
+// experiments: a constant-bit-rate source, a Poisson source (used as the
+// p” reference in Claim 3 / Figure 7), and the audio-style sender of
+// Claim 2 / Figure 6 that keeps a fixed packet rate but modulates packet
+// length by the equation.
+package cbr
+
+import (
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/estimator"
+	"repro/internal/formula"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+)
+
+// Probe is a non-adaptive sender that records the loss events its own
+// packet stream experiences (detected at the receiver by sequence gaps).
+// It is the measurement instrument for the "non-adaptive source" rows of
+// Figure 7.
+type Probe struct {
+	sched   *des.Scheduler
+	net     *netsim.Dumbbell
+	flow    int
+	size    int
+	rate    float64 // packets per second
+	poisson bool
+	random  *rng.RNG
+
+	nextSeq int64
+	started bool
+
+	// receiver side
+	expected int64
+	events   *netsim.LossEventCounter
+	rttGuess float64
+
+	measStart  float64
+	pktsSent   int64
+	eventsBase int64
+}
+
+// ProbeStats summarizes a probe measurement window.
+type ProbeStats struct {
+	// Duration is the window length in seconds.
+	Duration float64
+	// PacketsSent counts packets sent in the window.
+	PacketsSent int64
+	// LossEvents counts loss events detected in the window.
+	LossEvents int64
+	// LossEventRate is LossEvents/PacketsSent.
+	LossEventRate float64
+}
+
+// NewProbe attaches a probe flow to the dumbbell. rate is in packets per
+// second; if poisson is true the inter-packet gaps are exponential
+// (Poisson arrivals), otherwise constant (CBR). rttGuess sets the
+// loss-event grouping window.
+func NewProbe(sched *des.Scheduler, net *netsim.Dumbbell, flow int, size int, rate float64, poisson bool, rttGuess float64, seed uint64, fwdExtra, revDelay float64) *Probe {
+	if sched == nil || net == nil {
+		panic("cbr: nil scheduler or network")
+	}
+	if size <= 0 || rate <= 0 || rttGuess <= 0 {
+		panic("cbr: invalid probe parameters")
+	}
+	p := &Probe{
+		sched:    sched,
+		net:      net,
+		flow:     flow,
+		size:     size,
+		rate:     rate,
+		poisson:  poisson,
+		random:   rng.New(seed),
+		rttGuess: rttGuess,
+	}
+	p.events = netsim.NewLossEventCounter(func() float64 { return p.rttGuess })
+	net.AttachFlow(flow, netsim.EndpointFunc(func(*netsim.Packet) {}), netsim.EndpointFunc(p.receive), fwdExtra, revDelay)
+	return p
+}
+
+// Start begins transmission.
+func (p *Probe) Start() {
+	if p.started {
+		panic("cbr: probe already started")
+	}
+	p.started = true
+	p.measStart = p.sched.Now()
+	p.sendNext()
+}
+
+// ResetStats restarts the measurement window.
+func (p *Probe) ResetStats() {
+	p.measStart = p.sched.Now()
+	p.pktsSent = 0
+	p.eventsBase = p.events.Events
+}
+
+// Stats returns the measurement-window summary.
+func (p *Probe) Stats() ProbeStats {
+	dur := p.sched.Now() - p.measStart
+	st := ProbeStats{
+		Duration:    dur,
+		PacketsSent: p.pktsSent,
+		LossEvents:  p.events.Events - p.eventsBase,
+	}
+	if p.pktsSent > 0 {
+		st.LossEventRate = float64(st.LossEvents) / float64(p.pktsSent)
+	}
+	return st
+}
+
+func (p *Probe) sendNext() {
+	p.pktsSent++
+	p.net.SendForward(&netsim.Packet{
+		Flow:   p.flow,
+		Seq:    p.nextSeq,
+		Size:   p.size,
+		SentAt: p.sched.Now(),
+		Kind:   netsim.Data,
+	})
+	p.nextSeq++
+	gap := 1 / p.rate
+	if p.poisson {
+		gap = p.random.Exp(p.rate)
+	}
+	p.sched.After(gap, p.sendNext)
+}
+
+func (p *Probe) receive(pkt *netsim.Packet) {
+	if pkt.Kind != netsim.Data {
+		return
+	}
+	now := p.sched.Now()
+	if pkt.Seq > p.expected {
+		for lost := p.expected; lost < pkt.Seq; lost++ {
+			p.events.OnLoss(now, lost)
+		}
+	}
+	if pkt.Seq >= p.expected {
+		p.expected = pkt.Seq + 1
+	}
+}
+
+// Audio is the Claim 2 / Figure 6 sender: it emits one packet every
+// Spacing seconds (fixed packet rate) and adjusts the packet LENGTH to
+// match the equation's byte rate, evaluated at the loss-event interval
+// estimate its own stream experiences. The packets traverse a Bernoulli
+// dropper, so the loss process is independent of packet length — the
+// condition under which cov[X0, S0] = 0.
+//
+// Audio runs standalone on a lossy channel rather than over netsim links
+// (the paper's Figure 6 uses a pure loss module); packet "delivery" is
+// immediate and only the drop lottery matters.
+type Audio struct {
+	// Spacing is the fixed inter-packet time in seconds.
+	Spacing float64
+	// DropP is the Bernoulli per-packet drop probability.
+	DropP float64
+	// Formula maps the estimated loss-event rate to a byte rate.
+	Formula formula.Formula
+	// BytesPerPacketAtRate converts rate to packet length: the packet
+	// length for rate X is X·Spacing bytes.
+
+	est    *estimator.LossIntervalEstimator
+	random *rng.RNG
+}
+
+// NewAudio builds the audio sender with estimator window L.
+func NewAudio(f formula.Formula, L int, spacing, dropP float64, seed uint64) *Audio {
+	if f == nil || L < 1 || spacing <= 0 || dropP <= 0 || dropP > 1 {
+		panic("cbr: invalid audio parameters")
+	}
+	return &Audio{
+		Spacing: spacing,
+		DropP:   dropP,
+		Formula: f,
+		est:     estimator.NewLossIntervalEstimator(estimator.TFRCWeights(L)),
+		random:  rng.New(seed),
+	}
+}
+
+// AudioResult summarizes a Run.
+type AudioResult struct {
+	// Throughput is the time-average byte rate.
+	Throughput float64
+	// LossEventRate is the measured per-packet loss-event rate
+	// (with a Bernoulli dropper every loss is its own event).
+	LossEventRate float64
+	// Normalized is Throughput / f(LossEventRate) — Figure 6 top.
+	Normalized float64
+	// CVEstimatorSq is the squared coefficient of variation of the
+	// loss-interval estimate — Figure 6 bottom.
+	CVEstimatorSq float64
+	// Events counts the measured loss events.
+	Events int
+}
+
+// Run simulates the audio sender for the given number of loss events
+// (after priming the estimator with warmup events) and returns the
+// long-run statistics. The formula's rate unit is interpreted as the
+// modulated send rate; time advances Spacing per packet.
+func (a *Audio) Run(events, warmup int) AudioResult {
+	if events <= 0 || warmup < 0 {
+		panic("cbr: invalid audio run sizing")
+	}
+	// Prime with a few observed intervals.
+	for i := 0; i < a.est.Window(); i++ {
+		a.est.Observe(float64(a.random.Geometric(a.DropP)))
+	}
+	var (
+		sumXT, sumT float64
+		sumHat      float64
+		sumHatSq    float64
+		thetaSum    float64
+		n           int
+	)
+	total := warmup + events
+	for i := 0; i < total; i++ {
+		hat := a.est.Estimate()
+		rate := a.Formula.Rate(math.Min(1, 1/hat))
+		theta := float64(a.random.Geometric(a.DropP))
+		dur := theta * a.Spacing
+		if i >= warmup {
+			sumXT += rate * dur
+			sumT += dur
+			sumHat += hat
+			sumHatSq += hat * hat
+			thetaSum += theta
+			n++
+		}
+		a.est.Observe(theta)
+	}
+	meanHat := sumHat / float64(n)
+	varHat := sumHatSq/float64(n) - meanHat*meanHat
+	res := AudioResult{
+		Throughput:    sumXT / sumT,
+		LossEventRate: float64(n) / thetaSum,
+		Events:        n,
+	}
+	res.Normalized = res.Throughput / a.Formula.Rate(res.LossEventRate)
+	if meanHat > 0 && varHat > 0 {
+		res.CVEstimatorSq = varHat / (meanHat * meanHat)
+	}
+	return res
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/estimator"
+	"repro/internal/formula"
+	"repro/internal/lossmodel"
+	"repro/internal/rng"
+)
+
+// The decomposition's product must equal the direct Monte Carlo
+// throughput (Proposition 1 is an identity, both evaluate the same
+// expectations).
+func TestDecompositionMatchesDirect(t *testing.T) {
+	f := formula.NewPFTKSimplified(formula.DefaultParams())
+	mk := func() Config {
+		return Config{
+			Formula: f,
+			Weights: estimator.TFRCWeights(8),
+			Process: lossmodel.DesignShiftedExp(0.1, 0.8, rng.New(777)),
+			Events:  60000,
+		}
+	}
+	direct := RunBasic(mk())
+	dec := DecomposeProp1(mk())
+	if math.Abs(dec.Throughput-direct.Throughput)/direct.Throughput > 0.02 {
+		t.Fatalf("decomposition %v vs direct %v", dec.Throughput, direct.Throughput)
+	}
+	if dec.Events != direct.Events {
+		t.Fatalf("event counts differ: %d vs %d", dec.Events, direct.Events)
+	}
+}
+
+// For IID intervals the covariance factor is ~1: convexity alone drives
+// conservativeness (the comment's special case).
+func TestDecompositionIIDCovFactorNearOne(t *testing.T) {
+	f := formula.NewPFTKSimplified(formula.DefaultParams())
+	dec := DecomposeProp1(Config{
+		Formula: f,
+		Weights: estimator.TFRCWeights(8),
+		Process: lossmodel.DesignShiftedExp(0.1, 0.8, rng.New(101)),
+		Events:  100000,
+	})
+	if math.Abs(dec.CovarianceFactor-1) > 0.03 {
+		t.Fatalf("IID covariance factor = %v, want ~1", dec.CovarianceFactor)
+	}
+	// The Jensen factor alone must already be below f(p) (convex g).
+	if dec.JensenFactor > f.Rate(0.1)*1.02 {
+		t.Fatalf("Jensen factor %v above f(p) %v", dec.JensenFactor, f.Rate(0.1))
+	}
+}
+
+// Phase losses introduce a covariance factor clearly different from 1.
+func TestDecompositionPhaseCovFactor(t *testing.T) {
+	f := formula.NewSQRT(formula.DefaultParams())
+	dec := DecomposeProp1(Config{
+		Formula: f,
+		Weights: estimator.TFRCWeights(8),
+		Process: lossmodel.NewTwoPhase(200, 4, 0.02, rng.New(103)),
+		Events:  100000,
+	})
+	if math.Abs(dec.CovarianceFactor-1) < 0.02 {
+		t.Fatalf("phase covariance factor = %v, want away from 1", dec.CovarianceFactor)
+	}
+}

@@ -1,0 +1,151 @@
+// Package des is a minimal discrete-event simulation engine: a scheduler
+// with a binary-heap event queue and a simulated clock in float64
+// seconds. It is the substrate under the packet-level network simulator
+// (package netsim) that stands in for ns-2 in this reproduction.
+//
+// The engine is single-threaded and deterministic: events scheduled for
+// the same instant fire in scheduling order (FIFO tie-break via a
+// monotonically increasing sequence number).
+package des
+
+import "container/heap"
+
+// Event is a callback scheduled to run at a simulated time.
+type Event func()
+
+type item struct {
+	at    float64
+	seq   uint64
+	fn    Event
+	index int
+	dead  bool
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*item)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct{ it *item }
+
+// Cancel prevents the event from firing. Cancelling an already fired or
+// already cancelled timer is a no-op. Cancel on a nil Timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil && t.it != nil {
+		t.it.dead = true
+	}
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool { return t != nil && t.it != nil && !t.it.dead }
+
+// Scheduler owns the simulated clock and the pending event set.
+// The zero value is ready to use at time 0.
+type Scheduler struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// Now returns the current simulated time in seconds.
+func (s *Scheduler) Now() float64 { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still queued (including
+// cancelled-but-not-yet-popped entries).
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// At schedules fn at the absolute simulated time at, which must not be in
+// the past, and returns a cancellable handle.
+func (s *Scheduler) At(at float64, fn Event) *Timer {
+	if at < s.now {
+		panic("des: scheduling into the past")
+	}
+	if fn == nil {
+		panic("des: nil event")
+	}
+	it := &item{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, it)
+	return &Timer{it: it}
+}
+
+// After schedules fn after delay seconds (delay >= 0).
+func (s *Scheduler) After(delay float64, fn Event) *Timer {
+	if delay < 0 {
+		panic("des: negative delay")
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// Step executes the next pending event, advancing the clock. It returns
+// false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 {
+		it := heap.Pop(&s.events).(*item)
+		if it.dead {
+			continue
+		}
+		s.now = it.at
+		it.dead = true
+		s.fired++
+		it.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the clock would pass the deadline or the
+// queue drains; the clock finishes exactly at the deadline.
+func (s *Scheduler) RunUntil(deadline float64) {
+	if deadline < s.now {
+		panic("des: deadline in the past")
+	}
+	for len(s.events) > 0 {
+		// Peek.
+		next := s.events[0]
+		if next.dead {
+			heap.Pop(&s.events)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	s.now = deadline
+}
+
+// Run executes events until the queue drains. Use RunUntil for
+// simulations with self-sustaining event chains.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}

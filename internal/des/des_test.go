@@ -1,0 +1,217 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestOrdering(t *testing.T) {
+	var s Scheduler
+	var got []int
+	s.At(3, func() { got = append(got, 3) })
+	s.At(1, func() { got = append(got, 1) })
+	s.At(2, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock = %v", s.Now())
+	}
+	if s.Fired() != 3 {
+		t.Fatalf("fired = %d", s.Fired())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var s Scheduler
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events out of order: %v", got)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	var s Scheduler
+	fired := 0.0
+	s.After(2, func() {
+		fired = s.Now()
+		s.After(3, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != 5 {
+		t.Fatalf("nested After fired at %v, want 5", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var s Scheduler
+	ran := false
+	tm := s.At(1, func() { ran = true })
+	if !tm.Active() {
+		t.Fatal("timer should be active")
+	}
+	tm.Cancel()
+	if tm.Active() {
+		t.Fatal("cancelled timer should be inactive")
+	}
+	s.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	// Double cancel and nil cancel are no-ops.
+	tm.Cancel()
+	var nilT *Timer
+	nilT.Cancel()
+	if nilT.Active() {
+		t.Fatal("nil timer active")
+	}
+}
+
+func TestCancelDuringRun(t *testing.T) {
+	var s Scheduler
+	ran := false
+	var tm *Timer
+	s.At(1, func() { tm.Cancel() })
+	tm = s.At(2, func() { ran = true })
+	s.Run()
+	if ran {
+		t.Fatal("event cancelled mid-run still ran")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Scheduler
+	count := 0
+	// Self-sustaining chain: one event per second forever.
+	var tick func()
+	tick = func() {
+		count++
+		s.After(1, tick)
+	}
+	s.After(1, tick)
+	s.RunUntil(10.5)
+	if count != 10 {
+		t.Fatalf("ticks = %d, want 10", count)
+	}
+	if s.Now() != 10.5 {
+		t.Fatalf("clock = %v, want 10.5", s.Now())
+	}
+	s.RunUntil(12)
+	if count != 12 {
+		t.Fatalf("ticks after resume = %d, want 12 (ticks at 11 and 12)", count)
+	}
+}
+
+func TestRunUntilExactBoundary(t *testing.T) {
+	var s Scheduler
+	ran := false
+	s.At(5, func() { ran = true })
+	s.RunUntil(5)
+	if !ran {
+		t.Fatal("event exactly at deadline should fire")
+	}
+}
+
+func TestPending(t *testing.T) {
+	var s Scheduler
+	s.At(1, func() {})
+	s.At(2, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("pending after run = %d", s.Pending())
+	}
+}
+
+func TestPanics(t *testing.T) {
+	var s Scheduler
+	s.At(5, func() {})
+	s.Step()
+	cases := []func(){
+		func() { s.At(1, func() {}) }, // past
+		func() { s.After(-1, func() {}) },
+		func() { s.At(10, nil) },
+		func() { s.RunUntil(1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: events always fire in non-decreasing time order, regardless
+// of insertion order.
+func TestQuickTimeOrdered(t *testing.T) {
+	r := rng.New(99)
+	f := func(n uint8) bool {
+		var s Scheduler
+		var times []float64
+		for i := 0; i < int(n%64)+2; i++ {
+			at := r.Float64() * 100
+			s.At(at, func() { times = append(times, s.Now()) })
+		}
+		s.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the clock never goes backwards across Step calls.
+func TestQuickClockMonotone(t *testing.T) {
+	r := rng.New(100)
+	f := func(n uint8) bool {
+		var s Scheduler
+		for i := 0; i < int(n%32)+2; i++ {
+			s.At(r.Float64()*50, func() {
+				// Schedule more work from inside events.
+				if s.Pending() < 100 {
+					s.After(r.Float64(), func() {})
+				}
+			})
+		}
+		prev := 0.0
+		for s.Step() {
+			if s.Now() < prev {
+				return false
+			}
+			prev = s.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	var s Scheduler
+	for i := 0; i < b.N; i++ {
+		s.After(1, func() {})
+		s.Step()
+	}
+}

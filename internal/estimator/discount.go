@@ -1,0 +1,52 @@
+package estimator
+
+// History discounting (RFC 3448 §5.5): when the still-open loss interval
+// grows beyond twice the average of the closed history, TFRC discounts
+// the older closed intervals so the estimate responds faster to a
+// long loss-free period. DiscountFactor is the RFC's 0.5 floor.
+const (
+	// DiscountThreshold is the multiple of the current average the open
+	// interval must exceed before discounting engages.
+	DiscountThreshold = 2.0
+	// DiscountFloor is the minimum weight multiplier applied to closed
+	// intervals (RFC 3448 uses 0.5).
+	DiscountFloor = 0.5
+)
+
+// EstimateWithOpenDiscounted is EstimateWithOpen with RFC 3448 §5.5
+// history discounting: once the open interval exceeds
+// DiscountThreshold times the closed-history estimate, every closed
+// interval's weight is multiplied by
+//
+//	DF = max(DiscountFloor, threshold·estimate/open)
+//
+// before renormalizing, which shifts mass onto the open interval and
+// lets a long good period decay a stale high loss estimate faster.
+// With open below the threshold it behaves exactly like
+// EstimateWithOpen.
+func (e *LossIntervalEstimator) EstimateWithOpenDiscounted(open float64) float64 {
+	base := e.Estimate()
+	if open <= 0 || len(e.history) == 0 {
+		return base
+	}
+	df := 1.0
+	if base > 0 && open > DiscountThreshold*base {
+		df = DiscountThreshold * base / open
+		if df < DiscountFloor {
+			df = DiscountFloor
+		}
+	}
+	// Candidate estimate with the open interval in slot 1 and the
+	// closed history discounted.
+	sum := e.weights[0] * open
+	wsum := e.weights[0]
+	for i := 0; i < len(e.history) && i+1 < len(e.weights); i++ {
+		w := e.weights[i+1] * df
+		sum += w * e.history[i]
+		wsum += w
+	}
+	if cand := sum / wsum; cand > base {
+		return cand
+	}
+	return base
+}

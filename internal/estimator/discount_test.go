@@ -1,0 +1,87 @@
+package estimator
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestDiscountedMatchesPlainBelowThreshold(t *testing.T) {
+	e := NewTFRC(8)
+	r := rng.New(3)
+	for i := 0; i < 30; i++ {
+		e.Observe(5 + r.Float64()*10)
+	}
+	base := e.Estimate()
+	for _, open := range []float64{0.1, base, DiscountThreshold * base * 0.99} {
+		plain := e.EstimateWithOpen(open)
+		disc := e.EstimateWithOpenDiscounted(open)
+		if plain != disc {
+			t.Fatalf("open=%v: discounted %v != plain %v below threshold", open, disc, plain)
+		}
+	}
+}
+
+func TestDiscountedExceedsPlainAboveThreshold(t *testing.T) {
+	e := NewTFRC(8)
+	for i := 0; i < 20; i++ {
+		e.Observe(10)
+	}
+	open := 10 * DiscountThreshold * 3 // well past the threshold
+	plain := e.EstimateWithOpen(open)
+	disc := e.EstimateWithOpenDiscounted(open)
+	if disc <= plain {
+		t.Fatalf("discounted %v should exceed plain %v for a long open interval", disc, plain)
+	}
+}
+
+func TestDiscountFloorBounds(t *testing.T) {
+	// Even for an enormous open interval the discounted estimate stays
+	// a convex-combination of history and open: never above open.
+	e := NewTFRC(8)
+	for i := 0; i < 20; i++ {
+		e.Observe(2)
+	}
+	open := 1e6
+	disc := e.EstimateWithOpenDiscounted(open)
+	if disc > open {
+		t.Fatalf("discounted estimate %v above open interval %v", disc, open)
+	}
+	if disc <= e.Estimate() {
+		t.Fatalf("discounted estimate %v did not rise above closed %v", disc, e.Estimate())
+	}
+}
+
+func TestDiscountedEmptyHistory(t *testing.T) {
+	e := NewTFRC(4)
+	if e.EstimateWithOpenDiscounted(10) != 0 {
+		t.Fatal("empty estimator should return 0")
+	}
+}
+
+// Property: discounted >= plain >= closed, and discounted is monotone
+// non-decreasing in the open interval.
+func TestQuickDiscountOrdering(t *testing.T) {
+	r := rng.New(5)
+	e := NewTFRC(8)
+	for i := 0; i < 40; i++ {
+		e.Observe(1 + r.Float64()*30)
+	}
+	f := func(a, b uint16) bool {
+		x := 0.01 + float64(a)/8
+		y := 0.01 + float64(b)/8
+		if x > y {
+			x, y = y, x
+		}
+		plainX := e.EstimateWithOpen(x)
+		discX := e.EstimateWithOpenDiscounted(x)
+		discY := e.EstimateWithOpenDiscounted(y)
+		return discX >= plainX-1e-12 &&
+			discX >= e.Estimate()-1e-12 &&
+			discY >= discX-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

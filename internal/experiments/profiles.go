@@ -1,0 +1,132 @@
+package experiments
+
+import "repro/internal/tfrc"
+
+// Profile describes a testbed or wide-area path as a SimConfig template,
+// standing in for the paper's lab configurations (Linux routers, 10 Mb/s
+// hub, NIST Net 25 ms delay) and the EPFL→{INRIA, UMASS, KTH, UMELB}
+// Internet paths of Table I. Loss arises endogenously from the competing
+// flows themselves, as in the paper's experiments.
+type Profile struct {
+	// Name identifies the profile ("lab-dt100", "inria", ...).
+	Name string
+	// Capacity is the bottleneck rate in bytes/second. Wide-area
+	// profiles are scaled down from the physical access rates so that
+	// packet-level simulation of the full sweep stays tractable; the
+	// loss-event-rate ranges remain in the paper's small-p regime.
+	Capacity float64
+	// Queue and Buffer/BDPPackets configure the bottleneck queue.
+	Queue      QueueKind
+	Buffer     int
+	BDPPackets float64
+	// BaseDelay and RevDelay set the path RTT (2·BaseDelay + RevDelay
+	// queueing excluded).
+	BaseDelay, RevDelay float64
+	// Comprehensive reflects whether the TFRC comprehensive element was
+	// enabled in the corresponding experiment set (the paper disables
+	// it in the lab, enables it on the Internet).
+	Comprehensive bool
+	// Pairs is the sweep of connection counts (N TFRC + N TCP).
+	Pairs []int
+	// Duration and Warmup size each run in simulated seconds.
+	Duration, Warmup float64
+	// CrossLoad adds heavy-tailed background traffic at this fraction
+	// of the capacity (wide-area paths carry cross traffic; the lab
+	// bottleneck does not).
+	CrossLoad float64
+}
+
+// Config instantiates the profile for a given pair count, TFRC window
+// and seed.
+func (pr Profile) Config(pairs, L int, seed uint64) SimConfig {
+	return SimConfig{
+		Capacity:      pr.Capacity,
+		Queue:         pr.Queue,
+		Buffer:        pr.Buffer,
+		BDPPackets:    pr.BDPPackets,
+		BaseDelay:     pr.BaseDelay,
+		RevDelay:      pr.RevDelay,
+		NTFRC:         pairs,
+		NTCP:          pairs,
+		L:             L,
+		Comprehensive: pr.Comprehensive,
+		TFRCFormula:   tfrc.PFTKStandard,
+		Duration:      pr.Duration,
+		Warmup:        pr.Warmup,
+		Seed:          seed,
+		RevJitter:     0.2,
+		CrossLoad:     pr.CrossLoad,
+	}
+}
+
+// LabDT64, LabDT100 and LabRED mirror the paper's lab testbed: 10 Mb/s
+// bottleneck, 25 ms added delay each way, DropTail with 64 or 100
+// packets or RED with the paper's thresholds (U = 62500 B ≈ 62 packets
+// of 1000 B: buffer 5/2·U, min 3/20·U, max 5/4·U).
+var (
+	LabDT64 = Profile{
+		Name: "lab-dt64", Capacity: 1.25e6, Queue: DropTail, Buffer: 64,
+		BaseDelay: 0.025, RevDelay: 0.025, Comprehensive: false,
+		Pairs: []int{1, 2, 4, 6, 9, 12, 16, 20, 25, 30, 36}, Duration: 300, Warmup: 50,
+	}
+	LabDT100 = Profile{
+		Name: "lab-dt100", Capacity: 1.25e6, Queue: DropTail, Buffer: 100,
+		BaseDelay: 0.025, RevDelay: 0.025, Comprehensive: false,
+		Pairs: []int{1, 2, 4, 6, 9, 12, 16, 20, 25, 30, 36}, Duration: 300, Warmup: 50,
+	}
+	LabRED = Profile{
+		Name: "lab-red", Capacity: 1.25e6, Queue: RED, BDPPackets: 62,
+		BaseDelay: 0.025, RevDelay: 0.025, Comprehensive: false,
+		Pairs: []int{1, 2, 4, 6, 9, 12, 16, 20, 25, 30, 36}, Duration: 300, Warmup: 50,
+	}
+)
+
+// WAN profiles stand in for Table I's Internet paths. Rates are scaled
+// (divided by ~8-20) from the physical access rates for tractability;
+// RTTs match Table I; queueing is DropTail as in campus access routers.
+var (
+	INRIA = Profile{
+		Name: "inria", Capacity: 2.5e6, Queue: DropTail, Buffer: 120,
+		BaseDelay: 0.010, RevDelay: 0.020, Comprehensive: true,
+		Pairs: []int{1, 2, 4, 6, 8, 10}, Duration: 300, Warmup: 60,
+		CrossLoad: 0.1,
+	}
+	UMASS = Profile{
+		Name: "umass", Capacity: 2.5e6, Queue: DropTail, Buffer: 200,
+		BaseDelay: 0.035, RevDelay: 0.062, Comprehensive: true,
+		Pairs: []int{1, 2, 4, 6, 8, 10}, Duration: 300, Warmup: 60,
+		CrossLoad: 0.1,
+	}
+	KTH = Profile{
+		Name: "kth", Capacity: 1.25e6, Queue: DropTail, Buffer: 100,
+		BaseDelay: 0.016, RevDelay: 0.030, Comprehensive: true,
+		Pairs: []int{1, 2, 4, 6, 8, 10}, Duration: 300, Warmup: 60,
+		CrossLoad: 0.1,
+	}
+	UMELB = Profile{
+		Name: "umelb", Capacity: 1.25e6, Queue: DropTail, Buffer: 250,
+		BaseDelay: 0.125, RevDelay: 0.225, Comprehensive: true,
+		Pairs: []int{1, 2, 4, 6, 8, 10}, Duration: 300, Warmup: 60,
+		CrossLoad: 0.1,
+	}
+)
+
+// WANProfiles lists the Table I stand-ins in the paper's order.
+func WANProfiles() []Profile { return []Profile{INRIA, UMASS, KTH, UMELB} }
+
+// LabProfiles lists the testbed configurations.
+func LabProfiles() []Profile { return []Profile{LabDT64, LabDT100, LabRED} }
+
+// Scale shrinks profile run lengths for tests and benches. factor <= 1
+// scales Duration and Warmup; pairsCap truncates the sweep.
+func (pr Profile) Scale(factor float64, pairsCap int) Profile {
+	out := pr
+	if factor > 0 && factor < 1 {
+		out.Duration = pr.Duration * factor
+		out.Warmup = pr.Warmup * factor
+	}
+	if pairsCap > 0 && pairsCap < len(pr.Pairs) {
+		out.Pairs = pr.Pairs[:pairsCap]
+	}
+	return out
+}

@@ -1,0 +1,348 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/estimator"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/tcp"
+	"repro/internal/tfrc"
+)
+
+// QueueKind selects the bottleneck queue discipline.
+type QueueKind int
+
+// Queue disciplines.
+const (
+	// DropTail is a plain FIFO tail-drop queue.
+	DropTail QueueKind = iota
+	// RED is random early detection with the paper's parameters.
+	RED
+)
+
+// SimConfig describes one dumbbell simulation: the bottleneck, the flow
+// mix (N TFRC + N TCP pairs, optionally a Poisson probe), and the
+// measurement window.
+type SimConfig struct {
+	// Capacity is the bottleneck rate in bytes/second.
+	Capacity float64
+	// Queue selects the bottleneck discipline.
+	Queue QueueKind
+	// Buffer is the DropTail capacity in packets (ignored for RED).
+	Buffer int
+	// BDPPackets sizes the RED thresholds (ignored for DropTail).
+	BDPPackets float64
+	// BaseDelay is the bottleneck one-way propagation delay in seconds.
+	BaseDelay float64
+	// RevDelay is the uncongested reverse-path delay in seconds.
+	RevDelay float64
+	// NTFRC and NTCP are the numbers of TFRC and TCP flows.
+	NTFRC, NTCP int
+	// ProbeRate, when positive, adds one Poisson probe at this rate in
+	// packets/second.
+	ProbeRate float64
+	// L is the TFRC loss-interval window.
+	L int
+	// Comprehensive toggles TFRC's comprehensive-control element.
+	Comprehensive bool
+	// TFRCFormula selects the TFRC throughput formula.
+	TFRCFormula tfrc.FormulaKind
+	// Duration and Warmup are the measured and discarded sim seconds.
+	Duration, Warmup float64
+	// Seed drives all randomness in the run.
+	Seed uint64
+	// RevJitter randomizes reverse-path delays (fraction, see netsim).
+	RevJitter float64
+	// CrossLoad, when positive, adds heavy-tailed on/off background
+	// traffic offering this fraction of the bottleneck capacity.
+	CrossLoad float64
+	// HistoryDiscounting enables RFC 3448 §5.5 discounting in TFRC.
+	HistoryDiscounting bool
+}
+
+// ClassStats aggregates one protocol class over all its flows.
+type ClassStats struct {
+	// Throughput is the mean per-flow send rate in packets/second.
+	Throughput float64
+	// LossEventRate is total loss events over total packets sent.
+	LossEventRate float64
+	// MeanRTT is the event-count-weighted mean RTT in seconds.
+	MeanRTT float64
+	// CovNorm is cov[θ0, θ̂0]·p², pooled over flows (TFRC only).
+	CovNorm float64
+	// Events is the total loss events across flows.
+	Events int64
+	// Flows is the number of flows in the class.
+	Flows int
+}
+
+// SimResult holds per-class aggregates of one run.
+type SimResult struct {
+	TFRC, TCP, Poisson ClassStats
+	// TCPPerFlow keeps each TCP flow's stats for scatter plots (Fig 9).
+	TCPPerFlow []tcp.Stats
+	// TFRCPerFlow keeps each TFRC flow's stats.
+	TFRCPerFlow []tfrc.Stats
+}
+
+// RunSim executes the configured dumbbell simulation and returns the
+// per-class aggregates. It is fully deterministic in cfg.Seed.
+func RunSim(cfg SimConfig) SimResult {
+	if cfg.Capacity <= 0 || cfg.Duration <= 0 || cfg.Warmup < 0 || cfg.L < 1 {
+		panic("experiments: invalid sim config")
+	}
+	if cfg.NTFRC < 0 || cfg.NTCP < 0 || cfg.NTFRC+cfg.NTCP == 0 {
+		panic("experiments: need at least one flow")
+	}
+	var sched des.Scheduler
+	seedRNG := rng.New(cfg.Seed)
+
+	var queue netsim.Queue
+	switch cfg.Queue {
+	case DropTail:
+		if cfg.Buffer < 1 {
+			panic("experiments: DropTail needs a buffer size")
+		}
+		queue = netsim.NewDropTail(cfg.Buffer)
+	case RED:
+		queue = netsim.NewRED(netsim.PaperRED(cfg.BDPPackets), cfg.Capacity, seedRNG.Split())
+	default:
+		panic("experiments: unknown queue kind")
+	}
+	link := netsim.NewLink(&sched, cfg.Capacity, cfg.BaseDelay, queue)
+	net := netsim.NewDumbbell(&sched, link)
+	if cfg.RevJitter > 0 {
+		net.SetReverseJitter(cfg.RevJitter, seedRNG.Uint64())
+	}
+
+	tfrcCfg := tfrc.DefaultConfig()
+	tfrcCfg.Window = cfg.L
+	tfrcCfg.Comprehensive = cfg.Comprehensive
+	tfrcCfg.HistoryDiscounting = cfg.HistoryDiscounting
+	tfrcCfg.Formula = cfg.TFRCFormula
+
+	flowID := 0
+	tfrcSenders := make([]*tfrc.Sender, 0, cfg.NTFRC)
+	for i := 0; i < cfg.NTFRC; i++ {
+		c := tfrcCfg
+		c.Seed = seedRNG.Uint64()
+		snd, _ := tfrc.NewFlow(&sched, net, flowID, c, 0, cfg.RevDelay)
+		tfrcSenders = append(tfrcSenders, snd)
+		start := seedRNG.Float64() * math.Min(cfg.Warmup/2, 5)
+		sched.At(start, snd.Start)
+		flowID++
+	}
+	tcpSenders := make([]*tcp.Sender, 0, cfg.NTCP)
+	for i := 0; i < cfg.NTCP; i++ {
+		snd, _ := tcp.NewFlow(&sched, net, flowID, tcp.DefaultConfig(), 0, cfg.RevDelay)
+		tcpSenders = append(tcpSenders, snd)
+		start := seedRNG.Float64() * math.Min(cfg.Warmup/2, 5)
+		sched.At(start, snd.Start)
+		flowID++
+	}
+	var probe *probeHandle
+	if cfg.ProbeRate > 0 {
+		rttGuess := 2*cfg.BaseDelay + cfg.RevDelay
+		p := newProbe(&sched, net, flowID, cfg.ProbeRate, rttGuess, seedRNG.Uint64(), cfg.RevDelay)
+		probe = p
+		sched.At(seedRNG.Float64(), p.start)
+		flowID++
+	}
+	if cfg.CrossLoad > 0 {
+		// Size the on/off source so its mean rate offers CrossLoad of
+		// the capacity: bursts at half the link rate, mean 20 packets,
+		// off time solved from the load.
+		const meanBurst, pktSize = 20.0, 1000.0
+		peak := cfg.Capacity / 2
+		burstBytes := meanBurst * pktSize
+		burstTime := burstBytes / peak
+		target := cfg.CrossLoad * cfg.Capacity
+		meanOff := burstBytes/target - burstTime
+		if meanOff <= 0 {
+			meanOff = 1e-3
+		}
+		ct := netsim.NewCrossTraffic(&sched, net, flowID, peak, meanBurst, 1.5,
+			meanOff, int(pktSize), seedRNG.Uint64())
+		sched.At(seedRNG.Float64(), ct.Start)
+	}
+
+	sched.RunUntil(cfg.Warmup)
+	for _, s := range tfrcSenders {
+		s.ResetStats()
+	}
+	for _, s := range tcpSenders {
+		s.ResetStats()
+	}
+	if probe != nil {
+		probe.resetStats()
+	}
+	sched.RunUntil(cfg.Warmup + cfg.Duration)
+
+	var res SimResult
+	res.TFRC = aggregateTFRC(tfrcSenders, cfg.L)
+	res.TCP = aggregateTCP(tcpSenders)
+	if probe != nil {
+		res.Poisson = probe.stats()
+	}
+	for _, s := range tcpSenders {
+		res.TCPPerFlow = append(res.TCPPerFlow, s.Stats())
+	}
+	for _, s := range tfrcSenders {
+		res.TFRCPerFlow = append(res.TFRCPerFlow, s.Stats())
+	}
+	return res
+}
+
+func aggregateTFRC(senders []*tfrc.Sender, L int) ClassStats {
+	var cs ClassStats
+	cs.Flows = len(senders)
+	if len(senders) == 0 {
+		return cs
+	}
+	var pkts, events int64
+	var xSum, rttSum float64
+	var covAcc stats.Cov
+	var pAll []float64
+	for _, s := range senders {
+		st := s.Stats()
+		pkts += st.PacketsSent
+		events += st.LossEvents
+		xSum += st.Throughput
+		rttSum += st.MeanRTT
+		// Reconstruct the estimator trajectory from the interval series
+		// to measure cov[θ0, θ̂0].
+		feedCov(&covAcc, st.LossIntervals, L)
+		pAll = append(pAll, st.LossIntervals...)
+	}
+	cs.Throughput = xSum / float64(len(senders))
+	cs.MeanRTT = rttSum / float64(len(senders))
+	cs.Events = events
+	if pkts > 0 {
+		cs.LossEventRate = float64(events) / float64(pkts)
+	}
+	if len(pAll) > 0 && covAcc.N() > 1 {
+		meanTheta := stats.Mean(pAll)
+		p := 1 / meanTheta
+		cs.CovNorm = covAcc.Covariance() * p * p
+	}
+	return cs
+}
+
+// feedCov replays the TFRC weight average over an interval series and
+// accumulates (θ_n, θ̂_n) pairs.
+func feedCov(acc *stats.Cov, intervals []float64, L int) {
+	if len(intervals) <= L {
+		return
+	}
+	est := estimator.NewLossIntervalEstimator(estimator.TFRCWeights(L))
+	for i, th := range intervals {
+		if i >= L {
+			acc.Add(th, est.Estimate())
+		}
+		est.Observe(th)
+	}
+}
+
+func aggregateTCP(senders []*tcp.Sender) ClassStats {
+	var cs ClassStats
+	cs.Flows = len(senders)
+	if len(senders) == 0 {
+		return cs
+	}
+	var pkts, events int64
+	var xSum, rttSum float64
+	for _, s := range senders {
+		st := s.Stats()
+		pkts += st.PacketsSent
+		events += st.LossEvents
+		xSum += st.Throughput
+		rttSum += st.MeanRTT
+	}
+	cs.Throughput = xSum / float64(len(senders))
+	cs.MeanRTT = rttSum / float64(len(senders))
+	cs.Events = events
+	if pkts > 0 {
+		cs.LossEventRate = float64(events) / float64(pkts)
+	}
+	return cs
+}
+
+// probeHandle wraps the cbr probe without importing it (the probe here
+// is a minimal Poisson source; keeping it local avoids an import cycle
+// risk and keeps the class-stats shape uniform).
+type probeHandle struct {
+	sched    *des.Scheduler
+	net      *netsim.Dumbbell
+	flow     int
+	rate     float64
+	random   *rng.RNG
+	rttGuess float64
+
+	nextSeq    int64
+	expected   int64
+	events     *netsim.LossEventCounter
+	pktsSent   int64
+	eventsBase int64
+	pktsBase   int64
+	measStart  float64
+}
+
+func newProbe(sched *des.Scheduler, net *netsim.Dumbbell, flow int, rate, rttGuess float64, seed uint64, revDelay float64) *probeHandle {
+	p := &probeHandle{
+		sched: sched, net: net, flow: flow, rate: rate,
+		random: rng.New(seed), rttGuess: rttGuess,
+	}
+	p.events = netsim.NewLossEventCounter(func() float64 { return p.rttGuess })
+	net.AttachFlow(flow, netsim.EndpointFunc(func(*netsim.Packet) {}),
+		netsim.EndpointFunc(p.receive), 0, revDelay)
+	return p
+}
+
+func (p *probeHandle) start() { p.sendNext() }
+
+func (p *probeHandle) sendNext() {
+	p.pktsSent++
+	p.net.SendForward(&netsim.Packet{
+		Flow: p.flow, Seq: p.nextSeq, Size: 1000,
+		SentAt: p.sched.Now(), Kind: netsim.Data,
+	})
+	p.nextSeq++
+	p.sched.After(p.random.Exp(p.rate), p.sendNext)
+}
+
+func (p *probeHandle) receive(pkt *netsim.Packet) {
+	if pkt.Kind != netsim.Data {
+		return
+	}
+	if pkt.Seq > p.expected {
+		for lost := p.expected; lost < pkt.Seq; lost++ {
+			p.events.OnLoss(p.sched.Now(), lost)
+		}
+	}
+	if pkt.Seq >= p.expected {
+		p.expected = pkt.Seq + 1
+	}
+}
+
+func (p *probeHandle) resetStats() {
+	p.measStart = p.sched.Now()
+	p.pktsBase = p.pktsSent
+	p.eventsBase = p.events.Events
+}
+
+func (p *probeHandle) stats() ClassStats {
+	cs := ClassStats{Flows: 1}
+	pkts := p.pktsSent - p.pktsBase
+	cs.Events = p.events.Events - p.eventsBase
+	dur := p.sched.Now() - p.measStart
+	if dur > 0 {
+		cs.Throughput = float64(pkts) / dur
+	}
+	if pkts > 0 {
+		cs.LossEventRate = float64(cs.Events) / float64(pkts)
+	}
+	return cs
+}

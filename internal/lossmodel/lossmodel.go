@@ -1,0 +1,242 @@
+// Package lossmodel provides the loss-event interval processes that
+// drive the paper's numerical experiments: IID sequences from designed
+// distributions (the shifted-exponential family of §V-A.1 that fixes the
+// loss-event rate p and the coefficient of variation independently),
+// geometric intervals (the Bernoulli packet dropper of Figure 6),
+// Markov-modulated (phase) processes used to break the covariance
+// condition (C1), and batch-loss processes that produce the negative
+// covariance observed at UMELB in Figure 10.
+package lossmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Process generates successive loss-event intervals θ_n, measured in
+// packets sent between two consecutive loss events.
+type Process interface {
+	// Next returns the next loss-event interval (> 0).
+	Next() float64
+	// MeanInterval returns E[θ] = 1/p when known analytically, else 0.
+	MeanInterval() float64
+	// Name identifies the process in experiment output.
+	Name() string
+}
+
+// ShiftedExp is the paper's designed IID process: θ equals in
+// distribution x0 + Exp(a), so E[θ] = x0 + 1/a and cv = (1/a)/(x0+1/a).
+// Skewness (2) and kurtosis (6) are invariant to (x0, a), which isolates
+// the effect of p and cv — the property §V-A.1 highlights.
+type ShiftedExp struct {
+	X0, A float64
+	r     *rng.RNG
+}
+
+// NewShiftedExp builds the process directly from (x0, a).
+func NewShiftedExp(x0, a float64, r *rng.RNG) *ShiftedExp {
+	if x0 < 0 || a <= 0 {
+		panic("lossmodel: invalid shifted-exponential parameters")
+	}
+	return &ShiftedExp{X0: x0, A: a, r: r}
+}
+
+// DesignShiftedExp solves for (x0, a) so that the process has loss-event
+// rate p (mean interval 1/p) and coefficient of variation cv in (0, 1]:
+// a = 1/(cv/p), x0 = (1-cv)/p. cv = 1 recovers the plain exponential.
+func DesignShiftedExp(p, cv float64, r *rng.RNG) *ShiftedExp {
+	if p <= 0 || p > 1 {
+		panic(fmt.Sprintf("lossmodel: loss-event rate %v outside (0,1]", p))
+	}
+	if cv <= 0 || cv > 1 {
+		panic(fmt.Sprintf("lossmodel: cv %v outside (0,1] for shifted exponential", cv))
+	}
+	mean := 1 / p
+	std := cv * mean
+	return NewShiftedExp(mean-std, 1/std, r)
+}
+
+// Next implements Process.
+func (s *ShiftedExp) Next() float64 { return s.r.ShiftedExp(s.X0, s.A) }
+
+// MeanInterval implements Process.
+func (s *ShiftedExp) MeanInterval() float64 { return s.X0 + 1/s.A }
+
+// CV returns the process's coefficient of variation.
+func (s *ShiftedExp) CV() float64 { return (1 / s.A) / s.MeanInterval() }
+
+// Name implements Process.
+func (s *ShiftedExp) Name() string { return "shifted-exp" }
+
+// Geometric models the Bernoulli packet dropper of Figure 6: every packet
+// is lost independently with probability p, so loss-event intervals are
+// Geometric(p) on {1, 2, ...} with mean 1/p.
+type Geometric struct {
+	P float64
+	r *rng.RNG
+}
+
+// NewGeometric returns a geometric interval process with per-packet loss
+// probability p.
+func NewGeometric(p float64, r *rng.RNG) *Geometric {
+	if p <= 0 || p > 1 {
+		panic("lossmodel: geometric p outside (0,1]")
+	}
+	return &Geometric{P: p, r: r}
+}
+
+// Next implements Process.
+func (g *Geometric) Next() float64 { return float64(g.r.Geometric(g.P)) }
+
+// MeanInterval implements Process.
+func (g *Geometric) MeanInterval() float64 { return 1 / g.P }
+
+// Name implements Process.
+func (g *Geometric) Name() string { return "geometric" }
+
+// Phase is a Markov-modulated interval process: a hidden k-state Markov
+// chain (one step per loss event) selects the mean of an exponential
+// interval. Slow transitions make θ̂ a good predictor of θ, creating the
+// positive cov[θ0, θ̂0] that invalidates condition (C1) of Theorem 1 —
+// the "loss process goes into phases" scenario of §III-B.2.
+type Phase struct {
+	// Trans[i][j] is the per-event transition probability i -> j.
+	Trans [][]float64
+	// Means[i] is the mean interval while in state i.
+	Means []float64
+	state int
+	r     *rng.RNG
+}
+
+// NewPhase builds a phase process. The transition matrix must be square,
+// stochastic (rows sum to 1) and match len(means).
+func NewPhase(trans [][]float64, means []float64, r *rng.RNG) *Phase {
+	k := len(means)
+	if k == 0 || len(trans) != k {
+		panic("lossmodel: phase dimensions mismatch")
+	}
+	for i, row := range trans {
+		if len(row) != k {
+			panic("lossmodel: transition matrix not square")
+		}
+		sum := 0.0
+		for _, v := range row {
+			if v < 0 {
+				panic("lossmodel: negative transition probability")
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			panic(fmt.Sprintf("lossmodel: row %d sums to %v", i, sum))
+		}
+		if means[i] <= 0 {
+			panic("lossmodel: non-positive phase mean")
+		}
+	}
+	return &Phase{Trans: trans, Means: means, r: r}
+}
+
+// NewTwoPhase builds the classic Gilbert-style two-state process: a
+// "good" phase with mean interval meanGood and a "bad" (congested) phase
+// with mean interval meanBad, with per-event switching probability
+// switchProb out of either state. Small switchProb = slow phases =
+// highly predictable intervals.
+func NewTwoPhase(meanGood, meanBad, switchProb float64, r *rng.RNG) *Phase {
+	if switchProb <= 0 || switchProb >= 1 {
+		panic("lossmodel: switch probability outside (0,1)")
+	}
+	return NewPhase(
+		[][]float64{
+			{1 - switchProb, switchProb},
+			{switchProb, 1 - switchProb},
+		},
+		[]float64{meanGood, meanBad}, r)
+}
+
+// Next implements Process: draw an interval from the current phase, then
+// step the chain.
+func (ph *Phase) Next() float64 {
+	interval := ph.r.Exp(1 / ph.Means[ph.state])
+	u := ph.r.Float64()
+	acc := 0.0
+	row := ph.Trans[ph.state]
+	for j, v := range row {
+		acc += v
+		if u < acc {
+			ph.state = j
+			break
+		}
+	}
+	if interval <= 0 {
+		interval = math.SmallestNonzeroFloat64
+	}
+	return interval
+}
+
+// State returns the current hidden phase index.
+func (ph *Phase) State() int { return ph.state }
+
+// MeanInterval implements Process: the stationary mean for the symmetric
+// two-state case; 0 (unknown) otherwise.
+func (ph *Phase) MeanInterval() float64 {
+	if len(ph.Means) == 2 &&
+		ph.Trans[0][1] == ph.Trans[1][0] {
+		return (ph.Means[0] + ph.Means[1]) / 2
+	}
+	return 0
+}
+
+// Name implements Process.
+func (ph *Phase) Name() string { return "phase" }
+
+// Batch wraps a Process and emits, after every emitted interval, a run of
+// Extra near-zero intervals with probability BatchProb — modeling loss
+// events arriving in batches, which produces the negative covariance
+// cov[θ0, θ̂0] the paper observed on the UMELB path (Figure 10).
+type Batch struct {
+	Inner     Process
+	BatchProb float64
+	Extra     int
+	Eps       float64
+	pending   int
+	r         *rng.RNG
+}
+
+// NewBatch builds a batch process: with probability batchProb a loss
+// event is followed by extra intervals of length eps (in packets).
+func NewBatch(inner Process, batchProb float64, extra int, eps float64, r *rng.RNG) *Batch {
+	if batchProb < 0 || batchProb > 1 || extra < 0 || eps <= 0 {
+		panic("lossmodel: invalid batch parameters")
+	}
+	return &Batch{Inner: inner, BatchProb: batchProb, Extra: extra, Eps: eps, r: r}
+}
+
+// Next implements Process.
+func (b *Batch) Next() float64 {
+	if b.pending > 0 {
+		b.pending--
+		return b.Eps
+	}
+	v := b.Inner.Next()
+	if b.Extra > 0 && b.r.Bernoulli(b.BatchProb) {
+		b.pending = b.Extra
+	}
+	return v
+}
+
+// MeanInterval implements Process (unknown in general).
+func (b *Batch) MeanInterval() float64 { return 0 }
+
+// Name implements Process.
+func (b *Batch) Name() string { return "batch(" + b.Inner.Name() + ")" }
+
+// Collect draws n intervals from the process into a slice.
+func Collect(p Process, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = p.Next()
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package lossmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestDesignShiftedExpMoments(t *testing.T) {
+	r := rng.New(1)
+	for _, tc := range []struct{ p, cv float64 }{
+		{0.01, 1 - 1.0/1000},
+		{0.1, 0.5},
+		{0.4, 0.2},
+		{0.05, 1.0},
+	} {
+		proc := DesignShiftedExp(tc.p, tc.cv, r)
+		if got := proc.MeanInterval(); math.Abs(got-1/tc.p)/(1/tc.p) > 1e-12 {
+			t.Fatalf("p=%v: mean = %v, want %v", tc.p, got, 1/tc.p)
+		}
+		if got := proc.CV(); math.Abs(got-tc.cv) > 1e-12 {
+			t.Fatalf("p=%v: cv = %v, want %v", tc.p, got, tc.cv)
+		}
+		xs := Collect(proc, 100000)
+		if got := stats.Mean(xs); math.Abs(got-1/tc.p)/(1/tc.p) > 0.03 {
+			t.Fatalf("p=%v: empirical mean = %v, want %v", tc.p, got, 1/tc.p)
+		}
+		if got := stats.CV(xs); math.Abs(got-tc.cv) > 0.03 {
+			t.Fatalf("p=%v: empirical cv = %v, want %v", tc.p, got, tc.cv)
+		}
+	}
+}
+
+func TestShiftedExpSupport(t *testing.T) {
+	r := rng.New(2)
+	proc := DesignShiftedExp(0.1, 0.5, r)
+	// Support is [x0, inf) with x0 = (1-cv)/p = 5.
+	for i := 0; i < 10000; i++ {
+		if v := proc.Next(); v < 5 {
+			t.Fatalf("sample %v below shift", v)
+		}
+	}
+}
+
+func TestShiftedExpSkewnessInvariance(t *testing.T) {
+	// Designed property from §V-A.1: skewness of the exponential part is
+	// 2 regardless of (x0, a). Verify on two very different settings.
+	skew := func(p, cv float64, seed uint64) float64 {
+		xs := Collect(DesignShiftedExp(p, cv, rng.New(seed)), 400000)
+		m, s := stats.Mean(xs), stats.StdDev(xs)
+		acc := 0.0
+		for _, x := range xs {
+			d := (x - m) / s
+			acc += d * d * d
+		}
+		return acc / float64(len(xs))
+	}
+	s1 := skew(0.01, 0.9, 3)
+	s2 := skew(0.3, 0.3, 4)
+	if math.Abs(s1-2) > 0.1 || math.Abs(s2-2) > 0.1 {
+		t.Fatalf("skewness = %v, %v, want ~2", s1, s2)
+	}
+}
+
+func TestGeometricMeanInterval(t *testing.T) {
+	r := rng.New(5)
+	g := NewGeometric(0.05, r)
+	xs := Collect(g, 200000)
+	if got := stats.Mean(xs); math.Abs(got-20)/20 > 0.02 {
+		t.Fatalf("geometric mean = %v, want 20", got)
+	}
+	for _, x := range xs[:1000] {
+		if x < 1 || x != math.Trunc(x) {
+			t.Fatalf("geometric interval %v not a positive integer", x)
+		}
+	}
+}
+
+func TestIIDProcessesUncorrelated(t *testing.T) {
+	// Condition (C1) holds with equality for IID processes: lag-1
+	// autocovariance ~ 0.
+	r := rng.New(6)
+	for _, proc := range []Process{
+		DesignShiftedExp(0.1, 0.8, r),
+		NewGeometric(0.1, r),
+	} {
+		xs := Collect(proc, 100000)
+		ac := stats.Autocovariance(xs, 1)
+		norm := ac / stats.Variance(xs)
+		if math.Abs(norm) > 0.02 {
+			t.Fatalf("%s: normalized lag-1 autocov = %v", proc.Name(), norm)
+		}
+	}
+}
+
+func TestPhasePositiveAutocovariance(t *testing.T) {
+	// Slow phases make successive intervals positively correlated —
+	// the scenario that breaks (C1).
+	r := rng.New(7)
+	ph := NewTwoPhase(100, 2, 0.02, r)
+	xs := Collect(ph, 200000)
+	norm := stats.Autocovariance(xs, 1) / stats.Variance(xs)
+	if norm < 0.3 {
+		t.Fatalf("slow-phase lag-1 autocorrelation = %v, want strongly positive", norm)
+	}
+	// Fast switching should wash the correlation out.
+	fast := NewTwoPhase(100, 2, 0.5, rng.New(8))
+	ys := Collect(fast, 200000)
+	normFast := stats.Autocovariance(ys, 1) / stats.Variance(ys)
+	if normFast > norm/2 {
+		t.Fatalf("fast-phase correlation %v not much below slow %v", normFast, norm)
+	}
+}
+
+func TestPhaseStationaryMean(t *testing.T) {
+	r := rng.New(9)
+	ph := NewTwoPhase(40, 10, 0.1, r)
+	if got := ph.MeanInterval(); got != 25 {
+		t.Fatalf("symmetric two-phase mean = %v, want 25", got)
+	}
+	xs := Collect(ph, 300000)
+	if got := stats.Mean(xs); math.Abs(got-25)/25 > 0.05 {
+		t.Fatalf("empirical phase mean = %v, want 25", got)
+	}
+}
+
+func TestPhaseStateEvolves(t *testing.T) {
+	r := rng.New(10)
+	ph := NewTwoPhase(10, 10, 0.5, r)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		ph.Next()
+		seen[ph.State()] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("chain did not visit both states: %v", seen)
+	}
+}
+
+func TestBatchNegativeAutocovariance(t *testing.T) {
+	// Batches of near-zero intervals after a normal one create negative
+	// lag-1 covariance (a large interval is followed by tiny ones).
+	r := rng.New(11)
+	b := NewBatch(NewGeometric(0.01, r.Split()), 1.0, 2, 1, r)
+	xs := Collect(b, 200000)
+	norm := stats.Autocovariance(xs, 1) / stats.Variance(xs)
+	if norm >= 0 {
+		t.Fatalf("batch lag-1 autocorrelation = %v, want negative", norm)
+	}
+}
+
+func TestBatchEmitsRuns(t *testing.T) {
+	r := rng.New(12)
+	b := NewBatch(NewGeometric(0.5, r.Split()), 1.0, 3, 0.25, r)
+	xs := Collect(b, 40)
+	// Every non-eps interval must be followed by exactly 3 eps values.
+	for i := 0; i < len(xs)-4; i++ {
+		if xs[i] != 0.25 {
+			for j := 1; j <= 3; j++ {
+				if xs[i+j] != 0.25 {
+					t.Fatalf("batch run broken at %d: %v", i, xs[i:i+4])
+				}
+			}
+			i += 3
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	r := rng.New(13)
+	if n := DesignShiftedExp(0.1, 0.5, r).Name(); n != "shifted-exp" {
+		t.Fatal(n)
+	}
+	if n := NewGeometric(0.1, r).Name(); n != "geometric" {
+		t.Fatal(n)
+	}
+	if n := NewTwoPhase(1, 2, 0.1, r).Name(); n != "phase" {
+		t.Fatal(n)
+	}
+	if n := NewBatch(NewGeometric(0.1, r), 0.1, 1, 1, r).Name(); n != "batch(geometric)" {
+		t.Fatal(n)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	r := rng.New(14)
+	cases := []func(){
+		func() { DesignShiftedExp(0, 0.5, r) },
+		func() { DesignShiftedExp(0.1, 0, r) },
+		func() { DesignShiftedExp(0.1, 1.5, r) },
+		func() { NewShiftedExp(-1, 1, r) },
+		func() { NewGeometric(0, r) },
+		func() { NewTwoPhase(1, 2, 0, r) },
+		func() { NewTwoPhase(1, 2, 1, r) },
+		func() { NewPhase([][]float64{{0.5, 0.4}}, []float64{1, 2}, r) },
+		func() { NewPhase([][]float64{{0.5, 0.5}, {2, -1}}, []float64{1, 2}, r) },
+		func() { NewBatch(NewGeometric(0.5, r), -0.1, 1, 1, r) },
+		func() { NewBatch(NewGeometric(0.5, r), 0.1, 1, 0, r) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: all processes emit strictly positive intervals, and the
+// designed shifted exponential hits the requested mean for any (p, cv).
+func TestQuickPositiveIntervals(t *testing.T) {
+	r := rng.New(15)
+	f := func(a, b uint8) bool {
+		p := 0.01 + float64(a)/255*0.9
+		cv := 0.05 + float64(b)/255*0.95
+		proc := DesignShiftedExp(p, cv, r)
+		if math.Abs(proc.MeanInterval()-1/p) > 1e-9 {
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			if proc.Next() <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

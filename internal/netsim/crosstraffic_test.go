@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+)
+
+func TestCrossTrafficMeanRate(t *testing.T) {
+	var s des.Scheduler
+	link := NewLink(&s, 1e9, 0, NewDropTail(1<<20))
+	net := NewDumbbell(&s, link)
+	ct := NewCrossTraffic(&s, net, 99, 1.25e6, 20, 1.5, 0.05, 1000, 7)
+	ct.Start()
+	s.RunUntil(2000)
+	offered := float64(ct.PacketsSent) * 1000 / 2000
+	want := ct.MeanRate()
+	// Pareto bursts converge slowly; accept 25%.
+	if math.Abs(offered-want)/want > 0.25 {
+		t.Fatalf("offered %v B/s, analytic mean %v", offered, want)
+	}
+	if ct.PacketsSent == 0 {
+		t.Fatal("no packets sent")
+	}
+}
+
+func TestCrossTrafficUnattachedFlowHarmless(t *testing.T) {
+	// Cross-traffic packets terminate at the bottleneck without a
+	// receiver and must not panic or leak into other flows.
+	var s des.Scheduler
+	link := NewLink(&s, 1e6, 0.001, NewDropTail(50))
+	net := NewDumbbell(&s, link)
+	got := 0
+	net.AttachFlow(1, EndpointFunc(func(*Packet) {}),
+		EndpointFunc(func(p *Packet) {
+			if p.Flow != 1 {
+				t.Errorf("foreign packet leaked: flow %d", p.Flow)
+			}
+			got++
+		}), 0, 0)
+	ct := NewCrossTraffic(&s, net, 99, 5e5, 10, 1.5, 0.02, 1000, 8)
+	ct.Start()
+	net.SendForward(&Packet{Flow: 1, Size: 100})
+	s.RunUntil(5)
+	if got != 1 {
+		t.Fatalf("flow 1 deliveries = %d, want 1", got)
+	}
+}
+
+func TestCrossTrafficBursty(t *testing.T) {
+	// The on/off structure must produce idle gaps much longer than the
+	// in-burst gaps.
+	var s des.Scheduler
+	link := NewLink(&s, 1e9, 0, NewDropTail(1<<20))
+	net := NewDumbbell(&s, link)
+	ct := NewCrossTraffic(&s, net, 99, 1.25e6, 50, 1.5, 0.1, 1000, 9)
+	var times []float64
+	inner := link.Deliver
+	link.Deliver = func(p *Packet) {
+		times = append(times, s.Now())
+		inner(p)
+	}
+	ct.Start()
+	s.RunUntil(100)
+	if len(times) < 100 {
+		t.Fatalf("too few packets: %d", len(times))
+	}
+	inBurst := 1000.0 / 1.25e6
+	long := 0
+	for i := 1; i < len(times); i++ {
+		if times[i]-times[i-1] > 10*inBurst {
+			long++
+		}
+	}
+	if long == 0 {
+		t.Fatal("no off periods observed")
+	}
+	if long > len(times)/2 {
+		t.Fatalf("no bursts: %d of %d gaps are long", long, len(times))
+	}
+}
+
+func TestCrossTrafficPanics(t *testing.T) {
+	var s des.Scheduler
+	net := NewDumbbell(&s, NewLink(&s, 1e6, 0, NewDropTail(10)))
+	cases := []func(){
+		func() { NewCrossTraffic(nil, net, 1, 1e6, 10, 1.5, 0.1, 1000, 1) },
+		func() { NewCrossTraffic(&s, net, 1, 0, 10, 1.5, 0.1, 1000, 1) },
+		func() { NewCrossTraffic(&s, net, 1, 1e6, 0, 1.5, 0.1, 1000, 1) },
+		func() { NewCrossTraffic(&s, net, 1, 1e6, 10, 1, 0.1, 1000, 1) },
+		func() { NewCrossTraffic(&s, net, 1, 1e6, 10, 1.5, 0, 1000, 1) },
+		func() { NewCrossTraffic(&s, net, 1, 1e6, 10, 1.5, 0.1, 0, 1) },
+		func() {
+			ct := NewCrossTraffic(&s, net, 1, 1e6, 10, 1.5, 0.1, 1000, 1)
+			ct.Start()
+			ct.Start()
+		},
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,501 @@
+// Package netsim is a packet-level network simulator built on the
+// discrete-event engine (package des). It stands in for ns-2 and for the
+// authors' lab testbed in this reproduction: links with finite rate and
+// propagation delay, DropTail and RED queues, a dumbbell topology with a
+// shared bottleneck, per-flow delivery and an uncongested reverse path
+// for acknowledgments.
+//
+// Conventions: sizes are in bytes, rates in bytes/second, times in
+// seconds. Queues are FIFO, so a same-path packet stream is never
+// reordered; protocols may treat sequence gaps as losses immediately.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+// PacketKind distinguishes the payload types carried in the simulator.
+type PacketKind int
+
+// Packet kinds.
+const (
+	// Data is a forward-path payload packet.
+	Data PacketKind = iota
+	// Ack is a TCP cumulative acknowledgment.
+	Ack
+	// Feedback is a TFRC receiver report.
+	Feedback
+)
+
+// Packet is the unit of transmission. Protocol-specific fields are
+// folded in directly; unused fields are zero.
+type Packet struct {
+	// Flow identifies the flow the packet belongs to.
+	Flow int
+	// Seq is the packet sequence number (in packets, starting at 0).
+	Seq int64
+	// Size is the wire size in bytes.
+	Size int
+	// SentAt is the simulated time the packet left the sender.
+	SentAt float64
+	// Kind is the payload type.
+	Kind PacketKind
+	// AckSeq is the cumulative acknowledgment (next expected seq) for
+	// Ack packets.
+	AckSeq int64
+	// Echo carries the timestamp being echoed back for RTT measurement.
+	Echo float64
+	// LossRate and RecvRate carry TFRC feedback (p estimate and
+	// measured receive rate in bytes/second).
+	LossRate, RecvRate float64
+	// RTTEst carries the sender's current round-trip-time estimate on
+	// data packets, so the TFRC receiver can group losses into events.
+	RTTEst float64
+}
+
+// Queue buffers packets in front of a link and decides drops.
+type Queue interface {
+	// Enqueue offers a packet; it returns false if the packet is
+	// dropped.
+	Enqueue(p *Packet, now float64) bool
+	// Dequeue removes the head packet, or returns nil when empty.
+	Dequeue(now float64) *Packet
+	// Len returns the number of queued packets.
+	Len() int
+}
+
+// DropTail is a FIFO queue with a fixed capacity in packets.
+type DropTail struct {
+	capacity int
+	buf      []*Packet
+	// Drops counts packets rejected at enqueue.
+	Drops int64
+}
+
+// NewDropTail returns a DropTail queue holding at most capacity packets.
+func NewDropTail(capacity int) *DropTail {
+	if capacity < 1 {
+		panic("netsim: DropTail capacity must be >= 1")
+	}
+	return &DropTail{capacity: capacity}
+}
+
+// Enqueue implements Queue.
+func (q *DropTail) Enqueue(p *Packet, _ float64) bool {
+	if len(q.buf) >= q.capacity {
+		q.Drops++
+		return false
+	}
+	q.buf = append(q.buf, p)
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *DropTail) Dequeue(_ float64) *Packet {
+	if len(q.buf) == 0 {
+		return nil
+	}
+	p := q.buf[0]
+	q.buf[0] = nil
+	q.buf = q.buf[1:]
+	return p
+}
+
+// Len implements Queue.
+func (q *DropTail) Len() int { return len(q.buf) }
+
+// REDConfig holds the RED active-queue-management parameters, mirroring
+// the knobs the paper sets in its ns-2 and lab experiments.
+type REDConfig struct {
+	// Capacity is the physical buffer length in packets.
+	Capacity int
+	// MinTh and MaxTh are the average-queue thresholds in packets.
+	MinTh, MaxTh float64
+	// MaxP is the drop probability as the average reaches MaxTh
+	// (the paper's lab runs use 1/10).
+	MaxP float64
+	// Wq is the EWMA constant of the average queue (paper: 0.002).
+	Wq float64
+	// Gentle, when false (as in the paper's lab runs), drops every
+	// packet once the average exceeds MaxTh.
+	Gentle bool
+}
+
+// Validate reports an error for out-of-range RED parameters.
+func (c REDConfig) Validate() error {
+	if c.Capacity < 1 || c.MinTh <= 0 || c.MaxTh <= c.MinTh ||
+		c.MaxP <= 0 || c.MaxP > 1 || c.Wq <= 0 || c.Wq > 1 {
+		return fmt.Errorf("netsim: invalid RED config %+v", c)
+	}
+	return nil
+}
+
+// PaperRED returns the RED configuration used in the paper's ns-2 runs,
+// scaled from a bandwidth-delay product expressed in packets: buffer
+// 5/2·bdp, min threshold 1/4·bdp, max threshold 5/4·bdp, wq 0.002,
+// maxP 0.1, non-gentle.
+func PaperRED(bdpPackets float64) REDConfig {
+	if bdpPackets < 4 {
+		bdpPackets = 4
+	}
+	return REDConfig{
+		Capacity: int(2.5 * bdpPackets),
+		MinTh:    0.25 * bdpPackets,
+		MaxTh:    1.25 * bdpPackets,
+		MaxP:     0.1,
+		Wq:       0.002,
+		Gentle:   false,
+	}
+}
+
+// RED is the classic random-early-detection queue (non-gentle by
+// default), with the standard EWMA average including the idle-time
+// correction.
+type RED struct {
+	cfg      REDConfig
+	buf      []*Packet
+	avg      float64
+	count    int // packets since last drop while in [minth, maxth)
+	idleAt   float64
+	idle     bool
+	meanPkt  float64 // running mean packet transmission estimate
+	linkRate float64 // bytes/sec, for idle correction
+	random   *rng.RNG
+	// Drops counts packets rejected at enqueue (early + forced).
+	Drops int64
+	// EarlyDrops counts probabilistic (unforced) drops.
+	EarlyDrops int64
+}
+
+// NewRED returns a RED queue. linkRate (bytes/second) calibrates the
+// idle-time averaging correction; random drives the drop lottery.
+func NewRED(cfg REDConfig, linkRate float64, random *rng.RNG) *RED {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if linkRate <= 0 {
+		panic("netsim: non-positive link rate for RED")
+	}
+	if random == nil {
+		panic("netsim: RED needs a random source")
+	}
+	return &RED{cfg: cfg, linkRate: linkRate, random: random, idle: true, meanPkt: 1000}
+}
+
+// Avg returns the current average queue estimate in packets.
+func (q *RED) Avg() float64 { return q.avg }
+
+// Enqueue implements Queue.
+func (q *RED) Enqueue(p *Packet, now float64) bool {
+	// Update the average. After an idle period the average decays as if
+	// m small packets had been dequeued (RFC 2309-era RED).
+	if q.idle {
+		q.meanPkt = 0.9*q.meanPkt + 0.1*float64(p.Size)
+		m := (now - q.idleAt) * q.linkRate / q.meanPkt
+		if m > 0 {
+			decay := 1.0
+			for i := 0; i < int(m) && i < 1000; i++ {
+				decay *= 1 - q.cfg.Wq
+			}
+			q.avg *= decay
+		}
+		q.idle = false
+	}
+	q.avg = (1-q.cfg.Wq)*q.avg + q.cfg.Wq*float64(len(q.buf))
+
+	drop := false
+	forced := false
+	switch {
+	case len(q.buf) >= q.cfg.Capacity:
+		drop, forced = true, true
+	case q.avg < q.cfg.MinTh:
+		// accept
+	case q.avg >= q.cfg.MaxTh:
+		if q.cfg.Gentle {
+			// Linear ramp from MaxP to 1 between maxth and 2*maxth.
+			pb := q.cfg.MaxP + (q.avg-q.cfg.MaxTh)/q.cfg.MaxTh*(1-q.cfg.MaxP)
+			if pb >= 1 || q.random.Float64() < pb {
+				drop = true
+			}
+		} else {
+			drop, forced = true, true
+		}
+	default:
+		pb := q.cfg.MaxP * (q.avg - q.cfg.MinTh) / (q.cfg.MaxTh - q.cfg.MinTh)
+		// Uniformize inter-drop spacing with the count correction.
+		denom := 1 - float64(q.count)*pb
+		if denom <= 0 {
+			drop = true
+		} else if q.random.Float64() < pb/denom {
+			drop = true
+		}
+	}
+	if drop {
+		q.Drops++
+		if !forced {
+			q.EarlyDrops++
+		}
+		q.count = 0
+		return false
+	}
+	if q.avg >= q.cfg.MinTh {
+		q.count++
+	} else {
+		q.count = 0
+	}
+	q.buf = append(q.buf, p)
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *RED) Dequeue(now float64) *Packet {
+	if len(q.buf) == 0 {
+		return nil
+	}
+	p := q.buf[0]
+	q.buf[0] = nil
+	q.buf = q.buf[1:]
+	if len(q.buf) == 0 {
+		q.idle = true
+		q.idleAt = now
+	}
+	return p
+}
+
+// Len implements Queue.
+func (q *RED) Len() int { return len(q.buf) }
+
+// Link transmits packets from its queue at a fixed rate and delivers
+// them after a propagation delay. Deliver must be set before any Send.
+type Link struct {
+	sched *des.Scheduler
+	// Rate is the transmission rate in bytes/second.
+	Rate float64
+	// Delay is the one-way propagation delay in seconds.
+	Delay float64
+	queue Queue
+	busy  bool
+	// Deliver receives each packet after transmission + propagation.
+	Deliver func(*Packet)
+	// Forwarded counts packets fully transmitted.
+	Forwarded int64
+	// BytesForwarded counts bytes fully transmitted.
+	BytesForwarded int64
+}
+
+// NewLink builds a link with the given rate (bytes/second), propagation
+// delay and queue.
+func NewLink(sched *des.Scheduler, rate, delay float64, queue Queue) *Link {
+	if sched == nil || queue == nil {
+		panic("netsim: link needs a scheduler and a queue")
+	}
+	if rate <= 0 || delay < 0 {
+		panic("netsim: invalid link rate/delay")
+	}
+	return &Link{sched: sched, Rate: rate, Delay: delay, queue: queue}
+}
+
+// Queue exposes the link's queue (for inspection in tests/experiments).
+func (l *Link) Queue() Queue { return l.queue }
+
+// Send offers a packet to the link. Dropped packets disappear silently
+// (the queue records them).
+func (l *Link) Send(p *Packet) {
+	if l.Deliver == nil {
+		panic("netsim: link has no Deliver sink")
+	}
+	if !l.queue.Enqueue(p, l.sched.Now()) {
+		return
+	}
+	if !l.busy {
+		l.transmitNext()
+	}
+}
+
+func (l *Link) transmitNext() {
+	p := l.queue.Dequeue(l.sched.Now())
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	txTime := float64(p.Size) / l.Rate
+	l.sched.After(txTime, func() {
+		l.Forwarded++
+		l.BytesForwarded += int64(p.Size)
+		// Propagation in parallel with the next transmission.
+		l.sched.After(l.Delay, func() { l.Deliver(p) })
+		l.transmitNext()
+	})
+}
+
+// Endpoint consumes delivered packets.
+type Endpoint interface {
+	// Receive handles one packet addressed to this endpoint.
+	Receive(p *Packet)
+}
+
+// EndpointFunc adapts a function to the Endpoint interface.
+type EndpointFunc func(p *Packet)
+
+// Receive implements Endpoint.
+func (f EndpointFunc) Receive(p *Packet) { f(p) }
+
+// Dumbbell is the canonical topology of the paper's experiments: every
+// forward-path packet traverses the shared bottleneck link and is then
+// demultiplexed by flow id to its receiver after a per-flow extra
+// one-way delay; the reverse path is uncongested and modeled as a pure
+// per-flow delay.
+type Dumbbell struct {
+	Sched      *des.Scheduler
+	Bottleneck *Link
+	fwdExtra   map[int]float64
+	revDelay   map[int]float64
+	receivers  map[int]Endpoint
+	senders    map[int]Endpoint
+	// ReverseJitter, when positive, scales each reverse-path delivery
+	// delay by a uniform factor in [1-ReverseJitter, 1+ReverseJitter].
+	// Real acknowledgment streams jitter at least this much; a perfectly
+	// periodic ack clock in a deterministic simulator otherwise slots
+	// arrivals into queue vacancies with unrealistic precision.
+	ReverseJitter float64
+	jitterRNG     *rng.RNG
+}
+
+// SetReverseJitter enables reverse-path delay jitter with the given
+// fraction (0 <= j < 1) and seed.
+func (d *Dumbbell) SetReverseJitter(j float64, seed uint64) {
+	if j < 0 || j >= 1 {
+		panic("netsim: reverse jitter outside [0,1)")
+	}
+	d.ReverseJitter = j
+	d.jitterRNG = rng.New(seed)
+}
+
+// NewDumbbell wires a dumbbell around the given bottleneck link.
+func NewDumbbell(sched *des.Scheduler, bottleneck *Link) *Dumbbell {
+	if sched == nil || bottleneck == nil {
+		panic("netsim: dumbbell needs a scheduler and a bottleneck")
+	}
+	d := &Dumbbell{
+		Sched:      sched,
+		Bottleneck: bottleneck,
+		fwdExtra:   map[int]float64{},
+		revDelay:   map[int]float64{},
+		receivers:  map[int]Endpoint{},
+		senders:    map[int]Endpoint{},
+	}
+	bottleneck.Deliver = d.deliverForward
+	return d
+}
+
+// AttachFlow registers a flow's endpoints and path delays: fwdExtra is
+// the one-way delay from bottleneck egress to the receiver; revDelay is
+// the full uncongested return delay from receiver to sender.
+func (d *Dumbbell) AttachFlow(flow int, sender, receiver Endpoint, fwdExtra, revDelay float64) {
+	if sender == nil || receiver == nil {
+		panic("netsim: nil endpoint")
+	}
+	if fwdExtra < 0 || revDelay < 0 {
+		panic("netsim: negative delay")
+	}
+	if _, dup := d.receivers[flow]; dup {
+		panic(fmt.Sprintf("netsim: duplicate flow id %d", flow))
+	}
+	d.fwdExtra[flow] = fwdExtra
+	d.revDelay[flow] = revDelay
+	d.receivers[flow] = receiver
+	d.senders[flow] = sender
+}
+
+// SendForward injects a forward-path packet at the bottleneck.
+func (d *Dumbbell) SendForward(p *Packet) { d.Bottleneck.Send(p) }
+
+// SendReverse carries a packet from the receiver back to the sender over
+// the uncongested reverse path.
+func (d *Dumbbell) SendReverse(p *Packet) {
+	sender, ok := d.senders[p.Flow]
+	if !ok {
+		panic(fmt.Sprintf("netsim: reverse packet for unknown flow %d", p.Flow))
+	}
+	delay := d.revDelay[p.Flow]
+	if d.ReverseJitter > 0 {
+		delay *= 1 + d.ReverseJitter*(2*d.jitterRNG.Float64()-1)
+	}
+	d.Sched.After(delay, func() { sender.Receive(p) })
+}
+
+func (d *Dumbbell) deliverForward(p *Packet) {
+	receiver, ok := d.receivers[p.Flow]
+	if !ok {
+		// Unattached flow (e.g. background traffic that terminates at
+		// the bottleneck): drop silently.
+		return
+	}
+	extra := d.fwdExtra[p.Flow]
+	if extra == 0 {
+		receiver.Receive(p)
+		return
+	}
+	d.Sched.After(extra, func() { receiver.Receive(p) })
+}
+
+// BaseRTT returns the no-queueing round-trip time for the flow: the
+// bottleneck propagation, the flow's extra forward delay and the return
+// delay (transmission times excluded).
+func (d *Dumbbell) BaseRTT(flow int) float64 {
+	return d.Bottleneck.Delay + d.fwdExtra[flow] + d.revDelay[flow]
+}
+
+// LossEventCounter groups packet losses into loss events the TFRC way:
+// losses within one RTT of the first loss of an event belong to that
+// event. It also records the loss-event intervals in packets.
+type LossEventCounter struct {
+	rtt          func() float64
+	eventOpen    bool
+	eventStart   float64
+	eventSeq     int64
+	lastEventSeq int64
+	// Events is the number of loss events registered.
+	Events int64
+	// Intervals are the closed loss-event intervals in packets.
+	Intervals []float64
+}
+
+// NewLossEventCounter builds a counter; rtt supplies the current
+// round-trip-time estimate used for grouping.
+func NewLossEventCounter(rtt func() float64) *LossEventCounter {
+	if rtt == nil {
+		panic("netsim: loss event counter needs an rtt source")
+	}
+	return &LossEventCounter{rtt: rtt, lastEventSeq: -1}
+}
+
+// OnLoss reports a packet loss detected at the given time for the given
+// sequence number. It returns true if the loss opened a new loss event.
+func (c *LossEventCounter) OnLoss(now float64, seq int64) bool {
+	if c.eventOpen && now < c.eventStart+c.rtt() {
+		return false
+	}
+	c.eventOpen = true
+	c.eventStart = now
+	c.Events++
+	if c.lastEventSeq >= 0 && seq > c.lastEventSeq {
+		c.Intervals = append(c.Intervals, float64(seq-c.lastEventSeq))
+	}
+	c.lastEventSeq = seq
+	c.eventSeq = seq
+	return true
+}
+
+// OpenInterval returns the packets elapsed in the currently open
+// interval given the highest sequence seen.
+func (c *LossEventCounter) OpenInterval(highestSeq int64) float64 {
+	if c.lastEventSeq < 0 || highestSeq <= c.lastEventSeq {
+		return 0
+	}
+	return float64(highestSeq - c.lastEventSeq)
+}

@@ -1,0 +1,372 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+func TestDropTailFIFO(t *testing.T) {
+	q := NewDropTail(3)
+	for i := 0; i < 3; i++ {
+		if !q.Enqueue(&Packet{Seq: int64(i)}, 0) {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	if q.Enqueue(&Packet{Seq: 99}, 0) {
+		t.Fatal("overfull enqueue accepted")
+	}
+	if q.Drops != 1 {
+		t.Fatalf("drops = %d", q.Drops)
+	}
+	for i := 0; i < 3; i++ {
+		p := q.Dequeue(0)
+		if p == nil || p.Seq != int64(i) {
+			t.Fatalf("dequeue %d = %+v", i, p)
+		}
+	}
+	if q.Dequeue(0) != nil {
+		t.Fatal("empty dequeue should be nil")
+	}
+}
+
+func TestREDAcceptsBelowMinTh(t *testing.T) {
+	cfg := REDConfig{Capacity: 100, MinTh: 10, MaxTh: 50, MaxP: 0.1, Wq: 0.2}
+	q := NewRED(cfg, 1e6, rng.New(1))
+	// With an empty queue the average stays near zero: all accepted.
+	for i := 0; i < 5; i++ {
+		if !q.Enqueue(&Packet{Size: 1000}, float64(i)*0.001) {
+			t.Fatal("packet dropped below min threshold")
+		}
+		q.Dequeue(float64(i)*0.001 + 0.0005)
+	}
+	if q.Drops != 0 {
+		t.Fatalf("drops = %d", q.Drops)
+	}
+}
+
+func TestREDDropsProbabilisticallyBetweenThresholds(t *testing.T) {
+	cfg := REDConfig{Capacity: 1000, MinTh: 5, MaxTh: 15, MaxP: 0.1, Wq: 0.1}
+	q := NewRED(cfg, 1e6, rng.New(2))
+	// Hold the queue at ~10 packets (inside [minth, maxth)) by pairing
+	// each enqueue with a dequeue: early drops must appear while forced
+	// drops stay absent.
+	for i := 0; i < 10; i++ {
+		q.Enqueue(&Packet{Size: 1000}, 0)
+	}
+	for i := 0; i < 2000; i++ {
+		now := float64(i) * 1e-4
+		if q.Enqueue(&Packet{Size: 1000}, now) {
+			q.Dequeue(now)
+		}
+	}
+	if q.EarlyDrops == 0 {
+		t.Fatal("no early drops in the RED band")
+	}
+	if q.Drops != q.EarlyDrops {
+		t.Fatalf("forced drops appeared: total %d vs early %d", q.Drops, q.EarlyDrops)
+	}
+}
+
+func TestREDForcesDropsAboveMaxTh(t *testing.T) {
+	cfg := REDConfig{Capacity: 1000, MinTh: 2, MaxTh: 6, MaxP: 0.1, Wq: 1.0}
+	q := NewRED(cfg, 1e6, rng.New(3))
+	dropped := 0
+	for i := 0; i < 50; i++ {
+		if !q.Enqueue(&Packet{Size: 1000}, float64(i)*1e-4) {
+			dropped++
+		}
+	}
+	// With wq=1 the average tracks the instantaneous queue: once above
+	// maxth=6, every arrival is dropped (non-gentle).
+	if q.Len() > 8 {
+		t.Fatalf("queue length %d should stay near maxth", q.Len())
+	}
+	if dropped < 30 {
+		t.Fatalf("dropped = %d, want most arrivals", dropped)
+	}
+}
+
+func TestREDForcedAtCapacity(t *testing.T) {
+	cfg := REDConfig{Capacity: 5, MinTh: 100, MaxTh: 200, MaxP: 0.1, Wq: 0.001}
+	q := NewRED(cfg, 1e6, rng.New(4))
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if q.Enqueue(&Packet{Size: 1000}, 0) {
+			accepted++
+		}
+	}
+	if accepted != 5 {
+		t.Fatalf("accepted = %d, want capacity 5", accepted)
+	}
+}
+
+func TestREDIdleDecay(t *testing.T) {
+	cfg := REDConfig{Capacity: 100, MinTh: 5, MaxTh: 50, MaxP: 0.1, Wq: 0.1}
+	q := NewRED(cfg, 1e6, rng.New(5))
+	for i := 0; i < 30; i++ {
+		q.Enqueue(&Packet{Size: 1000}, 0.001*float64(i))
+	}
+	highAvg := q.Avg()
+	for q.Len() > 0 {
+		q.Dequeue(0.05)
+	}
+	// Long idle: the average must decay substantially.
+	q.Enqueue(&Packet{Size: 1000}, 10)
+	if q.Avg() > highAvg/2 {
+		t.Fatalf("average %v did not decay from %v after idle", q.Avg(), highAvg)
+	}
+}
+
+func TestPaperRED(t *testing.T) {
+	cfg := PaperRED(100)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Capacity != 250 || cfg.MinTh != 25 || cfg.MaxTh != 125 {
+		t.Fatalf("paper RED = %+v", cfg)
+	}
+	// Tiny bdp is clamped to stay valid.
+	if err := PaperRED(1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkLatencyAndRate(t *testing.T) {
+	var s des.Scheduler
+	link := NewLink(&s, 1000, 0.1, NewDropTail(10)) // 1000 B/s, 100 ms
+	var arrivals []float64
+	link.Deliver = func(p *Packet) { arrivals = append(arrivals, s.Now()) }
+	// Two 500-byte packets sent back to back at t=0: transmission takes
+	// 0.5 s each, so deliveries at 0.6 and 1.1.
+	link.Send(&Packet{Size: 500})
+	link.Send(&Packet{Size: 500})
+	s.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	if math.Abs(arrivals[0]-0.6) > 1e-9 || math.Abs(arrivals[1]-1.1) > 1e-9 {
+		t.Fatalf("arrival times = %v, want [0.6, 1.1]", arrivals)
+	}
+	if link.Forwarded != 2 || link.BytesForwarded != 1000 {
+		t.Fatalf("counters = %d pkts %d bytes", link.Forwarded, link.BytesForwarded)
+	}
+}
+
+func TestLinkThroughputCap(t *testing.T) {
+	var s des.Scheduler
+	link := NewLink(&s, 10000, 0.01, NewDropTail(5))
+	delivered := 0
+	link.Deliver = func(p *Packet) { delivered++ }
+	// Offer 100 packets instantly into a queue of 5: only ~6 (1 in
+	// service + 5 queued) can survive.
+	for i := 0; i < 100; i++ {
+		link.Send(&Packet{Size: 1000, Seq: int64(i)})
+	}
+	s.Run()
+	if delivered > 7 {
+		t.Fatalf("delivered = %d, want <= 7", delivered)
+	}
+	q := link.Queue().(*DropTail)
+	if q.Drops != int64(100-delivered) {
+		t.Fatalf("drops = %d, delivered = %d", q.Drops, delivered)
+	}
+}
+
+func TestDumbbellForwardAndReverse(t *testing.T) {
+	var s des.Scheduler
+	link := NewLink(&s, 1e6, 0.02, NewDropTail(100))
+	d := NewDumbbell(&s, link)
+	var got []string
+	recv := EndpointFunc(func(p *Packet) {
+		got = append(got, "recv")
+		d.SendReverse(&Packet{Flow: p.Flow, Kind: Ack})
+	})
+	send := EndpointFunc(func(p *Packet) { got = append(got, "ack") })
+	d.AttachFlow(1, send, recv, 0.005, 0.025)
+	d.SendForward(&Packet{Flow: 1, Size: 1000})
+	s.Run()
+	if len(got) != 2 || got[0] != "recv" || got[1] != "ack" {
+		t.Fatalf("sequence = %v", got)
+	}
+	// Base RTT: 0.02 + 0.005 + 0.025 = 0.05.
+	if math.Abs(d.BaseRTT(1)-0.05) > 1e-12 {
+		t.Fatalf("base rtt = %v", d.BaseRTT(1))
+	}
+}
+
+func TestDumbbellUnknownFlowDropped(t *testing.T) {
+	var s des.Scheduler
+	link := NewLink(&s, 1e6, 0.001, NewDropTail(10))
+	NewDumbbell(&s, link)
+	link.Send(&Packet{Flow: 42, Size: 100})
+	s.Run() // must not panic
+}
+
+func TestDumbbellDuplicateFlowPanics(t *testing.T) {
+	var s des.Scheduler
+	d := NewDumbbell(&s, NewLink(&s, 1e6, 0.001, NewDropTail(10)))
+	e := EndpointFunc(func(*Packet) {})
+	d.AttachFlow(1, e, e, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate flow")
+		}
+	}()
+	d.AttachFlow(1, e, e, 0, 0)
+}
+
+func TestLossEventCounterGroupsWithinRTT(t *testing.T) {
+	c := NewLossEventCounter(func() float64 { return 0.1 })
+	if !c.OnLoss(1.0, 100) {
+		t.Fatal("first loss should open an event")
+	}
+	// Within one RTT: same event.
+	if c.OnLoss(1.05, 110) {
+		t.Fatal("loss within RTT should not open a new event")
+	}
+	// Past one RTT: new event, interval recorded from first-seq to
+	// first-seq.
+	if !c.OnLoss(1.2, 150) {
+		t.Fatal("loss after RTT should open a new event")
+	}
+	if c.Events != 2 {
+		t.Fatalf("events = %d", c.Events)
+	}
+	if len(c.Intervals) != 1 || c.Intervals[0] != 50 {
+		t.Fatalf("intervals = %v", c.Intervals)
+	}
+	if c.OpenInterval(170) != 20 {
+		t.Fatalf("open interval = %v", c.OpenInterval(170))
+	}
+	if c.OpenInterval(100) != 0 {
+		t.Fatal("open interval before last event seq should be 0")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	var s des.Scheduler
+	cases := []func(){
+		func() { NewDropTail(0) },
+		func() { NewRED(REDConfig{}, 1e6, rng.New(1)) },
+		func() { NewRED(PaperRED(50), 0, rng.New(1)) },
+		func() { NewRED(PaperRED(50), 1e6, nil) },
+		func() { NewLink(nil, 1, 0, NewDropTail(1)) },
+		func() { NewLink(&s, 0, 0, NewDropTail(1)) },
+		func() { NewLink(&s, 1, -1, NewDropTail(1)) },
+		func() { NewLink(&s, 1, 0, nil) },
+		func() { NewDumbbell(nil, nil) },
+		func() { NewLossEventCounter(nil) },
+		func() {
+			l := NewLink(&s, 1, 0, NewDropTail(1))
+			l.Send(&Packet{Size: 1}) // no Deliver sink
+		},
+		func() {
+			d := NewDumbbell(&s, NewLink(&s, 1e6, 0, NewDropTail(1)))
+			d.SendReverse(&Packet{Flow: 9})
+		},
+		func() {
+			d := NewDumbbell(&s, NewLink(&s, 1e6, 0, NewDropTail(1)))
+			e := EndpointFunc(func(*Packet) {})
+			d.AttachFlow(1, e, e, -1, 0)
+		},
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: a link never reorders packets (FIFO), for any packet sizes.
+func TestQuickLinkFIFO(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 50 {
+			sizes = sizes[:50]
+		}
+		var s des.Scheduler
+		link := NewLink(&s, 1e5, 0.01, NewDropTail(len(sizes)+1))
+		var got []int64
+		link.Deliver = func(p *Packet) { got = append(got, p.Seq) }
+		for i, sz := range sizes {
+			link.Send(&Packet{Seq: int64(i), Size: int(sz%1400) + 40})
+		}
+		s.Run()
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				return false
+			}
+		}
+		return len(got) == len(sizes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DropTail never holds more than its capacity and never drops
+// while below it.
+func TestQuickDropTailInvariant(t *testing.T) {
+	r := rng.New(7)
+	f := func(capRaw, n uint8) bool {
+		capacity := int(capRaw%16) + 1
+		q := NewDropTail(capacity)
+		for i := 0; i < int(n); i++ {
+			if r.Bernoulli(0.6) {
+				before := q.Len()
+				ok := q.Enqueue(&Packet{}, 0)
+				if ok != (before < capacity) {
+					return false
+				}
+			} else {
+				q.Dequeue(0)
+			}
+			if q.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLinkForward(b *testing.B) {
+	var s des.Scheduler
+	link := NewLink(&s, 1e9, 0.001, NewDropTail(64))
+	link.Deliver = func(p *Packet) {}
+	pkt := &Packet{Size: 1000}
+	for i := 0; i < b.N; i++ {
+		link.Send(pkt)
+		s.Run()
+	}
+}
+
+func TestREDGentleMode(t *testing.T) {
+	cfg := REDConfig{Capacity: 1000, MinTh: 2, MaxTh: 6, MaxP: 0.1, Wq: 1.0, Gentle: true}
+	q := NewRED(cfg, 1e6, rng.New(6))
+	for i := 0; i < 200; i++ {
+		q.Enqueue(&Packet{Size: 1000}, float64(i)*1e-4)
+	}
+	// Gentle mode ramps the drop probability between maxth and 2·maxth
+	// instead of force-dropping everything at maxth: the queue grows
+	// past maxth (some arrivals admitted above it) before drops pin it.
+	if q.Len() <= int(cfg.MaxTh) {
+		t.Fatalf("gentle RED queue stuck at %d, should pass maxth %v", q.Len(), cfg.MaxTh)
+	}
+	if q.Drops == 0 {
+		t.Fatal("gentle RED dropped nothing above maxth")
+	}
+}

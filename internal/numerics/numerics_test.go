@@ -1,0 +1,243 @@
+package numerics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGrid(t *testing.T) {
+	g := Grid(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-12 {
+			t.Fatalf("grid = %v", g)
+		}
+	}
+}
+
+func TestLogGrid(t *testing.T) {
+	g := LogGrid(0.001, 1, 4)
+	if g[0] != 0.001 || g[3] != 1 {
+		t.Fatalf("log grid endpoints = %v", g)
+	}
+	// Equal ratios between successive points.
+	r1, r2 := g[1]/g[0], g[2]/g[1]
+	if math.Abs(r1-r2) > 1e-9 {
+		t.Fatalf("log grid not geometric: %v", g)
+	}
+}
+
+func TestPiecewiseLinearEval(t *testing.T) {
+	p := NewPiecewiseLinear([]float64{0, 1, 2}, []float64{0, 2, 2})
+	if y := p.Eval(0.5); math.Abs(y-1) > 1e-12 {
+		t.Fatalf("eval(0.5) = %v", y)
+	}
+	if y := p.Eval(1.5); math.Abs(y-2) > 1e-12 {
+		t.Fatalf("eval(1.5) = %v", y)
+	}
+	// Extrapolation uses the boundary segments.
+	if y := p.Eval(-1); math.Abs(y-(-2)) > 1e-12 {
+		t.Fatalf("eval(-1) = %v", y)
+	}
+	lo, hi := p.Domain()
+	if lo != 0 || hi != 2 {
+		t.Fatalf("domain = %v..%v", lo, hi)
+	}
+}
+
+func TestConvexClosureOfConvexIsIdentity(t *testing.T) {
+	f := func(x float64) float64 { return x * x }
+	grid := Grid(-2, 2, 101)
+	cc := ConvexClosure(f, grid)
+	for _, x := range grid {
+		if diff := math.Abs(cc.Eval(x) - f(x)); diff > 1e-9 {
+			t.Fatalf("closure of convex deviates at %v by %v", x, diff)
+		}
+	}
+}
+
+func TestConvexClosureBridgesConcaveBump(t *testing.T) {
+	// f has a concave bump on [0,1]; its closure must be the chord there.
+	f := func(x float64) float64 {
+		if x >= 0 && x <= 1 {
+			return math.Sin(math.Pi * x) // bump above 0
+		}
+		return 0
+	}
+	grid := Grid(-1, 2, 301)
+	cc := ConvexClosure(f, grid)
+	// The closure should be ~0 across the bump (chord from (0,0) to (1,0)
+	// extended by the flat wings).
+	if v := cc.Eval(0.5); v > 1e-6 {
+		t.Fatalf("closure over bump = %v, want ~0", v)
+	}
+	// And it is always <= f.
+	for _, x := range grid {
+		if cc.Eval(x) > f(x)+1e-9 {
+			t.Fatalf("closure above function at %v", x)
+		}
+	}
+}
+
+func TestDeviationFromConvexity(t *testing.T) {
+	// A convex function deviates by exactly 1.
+	ratio, _ := DeviationFromConvexity(func(x float64) float64 { return math.Exp(x) }, Grid(0, 2, 200))
+	if math.Abs(ratio-1) > 1e-9 {
+		t.Fatalf("convex deviation = %v", ratio)
+	}
+	// A function with a bump deviates by more than 1 at the bump.
+	g := func(x float64) float64 { return 1 + 0.1*math.Exp(-(x-1)*(x-1)*50) }
+	ratio, arg := DeviationFromConvexity(g, Grid(0, 2, 2001))
+	if ratio <= 1.05 {
+		t.Fatalf("bump deviation = %v, want > 1.05", ratio)
+	}
+	if math.Abs(arg-1) > 0.05 {
+		t.Fatalf("bump argmax = %v, want ~1", arg)
+	}
+}
+
+func TestConvexityChecks(t *testing.T) {
+	grid := Grid(0.1, 5, 200)
+	if !IsConvexOnGrid(func(x float64) float64 { return 1 / x }, grid, 1e-9) {
+		t.Fatal("1/x should be convex on (0,inf)")
+	}
+	if !IsConcaveOnGrid(math.Sqrt, grid, 1e-9) {
+		t.Fatal("sqrt should be concave")
+	}
+	if IsConvexOnGrid(math.Sqrt, grid, 1e-9) {
+		t.Fatal("sqrt is not convex")
+	}
+	if IsConcaveOnGrid(func(x float64) float64 { return x * x }, grid, 1e-9) {
+		t.Fatal("x^2 is not concave")
+	}
+	// Linear functions are both convex and concave.
+	lin := func(x float64) float64 { return 3*x + 1 }
+	if !IsConvexOnGrid(lin, grid, 1e-9) || !IsConcaveOnGrid(lin, grid, 1e-9) {
+		t.Fatal("linear should be both convex and concave")
+	}
+}
+
+func TestBrent(t *testing.T) {
+	root, err := Brent(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-9 {
+		t.Fatalf("sqrt2 root = %v", root)
+	}
+	root, err = Brent(math.Cos, 1, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Pi/2) > 1e-9 {
+		t.Fatalf("cos root = %v", root)
+	}
+}
+
+func TestBrentEndpointRoot(t *testing.T) {
+	root, err := Brent(func(x float64) float64 { return x }, 0, 1, 1e-12)
+	if err != nil || root != 0 {
+		t.Fatalf("endpoint root = %v, %v", root, err)
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	if _, err := Brent(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-9); err != ErrNoBracket {
+		t.Fatalf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestTrapezoid(t *testing.T) {
+	got := Trapezoid(func(x float64) float64 { return x * x }, 0, 1, 10000)
+	if math.Abs(got-1.0/3) > 1e-6 {
+		t.Fatalf("integral of x^2 = %v", got)
+	}
+	got = Trapezoid(math.Sin, 0, math.Pi, 10000)
+	if math.Abs(got-2) > 1e-6 {
+		t.Fatalf("integral of sin = %v", got)
+	}
+}
+
+func TestMinMaxOnGrid(t *testing.T) {
+	grid := Grid(-2, 2, 401)
+	arg, v := MinOnGrid(func(x float64) float64 { return (x - 1) * (x - 1) }, grid)
+	if math.Abs(arg-1) > 0.02 || v > 1e-3 {
+		t.Fatalf("min at %v = %v", arg, v)
+	}
+	arg, v = MaxOnGrid(func(x float64) float64 { return -(x + 1) * (x + 1) }, grid)
+	if math.Abs(arg+1) > 0.02 || v < -1e-3 {
+		t.Fatalf("max at %v = %v", arg, v)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { Grid(0, 1, 1) },
+		func() { Grid(1, 0, 5) },
+		func() { LogGrid(0, 1, 5) },
+		func() { NewPiecewiseLinear([]float64{1}, []float64{1}) },
+		func() { NewPiecewiseLinear([]float64{1, 1}, []float64{1, 2}) },
+		func() { ConvexClosure(math.Sqrt, []float64{1}) },
+		func() { Trapezoid(math.Sin, 0, 1, 0) },
+		func() { MinOnGrid(math.Sin, nil) },
+		func() { IsConvexOnGrid(math.Sin, []float64{0, 1}, 1e-9) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: the convex closure never exceeds the function on the grid,
+// and its deviation ratio is >= 1.
+func TestQuickClosureBelowFunction(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		// Random cubic-ish positive function.
+		ca := 0.5 + float64(a)/64
+		cb := float64(b)/128 - 1
+		cc := float64(c) / 255
+		g := func(x float64) float64 { return 2 + ca*x*x + cb*x + cc*math.Sin(3*x) }
+		grid := Grid(0.1, 4, 101)
+		// Ensure positivity so DeviationFromConvexity is defined.
+		for _, x := range grid {
+			if g(x) <= 0 {
+				return true
+			}
+		}
+		closure := ConvexClosure(g, grid)
+		for _, x := range grid {
+			if closure.Eval(x) > g(x)+1e-7 {
+				return false
+			}
+		}
+		ratio, _ := DeviationFromConvexity(g, grid)
+		return ratio >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Brent finds a root of monotone-increasing cubics bracketed
+// around their sign change.
+func TestQuickBrentCubic(t *testing.T) {
+	f := func(shift uint8) bool {
+		s := float64(shift)/32 - 4 // root location in [-4, 4)
+		fn := func(x float64) float64 { return (x - s) * ((x-s)*(x-s) + 1) }
+		root, err := Brent(fn, -10, 10, 1e-10)
+		if err != nil {
+			return false
+		}
+		return math.Abs(root-s) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

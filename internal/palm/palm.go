@@ -1,0 +1,136 @@
+// Package palm implements the Palm-calculus machinery that the paper's
+// proofs are built on (Section II and the appendix): expectations with
+// respect to the Palm probability of a point process (averages taken at
+// event instants) versus ordinary time averages, the Palm inversion
+// ("cycle") formula, and the Feller/bus-stop inspection relations the
+// paper invokes when interpreting Theorem 2.
+//
+// The representation is an event log: a sequence of cycles, each with a
+// duration S_n > 0 and an arbitrary per-cycle mark. A piecewise-constant
+// process X(t) = value_n on cycle n then has
+//
+//	time average  E[X]   = Σ value_n·S_n / Σ S_n
+//	Palm average  E0[X]  = Σ value_n / N
+//
+// and the inversion formula E[X] = λ·E0[∫ X over a cycle] with
+// λ = N/ΣS_n ties the two.
+package palm
+
+import "sort"
+
+// Cycle is one inter-event interval: the duration until the next event
+// and the value a piecewise-constant process holds over it.
+type Cycle struct {
+	// Duration is the cycle length S_n in seconds (> 0).
+	Duration float64
+	// Value is the process value X_n held over the cycle.
+	Value float64
+}
+
+// Log is a sequence of cycles — the sample path of a stationary marked
+// point process observed between consecutive events.
+type Log struct {
+	cycles []Cycle
+	total  float64
+}
+
+// NewLog validates and wraps a cycle sequence.
+func NewLog(cycles []Cycle) *Log {
+	if len(cycles) == 0 {
+		panic("palm: empty log")
+	}
+	total := 0.0
+	for i, c := range cycles {
+		if c.Duration <= 0 {
+			panic("palm: non-positive cycle duration")
+		}
+		total += c.Duration
+		_ = i
+	}
+	return &Log{cycles: append([]Cycle(nil), cycles...), total: total}
+}
+
+// N returns the number of cycles (events).
+func (l *Log) N() int { return len(l.cycles) }
+
+// TotalTime returns Σ S_n.
+func (l *Log) TotalTime() float64 { return l.total }
+
+// Intensity returns λ = N / TotalTime — the event rate per unit time.
+func (l *Log) Intensity() float64 { return float64(len(l.cycles)) / l.total }
+
+// PalmMean returns E0[X]: the per-event average of the cycle values —
+// the expectation "as seen at an arbitrary loss event".
+func (l *Log) PalmMean() float64 {
+	s := 0.0
+	for _, c := range l.cycles {
+		s += c.Value
+	}
+	return s / float64(len(l.cycles))
+}
+
+// TimeMean returns E[X]: the time average of the piecewise-constant
+// process — the expectation "as seen at an arbitrary point in time".
+func (l *Log) TimeMean() float64 {
+	s := 0.0
+	for _, c := range l.cycles {
+		s += c.Value * c.Duration
+	}
+	return s / l.total
+}
+
+// PalmMeanOf returns E0[f(S, X)] for an arbitrary per-cycle functional.
+func (l *Log) PalmMeanOf(f func(Cycle) float64) float64 {
+	s := 0.0
+	for _, c := range l.cycles {
+		s += f(c)
+	}
+	return s / float64(len(l.cycles))
+}
+
+// Inversion evaluates the Palm inversion formula
+// E[X] = λ·E0[∫_0^{S} X(t) dt] = λ·E0[X·S] for piecewise-constant X,
+// which must equal TimeMean exactly on any finite log — the identity
+// behind Proposition 1 (eq. 14-15 of the paper).
+func (l *Log) Inversion() float64 {
+	return l.Intensity() * l.PalmMeanOf(func(c Cycle) float64 {
+		return c.Value * c.Duration
+	})
+}
+
+// InspectedCycleMean returns the mean cycle duration seen by a random
+// observer in time — E[S_inspected] = E0[S²]/E0[S]. The Feller (bus
+// stop) paradox: this is at least the Palm mean E0[S], with equality only
+// for constant cycles. The paper uses exactly this viewpoint shift to
+// explain why a time-random observer sees lower send rates when rate and
+// cycle length are negatively correlated.
+func (l *Log) InspectedCycleMean() float64 {
+	s2 := l.PalmMeanOf(func(c Cycle) float64 { return c.Duration * c.Duration })
+	s1 := l.PalmMeanOf(func(c Cycle) float64 { return c.Duration })
+	return s2 / s1
+}
+
+// CovBias returns the difference TimeMean − PalmMean, which expands to
+// cov0[X, S]/E0[S]: time averaging over-weights long cycles, so a
+// negative covariance between the rate and the cycle duration drives
+// the time average below the event average (first part of Theorem 2).
+func (l *Log) CovBias() float64 { return l.TimeMean() - l.PalmMean() }
+
+// SampleAt returns the cycle index covering time t in [0, TotalTime),
+// for direct inspection experiments.
+func (l *Log) SampleAt(t float64) int {
+	if t < 0 || t >= l.total {
+		panic("palm: sample time outside the log")
+	}
+	// Prefix sums, computed lazily each call: logs are small and this
+	// keeps the type immutable.
+	acc := 0.0
+	prefix := make([]float64, len(l.cycles))
+	for i, c := range l.cycles {
+		acc += c.Duration
+		prefix[i] = acc
+	}
+	// Cycle i covers [prefix[i-1], prefix[i]): find the first prefix
+	// strictly above t.
+	return sort.Search(len(prefix), func(i int) bool { return prefix[i] > t })
+}

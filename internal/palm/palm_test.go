@@ -1,0 +1,168 @@
+package palm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/estimator"
+	"repro/internal/formula"
+	"repro/internal/lossmodel"
+	"repro/internal/rng"
+)
+
+func TestBasicAverages(t *testing.T) {
+	// Rate 10 for 1s, rate 0 for 9s.
+	l := NewLog([]Cycle{{1, 10}, {9, 0}})
+	if got := l.PalmMean(); got != 5 {
+		t.Fatalf("palm mean = %v", got)
+	}
+	if got := l.TimeMean(); got != 1 {
+		t.Fatalf("time mean = %v", got)
+	}
+	if got := l.Intensity(); got != 0.2 {
+		t.Fatalf("intensity = %v", got)
+	}
+	if got := l.N(); got != 2 {
+		t.Fatalf("n = %v", got)
+	}
+	if got := l.TotalTime(); got != 10 {
+		t.Fatalf("total = %v", got)
+	}
+}
+
+func TestInversionIdentity(t *testing.T) {
+	r := rng.New(1)
+	cycles := make([]Cycle, 5000)
+	for i := range cycles {
+		cycles[i] = Cycle{Duration: r.Exp(2) + 0.01, Value: r.Float64() * 100}
+	}
+	l := NewLog(cycles)
+	if math.Abs(l.Inversion()-l.TimeMean()) > 1e-9 {
+		t.Fatalf("inversion %v != time mean %v", l.Inversion(), l.TimeMean())
+	}
+}
+
+func TestFellerParadox(t *testing.T) {
+	r := rng.New(2)
+	cycles := make([]Cycle, 20000)
+	for i := range cycles {
+		cycles[i] = Cycle{Duration: r.Exp(1) + 1e-6, Value: 1}
+	}
+	l := NewLog(cycles)
+	palmS := l.PalmMeanOf(func(c Cycle) float64 { return c.Duration })
+	inspected := l.InspectedCycleMean()
+	// Exponential cycles: inspected mean is twice the Palm mean.
+	if inspected < palmS*1.8 || inspected > palmS*2.2 {
+		t.Fatalf("inspected %v vs palm %v, want ratio ~2", inspected, palmS)
+	}
+	// Constant cycles: equality.
+	c := NewLog([]Cycle{{2, 1}, {2, 1}, {2, 1}})
+	if math.Abs(c.InspectedCycleMean()-2) > 1e-12 {
+		t.Fatalf("constant inspected mean = %v", c.InspectedCycleMean())
+	}
+}
+
+// The basic control's conservativeness through the Palm lens: rate
+// f(1/θ̂) held over S = θ/f(1/θ̂) gives TimeMean <= f(p) under
+// Theorem 1's hypotheses, and CovBias < 0 (the rate is negatively
+// correlated with the cycle length).
+func TestTheorem2ViewpointOnBasicControl(t *testing.T) {
+	f := formula.NewSQRT(formula.DefaultParams())
+	est := estimator.NewLossIntervalEstimator(estimator.TFRCWeights(8))
+	proc := lossmodel.DesignShiftedExp(0.1, 0.9, rng.New(3))
+	for i := 0; i < 8; i++ {
+		est.Observe(proc.Next())
+	}
+	cycles := make([]Cycle, 50000)
+	for i := range cycles {
+		rate := f.Rate(1 / est.Estimate())
+		theta := proc.Next()
+		cycles[i] = Cycle{Duration: theta / rate, Value: rate}
+		est.Observe(theta)
+	}
+	l := NewLog(cycles)
+	if l.TimeMean() > f.Rate(0.1) {
+		t.Fatalf("time mean %v above f(p) %v", l.TimeMean(), f.Rate(0.1))
+	}
+	if l.CovBias() >= 0 {
+		t.Fatalf("cov bias = %v, want negative (E[X] < E0[X])", l.CovBias())
+	}
+	// E0[X] <= f(p) as well (Jensen on the concave f(1/x) for SQRT).
+	if l.PalmMean() > f.Rate(0.1)*1.01 {
+		t.Fatalf("palm mean %v above f(p) %v", l.PalmMean(), f.Rate(0.1))
+	}
+}
+
+func TestSampleAt(t *testing.T) {
+	l := NewLog([]Cycle{{1, 10}, {2, 20}, {3, 30}})
+	for _, tc := range []struct {
+		t    float64
+		want int
+	}{{0, 0}, {0.99, 0}, {1.0, 1}, {2.5, 1}, {3.1, 2}, {5.9, 2}} {
+		if got := l.SampleAt(tc.t); got != tc.want {
+			t.Fatalf("SampleAt(%v) = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewLog(nil) },
+		func() { NewLog([]Cycle{{0, 1}}) },
+		func() { NewLog([]Cycle{{-1, 1}}) },
+		func() { NewLog([]Cycle{{1, 1}}).SampleAt(-1) },
+		func() { NewLog([]Cycle{{1, 1}}).SampleAt(1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: the inversion formula is an exact identity on any finite log.
+func TestQuickInversionIdentity(t *testing.T) {
+	r := rng.New(11)
+	f := func(n uint8) bool {
+		k := int(n%50) + 1
+		cycles := make([]Cycle, k)
+		for i := range cycles {
+			cycles[i] = Cycle{Duration: r.Float64()*10 + 0.001, Value: r.Float64()*200 - 100}
+		}
+		l := NewLog(cycles)
+		return math.Abs(l.Inversion()-l.TimeMean()) < 1e-9*(1+math.Abs(l.TimeMean()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the inspected cycle mean is never below the Palm mean
+// (Feller paradox direction), and time sampling hits every cycle index
+// in range.
+func TestQuickFellerDirection(t *testing.T) {
+	r := rng.New(12)
+	f := func(n uint8) bool {
+		k := int(n%30) + 2
+		cycles := make([]Cycle, k)
+		for i := range cycles {
+			cycles[i] = Cycle{Duration: r.Float64()*5 + 0.01, Value: 1}
+		}
+		l := NewLog(cycles)
+		palmS := l.PalmMeanOf(func(c Cycle) float64 { return c.Duration })
+		if l.InspectedCycleMean() < palmS-1e-9 {
+			return false
+		}
+		idx := l.SampleAt(r.Float64() * l.TotalTime() * 0.999)
+		return idx >= 0 && idx < k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,309 @@
+// Package stats implements the descriptive statistics used by the
+// reproduction: moments, covariance and autocovariance of loss-event
+// interval sequences, time-weighted averages for rate processes, running
+// (Welford) accumulators, quantiles and histogram binning.
+//
+// The paper's analysis is phrased in terms of Palm expectations (averages
+// over loss events) versus time averages; TimeWeightedMean and the event
+// accumulators make that distinction explicit in code.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that need at least one sample.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Mean returns the arithmetic mean of xs. It panics on empty input;
+// empty inputs indicate a programming error in an experiment driver.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic(ErrEmpty)
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (divide by n).
+// Population rather than sample variance is used because the estimators
+// in the paper are defined as plain moment ratios of long traces.
+func Variance(xs []float64) float64 {
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CV returns the coefficient of variation StdDev/Mean of xs.
+// It panics if the mean is zero.
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		panic("stats: CV of zero-mean data")
+	}
+	return StdDev(xs) / m
+}
+
+// Covariance returns the population covariance of the paired samples
+// (xs[i], ys[i]). It panics if the lengths differ or the input is empty.
+func Covariance(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: covariance length mismatch")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	s := 0.0
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(len(xs))
+}
+
+// Correlation returns the Pearson correlation coefficient of xs and ys,
+// or 0 if either series is constant.
+func Correlation(xs, ys []float64) float64 {
+	sx, sy := StdDev(xs), StdDev(ys)
+	if sx == 0 || sy == 0 {
+		return 0
+	}
+	return Covariance(xs, ys) / (sx * sy)
+}
+
+// Autocovariance returns the lag-k autocovariance of xs computed over the
+// overlapping window, using the global mean (the standard biased
+// estimator). It panics if k < 0 or k >= len(xs).
+func Autocovariance(xs []float64, k int) float64 {
+	if k < 0 || k >= len(xs) {
+		panic("stats: autocovariance lag out of range")
+	}
+	m := Mean(xs)
+	s := 0.0
+	for i := 0; i+k < len(xs); i++ {
+		s += (xs[i] - m) * (xs[i+k] - m)
+	}
+	return s / float64(len(xs))
+}
+
+// TimeWeightedMean returns the time average of a piecewise-constant rate
+// process: sum(values[i]*durations[i]) / sum(durations[i]). This is the
+// throughput x-bar of the paper when values are send rates over inter
+// loss-event intervals. It panics on length mismatch, empty input, or
+// non-positive total duration.
+func TimeWeightedMean(values, durations []float64) float64 {
+	if len(values) != len(durations) {
+		panic("stats: time-weighted mean length mismatch")
+	}
+	if len(values) == 0 {
+		panic(ErrEmpty)
+	}
+	num, den := 0.0, 0.0
+	for i := range values {
+		if durations[i] < 0 {
+			panic("stats: negative duration")
+		}
+		num += values[i] * durations[i]
+		den += durations[i]
+	}
+	if den <= 0 {
+		panic("stats: non-positive total duration")
+	}
+	return num / den
+}
+
+// Quantile returns the q-quantile of xs (0 <= q <= 1) using linear
+// interpolation between order statistics. It does not modify xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic(ErrEmpty)
+	}
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of [0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Summary holds the five-number summary plus moments of a sample,
+// mirroring the box plots used in the paper's Figure 10.
+type Summary struct {
+	N                int
+	Mean, StdDev     float64
+	Min, Q1, Med, Q3 float64
+	Max              float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic(ErrEmpty)
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Quantile(xs, 0),
+		Q1:     Quantile(xs, 0.25),
+		Med:    Quantile(xs, 0.5),
+		Q3:     Quantile(xs, 0.75),
+		Max:    Quantile(xs, 1),
+	}
+}
+
+// Welford is a running accumulator for count, mean and variance that is
+// numerically stable for long traces. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations added.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running population variance (0 when n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// CV returns the running coefficient of variation, or 0 for a zero mean.
+func (w *Welford) CV() float64 {
+	if w.mean == 0 {
+		return 0
+	}
+	return w.StdDev() / w.mean
+}
+
+// Cov is a running accumulator for the covariance of paired observations.
+// The zero value is ready to use.
+type Cov struct {
+	n      int
+	mx, my float64
+	cxy    float64
+}
+
+// Add incorporates one pair (x, y).
+func (c *Cov) Add(x, y float64) {
+	c.n++
+	dx := x - c.mx
+	c.mx += dx / float64(c.n)
+	c.my += (y - c.my) / float64(c.n)
+	c.cxy += dx * (y - c.my)
+}
+
+// N returns the number of pairs added.
+func (c *Cov) N() int { return c.n }
+
+// Covariance returns the running population covariance (0 when n < 2).
+func (c *Cov) Covariance() float64 {
+	if c.n < 2 {
+		return 0
+	}
+	return c.cxy / float64(c.n)
+}
+
+// MeanX returns the running mean of the first coordinate.
+func (c *Cov) MeanX() float64 { return c.mx }
+
+// MeanY returns the running mean of the second coordinate.
+func (c *Cov) MeanY() float64 { return c.my }
+
+// LinReg returns the least-squares slope and intercept of y on x.
+// A constant x yields slope 0 and intercept Mean(ys).
+func LinReg(xs, ys []float64) (slope, intercept float64) {
+	vx := Variance(xs)
+	if vx == 0 {
+		return 0, Mean(ys)
+	}
+	slope = Covariance(xs, ys) / vx
+	intercept = Mean(ys) - slope*Mean(xs)
+	return slope, intercept
+}
+
+// Bin partitions the paired samples (x, y) into nbins equal-width bins
+// over the x range and returns, per non-empty bin, the bin center and the
+// mean of y in that bin. The paper's lab experiments report averages over
+// consecutive bins this way.
+func Bin(xs, ys []float64, nbins int) (centers, means []float64) {
+	if len(xs) != len(ys) {
+		panic("stats: bin length mismatch")
+	}
+	if len(xs) == 0 {
+		panic(ErrEmpty)
+	}
+	if nbins <= 0 {
+		panic("stats: non-positive bin count")
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		return []float64{lo}, []float64{Mean(ys)}
+	}
+	width := (hi - lo) / float64(nbins)
+	sums := make([]float64, nbins)
+	counts := make([]int, nbins)
+	for i, x := range xs {
+		b := int((x - lo) / width)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		sums[b] += ys[i]
+		counts[b]++
+	}
+	for b := 0; b < nbins; b++ {
+		if counts[b] == 0 {
+			continue
+		}
+		centers = append(centers, lo+(float64(b)+0.5)*width)
+		means = append(means, sums[b]/float64(counts[b]))
+	}
+	return centers, means
+}

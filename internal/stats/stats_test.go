@@ -1,0 +1,286 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if m := Mean(xs); m != 3 {
+		t.Fatalf("mean = %v", m)
+	}
+	if v := Variance(xs); v != 2 {
+		t.Fatalf("variance = %v", v)
+	}
+	if s := StdDev(xs); !almost(s, math.Sqrt2, 1e-12) {
+		t.Fatalf("stddev = %v", s)
+	}
+}
+
+func TestCV(t *testing.T) {
+	xs := []float64{2, 2, 2}
+	if cv := CV(xs); cv != 0 {
+		t.Fatalf("cv of constant = %v", cv)
+	}
+}
+
+func TestCovarianceSign(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if c := Covariance(xs, ys); c <= 0 {
+		t.Fatalf("positive association has cov %v", c)
+	}
+	zs := []float64{8, 6, 4, 2}
+	if c := Covariance(xs, zs); c >= 0 {
+		t.Fatalf("negative association has cov %v", c)
+	}
+}
+
+func TestCorrelationBounds(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{10, 20, 30, 40}
+	if c := Correlation(xs, ys); !almost(c, 1, 1e-12) {
+		t.Fatalf("perfect correlation = %v", c)
+	}
+	if c := Correlation(xs, []float64{5, 5, 5, 5}); c != 0 {
+		t.Fatalf("correlation with constant = %v", c)
+	}
+}
+
+func TestAutocovarianceLagZeroIsVariance(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	if got, want := Autocovariance(xs, 0), Variance(xs); !almost(got, want, 1e-12) {
+		t.Fatalf("autocov lag 0 = %v, want variance %v", got, want)
+	}
+}
+
+func TestAutocovarianceIIDNearZero(t *testing.T) {
+	r := rng.New(1)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = r.Exp(1)
+	}
+	ac := Autocovariance(xs, 1)
+	if math.Abs(ac) > 0.02 {
+		t.Fatalf("iid lag-1 autocov = %v, want ~0", ac)
+	}
+}
+
+func TestTimeWeightedMean(t *testing.T) {
+	// Rate 10 for 1s and rate 0 for 9s: time average 1.
+	got := TimeWeightedMean([]float64{10, 0}, []float64{1, 9})
+	if !almost(got, 1, 1e-12) {
+		t.Fatalf("time-weighted mean = %v", got)
+	}
+}
+
+func TestTimeWeightedMeanFellerParadox(t *testing.T) {
+	// Event average of X is (10+0)/2 = 5; the time average weights the
+	// long low-rate interval more. This is the "bus stop" viewpoint
+	// distinction the paper leans on.
+	event := Mean([]float64{10, 0})
+	timeAvg := TimeWeightedMean([]float64{10, 0}, []float64{1, 9})
+	if timeAvg >= event {
+		t.Fatalf("time average %v should be below event average %v", timeAvg, event)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Median(xs); q != 3 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Fatalf("q25 = %v", q)
+	}
+	// Interpolation between order statistics.
+	if q := Quantile([]float64{0, 10}, 0.5); q != 5 {
+		t.Fatalf("interpolated median = %v", q)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Med != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	r := rng.New(2)
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = r.Norm()*3 + 7
+		w.Add(xs[i])
+	}
+	if !almost(w.Mean(), Mean(xs), 1e-9) {
+		t.Fatalf("welford mean %v vs batch %v", w.Mean(), Mean(xs))
+	}
+	if !almost(w.Variance(), Variance(xs), 1e-9) {
+		t.Fatalf("welford var %v vs batch %v", w.Variance(), Variance(xs))
+	}
+	if w.N() != 1000 {
+		t.Fatalf("welford N = %d", w.N())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.CV() != 0 {
+		t.Fatal("empty welford should be all-zero")
+	}
+}
+
+func TestCovMatchesBatch(t *testing.T) {
+	r := rng.New(3)
+	xs := make([]float64, 500)
+	ys := make([]float64, 500)
+	var c Cov
+	for i := range xs {
+		xs[i] = r.Float64()
+		ys[i] = xs[i]*2 + r.Norm()*0.1
+		c.Add(xs[i], ys[i])
+	}
+	if !almost(c.Covariance(), Covariance(xs, ys), 1e-9) {
+		t.Fatalf("running cov %v vs batch %v", c.Covariance(), Covariance(xs, ys))
+	}
+	if !almost(c.MeanX(), Mean(xs), 1e-9) || !almost(c.MeanY(), Mean(ys), 1e-9) {
+		t.Fatal("running means diverge from batch")
+	}
+}
+
+func TestLinReg(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	slope, intercept := LinReg(xs, ys)
+	if !almost(slope, 2, 1e-12) || !almost(intercept, 1, 1e-12) {
+		t.Fatalf("linreg = %v, %v", slope, intercept)
+	}
+	slope, intercept = LinReg([]float64{5, 5}, []float64{1, 3})
+	if slope != 0 || intercept != 2 {
+		t.Fatalf("constant-x linreg = %v, %v", slope, intercept)
+	}
+}
+
+func TestBin(t *testing.T) {
+	xs := []float64{0, 0.1, 0.9, 1.0}
+	ys := []float64{1, 1, 3, 3}
+	centers, means := Bin(xs, ys, 2)
+	if len(centers) != 2 {
+		t.Fatalf("bins = %v / %v", centers, means)
+	}
+	if means[0] != 1 || means[1] != 3 {
+		t.Fatalf("bin means = %v", means)
+	}
+	// Degenerate x-range collapses to one bin.
+	c, m := Bin([]float64{2, 2}, []float64{1, 3}, 4)
+	if len(c) != 1 || m[0] != 2 {
+		t.Fatalf("degenerate bin = %v %v", c, m)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	cases := []func(){
+		func() { Mean(nil) },
+		func() { Covariance([]float64{1}, []float64{1, 2}) },
+		func() { Autocovariance([]float64{1, 2}, 5) },
+		func() { Autocovariance([]float64{1, 2}, -1) },
+		func() { TimeWeightedMean([]float64{1}, []float64{}) },
+		func() { TimeWeightedMean([]float64{1}, []float64{-1}) },
+		func() { Quantile([]float64{1}, 2) },
+		func() { Bin([]float64{1}, []float64{1}, 0) },
+		func() { CV([]float64{1, -1}) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: variance is never negative and the mean lies within [min, max].
+func TestQuickMomentInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		if Variance(xs) < -1e-9 {
+			return false
+		}
+		m := Mean(xs)
+		return m >= Quantile(xs, 0)-1e-9 && m <= Quantile(xs, 1)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cauchy-Schwarz — |cov(x,y)| <= sd(x)*sd(y).
+func TestQuickCauchySchwarz(t *testing.T) {
+	r := rng.New(77)
+	f := func(n uint8) bool {
+		k := int(n%32) + 2
+		xs := make([]float64, k)
+		ys := make([]float64, k)
+		for i := range xs {
+			xs[i] = r.Norm()
+			ys[i] = r.Norm()
+		}
+		return math.Abs(Covariance(xs, ys)) <= StdDev(xs)*StdDev(ys)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantile is monotone in q.
+func TestQuickQuantileMonotone(t *testing.T) {
+	r := rng.New(88)
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	f := func(a, b uint8) bool {
+		qa := float64(a) / 255
+		qb := float64(b) / 255
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

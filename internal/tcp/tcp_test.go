@@ -1,0 +1,335 @@
+package tcp
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+)
+
+// buildDumbbell returns a dumbbell with a DropTail bottleneck of the
+// given rate (bytes/s), one-way propagation delay, and buffer packets.
+func buildDumbbell(s *des.Scheduler, rate, delay float64, buffer int) *netsim.Dumbbell {
+	link := netsim.NewLink(s, rate, delay, netsim.NewDropTail(buffer))
+	return netsim.NewDumbbell(s, link)
+}
+
+func TestSingleFlowFillsLink(t *testing.T) {
+	var s des.Scheduler
+	// 10 Mb/s = 1.25e6 B/s, 10 ms one way, buffer 64.
+	net := buildDumbbell(&s, 1.25e6, 0.01, 64)
+	snd, rcv := NewFlow(&s, net, 1, DefaultConfig(), 0.0, 0.015)
+	snd.Start()
+	s.RunUntil(20)
+	snd.ResetStats()
+	s.RunUntil(120)
+	st := snd.Stats()
+	// Link capacity is 1250 pkts/s; a single long-lived TCP should fill
+	// most of it.
+	if st.Throughput < 1000 {
+		t.Fatalf("throughput = %v pkts/s, want > 1000 (cap 1250)", st.Throughput)
+	}
+	if st.Throughput > 1300 {
+		t.Fatalf("throughput = %v pkts/s above capacity", st.Throughput)
+	}
+	if st.LossEvents == 0 {
+		t.Fatal("no loss events: the sawtooth should hit the buffer")
+	}
+	if rcv.PacketsReceived == 0 {
+		t.Fatal("receiver got nothing")
+	}
+	// RTT estimate includes queueing: at least the base RTT.
+	if st.MeanRTT < net.BaseRTT(1) {
+		t.Fatalf("mean RTT %v below base %v", st.MeanRTT, net.BaseRTT(1))
+	}
+}
+
+func TestSawtoothLossEventRate(t *testing.T) {
+	// For a lone AIMD flow on a DropTail link, the loss-event rate
+	// should scale like 1/throughput² (the AIMD relation behind
+	// Claim 4). Doubling the capacity should cut p by roughly 4.
+	measure := func(rate float64) (p, x float64) {
+		var s des.Scheduler
+		// Scale the buffer with the bandwidth-delay product so the whole
+		// window (BDP + buffer) scales with capacity, as the law assumes.
+		rtt := 0.04 + 0.045
+		bdp := int(rate / 1000 * rtt)
+		net := buildDumbbell(&s, rate, 0.04, bdp)
+		snd, _ := NewFlow(&s, net, 1, DefaultConfig(), 0, 0.045)
+		snd.Start()
+		s.RunUntil(30)
+		snd.ResetStats()
+		s.RunUntil(630)
+		st := snd.Stats()
+		return st.LossEventRate, st.Throughput
+	}
+	p1, x1 := measure(0.625e6)
+	p2, x2 := measure(1.25e6)
+	if x2 < x1*1.5 {
+		t.Fatalf("throughput did not scale with capacity: %v -> %v", x1, x2)
+	}
+	ratio := p1 / p2
+	if ratio < 2 || ratio > 8 {
+		t.Fatalf("loss-rate ratio %v, want ~4 (AIMD 1/x² law)", ratio)
+	}
+}
+
+func TestTwoFlowsShareFairly(t *testing.T) {
+	var s des.Scheduler
+	net := buildDumbbell(&s, 1.25e6, 0.01, 64)
+	snd1, _ := NewFlow(&s, net, 1, DefaultConfig(), 0, 0.015)
+	snd2, _ := NewFlow(&s, net, 2, DefaultConfig(), 0, 0.015)
+	snd1.Start()
+	// Stagger the second start to break phase effects.
+	s.At(0.37, snd2.Start)
+	s.RunUntil(30)
+	snd1.ResetStats()
+	snd2.ResetStats()
+	s.RunUntil(330)
+	x1 := snd1.Stats().Throughput
+	x2 := snd2.Stats().Throughput
+	if x1 <= 0 || x2 <= 0 {
+		t.Fatalf("starved flow: %v, %v", x1, x2)
+	}
+	ratio := x1 / x2
+	if ratio < 0.6 || ratio > 1.7 {
+		t.Fatalf("unfair share: %v vs %v pkts/s", x1, x2)
+	}
+	// Combined they still fill the link.
+	if x1+x2 < 1000 {
+		t.Fatalf("combined throughput = %v, want > 1000", x1+x2)
+	}
+}
+
+func TestFastRetransmitRecoversWithoutTimeout(t *testing.T) {
+	var s des.Scheduler
+	net := buildDumbbell(&s, 1.25e6, 0.01, 64)
+	snd, rcv := NewFlow(&s, net, 1, DefaultConfig(), 0, 0.015)
+	snd.Start()
+	s.RunUntil(60)
+	st := snd.Stats()
+	// With a healthy buffer, most loss events should be handled by fast
+	// retransmit; the received stream advances past every loss.
+	if st.LossEvents == 0 {
+		t.Fatal("expected loss events")
+	}
+	if rcv.PacketsReceived < int64(0.9*float64(st.PacketsSent)) {
+		t.Fatalf("received %d of %d sent", rcv.PacketsReceived, st.PacketsSent)
+	}
+}
+
+func TestRTTEstimate(t *testing.T) {
+	var s des.Scheduler
+	// Large buffer and modest rate: queueing small early on.
+	net := buildDumbbell(&s, 1.25e6, 0.02, 200)
+	snd, _ := NewFlow(&s, net, 1, DefaultConfig(), 0.005, 0.025)
+	snd.Start()
+	s.RunUntil(2)
+	base := net.BaseRTT(1) // 0.02+0.005+0.025 = 0.05
+	if snd.SRTT() < base || snd.SRTT() > base+0.3 {
+		t.Fatalf("srtt = %v, base = %v", snd.SRTT(), base)
+	}
+}
+
+func TestCwndGrowsInSlowStartThenCA(t *testing.T) {
+	var s des.Scheduler
+	net := buildDumbbell(&s, 1.25e7, 0.02, 1000)
+	snd, _ := NewFlow(&s, net, 1, DefaultConfig(), 0, 0.02)
+	snd.Start()
+	s.RunUntil(0.5)
+	if snd.Cwnd() <= DefaultConfig().InitialCwnd {
+		t.Fatalf("cwnd did not grow: %v", snd.Cwnd())
+	}
+}
+
+func TestTimeoutPathOnDeadLink(t *testing.T) {
+	var s des.Scheduler
+	// Tiny buffer and tiny rate: heavy losses force timeouts.
+	net := buildDumbbell(&s, 5e3, 0.01, 2)
+	snd, _ := NewFlow(&s, net, 1, DefaultConfig(), 0, 0.015)
+	snd.Start()
+	s.RunUntil(120)
+	st := snd.Stats()
+	if st.LossEvents == 0 {
+		t.Fatal("expected loss events under heavy congestion")
+	}
+	// The connection must keep making progress.
+	if st.Throughput <= 0 {
+		t.Fatal("connection starved")
+	}
+}
+
+func TestStatsWindowing(t *testing.T) {
+	var s des.Scheduler
+	net := buildDumbbell(&s, 1.25e6, 0.01, 64)
+	snd, _ := NewFlow(&s, net, 1, DefaultConfig(), 0, 0.015)
+	snd.Start()
+	s.RunUntil(10)
+	before := snd.Stats()
+	snd.ResetStats()
+	zero := snd.Stats()
+	if zero.PacketsSent != 0 || zero.LossEvents != 0 || zero.Duration != 0 {
+		t.Fatalf("stats not reset: %+v", zero)
+	}
+	s.RunUntil(20)
+	after := snd.Stats()
+	if after.PacketsSent == 0 || after.Duration != 10 {
+		t.Fatalf("windowed stats wrong: %+v", after)
+	}
+	if before.PacketsSent == 0 {
+		t.Fatal("warmup stats empty")
+	}
+	// Loss intervals in the window match the event count minus the
+	// opening interval.
+	if int64(len(after.LossIntervals)) > after.LossEvents {
+		t.Fatalf("%d intervals for %d events", len(after.LossIntervals), after.LossEvents)
+	}
+}
+
+func TestReceiverDelayedAcks(t *testing.T) {
+	var s des.Scheduler
+	link := netsim.NewLink(&s, 1e9, 0.0, netsim.NewDropTail(100))
+	net := netsim.NewDumbbell(&s, link)
+	acks := 0
+	snd := netsim.EndpointFunc(func(p *netsim.Packet) { acks++ })
+	rcv := NewReceiver(&s, net, 1, DefaultConfig())
+	net.AttachFlow(1, snd, rcv, 0, 0)
+	// Four in-order segments with b=2: exactly 2 ACKs.
+	for i := 0; i < 4; i++ {
+		rcv.Receive(&netsim.Packet{Flow: 1, Kind: netsim.Data, Seq: int64(i), SentAt: 1})
+	}
+	s.Run()
+	if acks != 2 {
+		t.Fatalf("acks = %d, want 2", acks)
+	}
+	// An out-of-order segment triggers an immediate duplicate ACK.
+	rcv.Receive(&netsim.Packet{Flow: 1, Kind: netsim.Data, Seq: 10, SentAt: 1})
+	s.Run()
+	if acks != 3 {
+		t.Fatalf("acks after ooo = %d, want 3", acks)
+	}
+}
+
+func TestReceiverIgnoresNonData(t *testing.T) {
+	var s des.Scheduler
+	net := buildDumbbell(&s, 1e6, 0, 10)
+	rcv := NewReceiver(&s, net, 1, DefaultConfig())
+	rcv.Receive(&netsim.Packet{Kind: netsim.Ack})
+	if rcv.PacketsReceived != 0 {
+		t.Fatal("non-data counted")
+	}
+}
+
+func TestSenderIgnoresNonAck(t *testing.T) {
+	var s des.Scheduler
+	net := buildDumbbell(&s, 1e6, 0, 10)
+	snd := NewSender(&s, net, 1, DefaultConfig())
+	snd.Receive(&netsim.Packet{Kind: netsim.Data})
+	if snd.Stats().PacketsSent != 0 {
+		t.Fatal("non-ack processed")
+	}
+}
+
+func TestHeterogeneousRTTs(t *testing.T) {
+	// A shorter-RTT flow should get at least as much throughput.
+	var s des.Scheduler
+	net := buildDumbbell(&s, 1.25e6, 0.005, 64)
+	short, _ := NewFlow(&s, net, 1, DefaultConfig(), 0, 0.005)
+	long, _ := NewFlow(&s, net, 2, DefaultConfig(), 0.04, 0.045)
+	short.Start()
+	s.At(0.13, long.Start)
+	s.RunUntil(30)
+	short.ResetStats()
+	long.ResetStats()
+	s.RunUntil(230)
+	xs, xl := short.Stats().Throughput, long.Stats().Throughput
+	if xs < xl {
+		t.Fatalf("short-RTT flow (%v) below long-RTT flow (%v)", xs, xl)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	var s des.Scheduler
+	net := buildDumbbell(&s, 1e6, 0, 10)
+	cases := []func(){
+		func() { NewSender(nil, net, 1, DefaultConfig()) },
+		func() { NewSender(&s, nil, 1, DefaultConfig()) },
+		func() { NewSender(&s, net, 1, Config{}) },
+		func() { NewReceiver(&s, net, 1, Config{SegSize: -1}) },
+		func() {
+			snd := NewSender(&s, net, 5, DefaultConfig())
+			rcv := NewReceiver(&s, net, 5, DefaultConfig())
+			net.AttachFlow(5, snd, rcv, 0, 0)
+			snd.Start()
+			snd.Start()
+		},
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestManyFlowsStable(t *testing.T) {
+	// Smoke test at N = 8 pairs: everyone gets some share; no panics.
+	var s des.Scheduler
+	r := rng.New(17)
+	net := buildDumbbell(&s, 1.25e6, 0.01, 100)
+	senders := make([]*Sender, 8)
+	for i := range senders {
+		snd, _ := NewFlow(&s, net, i, DefaultConfig(), 0, 0.015)
+		senders[i] = snd
+		start := r.Float64()
+		s.At(start, snd.Start)
+	}
+	s.RunUntil(30)
+	total := 0.0
+	for _, snd := range senders {
+		snd.ResetStats()
+	}
+	s.RunUntil(130)
+	starved := 0
+	for _, snd := range senders {
+		x := snd.Stats().Throughput
+		total += x
+		if x < 10 {
+			starved++
+		}
+	}
+	if total < 1000 {
+		t.Fatalf("aggregate throughput = %v", total)
+	}
+	if starved > 1 {
+		t.Fatalf("%d of 8 flows starved", starved)
+	}
+}
+
+func TestThroughputScalesInverseRTT(t *testing.T) {
+	// The SQRT/PFTK models predict x ~ 1/RTT at a fixed loss rate. With
+	// a fixed random-loss link (huge buffer, Bernoulli drops emulated by
+	// a tiny RED band this model lacks), we instead verify the weaker
+	// sim-level property: doubling all path delays reduces a lone flow's
+	// throughput when the buffer is small relative to the BDP.
+	measure := func(delay float64) float64 {
+		var s des.Scheduler
+		net := buildDumbbell(&s, 2.5e6, delay, 32)
+		snd, _ := NewFlow(&s, net, 1, DefaultConfig(), 0, delay)
+		snd.Start()
+		s.RunUntil(20)
+		snd.ResetStats()
+		s.RunUntil(120)
+		return snd.Stats().Throughput
+	}
+	fast := measure(0.01)
+	slow := measure(0.08)
+	if slow >= fast {
+		t.Fatalf("longer RTT should lower throughput: %v vs %v", slow, fast)
+	}
+}

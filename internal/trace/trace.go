@@ -1,0 +1,152 @@
+// Package trace records time series from simulation runs — send-rate
+// trajectories, queue occupancy, loss-event marks — and renders them as
+// TSV for plotting. It is the reproduction's equivalent of the rate
+// traces protocol papers show alongside long-run averages: the long-run
+// claims of the paper are about time averages, but inspecting the
+// trajectory is how one debugs a control.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Series is a named, time-ordered sequence of samples.
+type Series struct {
+	// Name labels the series in output.
+	Name string
+	// Times and Values are the parallel sample arrays.
+	Times, Values []float64
+}
+
+// Add appends a sample; times must be non-decreasing.
+func (s *Series) Add(t, v float64) {
+	if n := len(s.Times); n > 0 && t < s.Times[n-1] {
+		panic("trace: samples must arrive in time order")
+	}
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Times) }
+
+// At returns the last sampled value at or before time t (zero-order
+// hold), or 0 before the first sample.
+func (s *Series) At(t float64) float64 {
+	i := sort.SearchFloat64s(s.Times, t)
+	// SearchFloat64s returns the first index with Times[i] >= t; we
+	// want the sample at or before t.
+	if i < len(s.Times) && s.Times[i] == t {
+		return s.Values[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return s.Values[i-1]
+}
+
+// TimeAverage returns the zero-order-hold time average of the series
+// over [from, to]. It panics on an empty series or an empty window.
+func (s *Series) TimeAverage(from, to float64) float64 {
+	if s.Len() == 0 {
+		panic("trace: empty series")
+	}
+	if to <= from {
+		panic("trace: empty averaging window")
+	}
+	sum := 0.0
+	t := from
+	for i := 0; i < len(s.Times); i++ {
+		if s.Times[i] <= from {
+			continue
+		}
+		end := s.Times[i]
+		if end > to {
+			end = to
+		}
+		sum += s.At(t) * (end - t)
+		t = end
+		if t >= to {
+			break
+		}
+	}
+	if t < to {
+		sum += s.At(t) * (to - t)
+	}
+	return sum / (to - from)
+}
+
+// Recorder collects several named series plus point events.
+type Recorder struct {
+	series map[string]*Series
+	order  []string
+	// Events are labeled time instants (loss events, state changes).
+	Events []Event
+}
+
+// Event is a labeled instant.
+type Event struct {
+	Time  float64
+	Label string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{series: map[string]*Series{}}
+}
+
+// Series returns (creating if needed) the named series.
+func (r *Recorder) Series(name string) *Series {
+	if s, ok := r.series[name]; ok {
+		return s
+	}
+	s := &Series{Name: name}
+	r.series[name] = s
+	r.order = append(r.order, name)
+	return s
+}
+
+// Mark records a labeled event.
+func (r *Recorder) Mark(t float64, label string) {
+	r.Events = append(r.Events, Event{Time: t, Label: label})
+}
+
+// Names returns the series names in creation order.
+func (r *Recorder) Names() []string { return append([]string(nil), r.order...) }
+
+// WriteTSV renders all series resampled on a common grid of n points
+// spanning [from, to] (zero-order hold), one column per series.
+func (r *Recorder) WriteTSV(w io.Writer, from, to float64, n int) error {
+	if n < 2 || to <= from {
+		panic("trace: bad resampling window")
+	}
+	if _, err := fmt.Fprint(w, "time"); err != nil {
+		return err
+	}
+	for _, name := range r.order {
+		if _, err := fmt.Fprintf(w, "\t%s", name); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	step := (to - from) / float64(n-1)
+	for i := 0; i < n; i++ {
+		t := from + float64(i)*step
+		if _, err := fmt.Fprintf(w, "%.6g", t); err != nil {
+			return err
+		}
+		for _, name := range r.order {
+			if _, err := fmt.Fprintf(w, "\t%.6g", r.series[name].At(t)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

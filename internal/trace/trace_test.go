@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestSeriesAtZeroOrderHold(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 20)
+	s.Add(4, 40)
+	if v := s.At(0.5); v != 0 {
+		t.Fatalf("before first sample = %v", v)
+	}
+	if v := s.At(1); v != 10 {
+		t.Fatalf("at sample = %v", v)
+	}
+	if v := s.At(1.5); v != 10 {
+		t.Fatalf("hold = %v", v)
+	}
+	if v := s.At(3); v != 20 {
+		t.Fatalf("hold2 = %v", v)
+	}
+	if v := s.At(100); v != 40 {
+		t.Fatalf("after last = %v", v)
+	}
+}
+
+func TestSeriesOrderEnforced(t *testing.T) {
+	var s Series
+	s.Add(2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-order sample")
+		}
+	}()
+	s.Add(1, 1)
+}
+
+func TestTimeAverage(t *testing.T) {
+	var s Series
+	s.Add(0, 10)
+	s.Add(1, 0) // 10 for [0,1), 0 for [1,10)
+	got := s.TimeAverage(0, 10)
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("time average = %v, want 1", got)
+	}
+	// Sub-window entirely in the first segment.
+	if got := s.TimeAverage(0, 1); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("sub-window average = %v, want 10", got)
+	}
+	// Window extending past the last sample holds the last value.
+	s2 := Series{}
+	s2.Add(0, 5)
+	if got := s2.TimeAverage(0, 4); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("constant average = %v", got)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	a := r.Series("rate")
+	b := r.Series("queue")
+	if r.Series("rate") != a {
+		t.Fatal("series not memoized")
+	}
+	a.Add(0, 1)
+	a.Add(1, 2)
+	b.Add(0.5, 7)
+	r.Mark(0.7, "loss")
+	if len(r.Events) != 1 || r.Events[0].Label != "loss" {
+		t.Fatalf("events = %v", r.Events)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "rate" || names[1] != "queue" {
+		t.Fatalf("names = %v", names)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTSV(&buf, 0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "time\trate\tqueue\n") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	// Last row: t=1 -> rate 2, queue 7.
+	if lines[3] != "1\t2\t7" {
+		t.Fatalf("last row = %q", lines[3])
+	}
+}
+
+func TestPanics(t *testing.T) {
+	r := NewRecorder()
+	r.Series("x").Add(0, 1)
+	var buf bytes.Buffer
+	cases := []func(){
+		func() { (&Series{}).TimeAverage(0, 1) },
+		func() {
+			s := &Series{}
+			s.Add(0, 1)
+			s.TimeAverage(2, 2)
+		},
+		func() { _ = r.WriteTSV(&buf, 0, 1, 1) },
+		func() { _ = r.WriteTSV(&buf, 1, 0, 5) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: the time average always lies between the min and max of the
+// held values over the window.
+func TestQuickTimeAverageBounds(t *testing.T) {
+	r := rng.New(9)
+	f := func(n uint8) bool {
+		var s Series
+		tcur := 0.0
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i <= int(n%20)+1; i++ {
+			v := r.Float64() * 100
+			s.Add(tcur, v)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+			tcur += 0.1 + r.Float64()
+		}
+		avg := s.TimeAverage(0, tcur)
+		return avg >= lo-1e-9 && avg <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: At is piecewise constant — it returns exactly one of the
+// recorded values (or 0 before the first sample).
+func TestQuickAtReturnsRecordedValue(t *testing.T) {
+	r := rng.New(10)
+	var s Series
+	vals := map[float64]bool{0: true}
+	tcur := 0.0
+	for i := 0; i < 20; i++ {
+		v := r.Float64()
+		s.Add(tcur, v)
+		vals[v] = true
+		tcur += r.Float64() + 0.01
+	}
+	f := func(q uint16) bool {
+		x := float64(q) / 65535 * (tcur + 1)
+		return vals[s.At(x)]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
