@@ -1,8 +1,9 @@
 // Package repro's benchmark harness: one testing.B benchmark per figure
 // of the paper's evaluation section, each running a scaled-down version
-// of the experiment and reporting the figure's headline metric via
-// b.ReportMetric, plus ablation benches for the design choices called
-// out in DESIGN.md §5.
+// of the experiment through the scenario registry and reporting the
+// figure's headline metric via b.ReportMetric, plus ablation benches
+// for the design choices called out in DESIGN.md §5 and serial-vs-pool
+// benches for the runner engine itself.
 //
 // Run everything with:
 //
@@ -10,6 +11,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/analytic"
@@ -20,7 +22,7 @@ import (
 	"repro/internal/formula"
 	"repro/internal/lossmodel"
 	"repro/internal/rng"
-	"repro/internal/tfrc"
+	"repro/internal/runner"
 )
 
 // benchSizing is small enough to keep the full bench suite within a few
@@ -32,9 +34,23 @@ var benchSizing = experiments.Sizing{
 	PairsCap:  2,
 }
 
+// benchScenario runs one registry scenario serially at bench sizing.
+func benchScenario(b *testing.B, name string) []*experiments.Table {
+	b.Helper()
+	s, ok := experiments.Lookup(name)
+	if !ok {
+		b.Fatalf("scenario %q not registered", name)
+	}
+	tables, err := s.Run(context.Background(), benchSizing, runner.Serial{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tables
+}
+
 func BenchmarkFig01(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.Fig1()
+		t := benchScenario(b, "fig1")[0]
 		if i == 0 {
 			b.ReportMetric(float64(len(t.Rows)), "grid-points")
 		}
@@ -53,7 +69,7 @@ func BenchmarkFig02(b *testing.B) {
 func BenchmarkFig03(b *testing.B) {
 	var lastDrop float64
 	for i := 0; i < b.N; i++ {
-		t := experiments.Fig3(tfrc.PFTKSimplified, benchSizing)
+		t := benchScenario(b, "fig3")[1] // PFTK-simplified panel
 		l8 := t.Column("L8")
 		lastDrop = l8[0] - l8[len(l8)-1]
 	}
@@ -63,7 +79,7 @@ func BenchmarkFig03(b *testing.B) {
 func BenchmarkFig04(b *testing.B) {
 	var drop float64
 	for i := 0; i < b.N; i++ {
-		t := experiments.Fig4(0.1, benchSizing)
+		t := benchScenario(b, "fig4")[1] // the p = 0.1 panel
 		l8 := t.Column("L8")
 		drop = l8[0] - l8[len(l8)-1]
 	}
@@ -73,7 +89,7 @@ func BenchmarkFig04(b *testing.B) {
 func BenchmarkFig05(b *testing.B) {
 	var norm float64
 	for i := 0; i < b.N; i++ {
-		t := experiments.Fig5(benchSizing)
+		t := benchScenario(b, "fig5")[0]
 		if len(t.Rows) > 0 {
 			norm = t.Rows[len(t.Rows)-1][3]
 		}
@@ -84,7 +100,7 @@ func BenchmarkFig05(b *testing.B) {
 func BenchmarkFig06(b *testing.B) {
 	var overshoot float64
 	for i := 0; i < b.N; i++ {
-		t := experiments.Fig6(benchSizing)
+		t := benchScenario(b, "fig6")[0]
 		col := t.Column("pftksimp_norm")
 		overshoot = col[len(col)-1]
 	}
@@ -94,7 +110,7 @@ func BenchmarkFig06(b *testing.B) {
 func BenchmarkFig07(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		t := experiments.Fig7(benchSizing)
+		t := benchScenario(b, "fig7")[0]
 		// Mean p_tfrc / p_tcp over rows with data (Claim 3: >= 1).
 		var sumT, sumC float64
 		for _, row := range t.Rows {
@@ -111,7 +127,7 @@ func BenchmarkFig07(b *testing.B) {
 func BenchmarkFig08(b *testing.B) {
 	var mean float64
 	for i := 0; i < b.N; i++ {
-		t := experiments.Fig8(benchSizing)
+		t := benchScenario(b, "fig8")[0]
 		s := 0.0
 		for _, row := range t.Rows {
 			s += row[2]
@@ -126,7 +142,7 @@ func BenchmarkFig08(b *testing.B) {
 func BenchmarkFig09(b *testing.B) {
 	var below float64
 	for i := 0; i < b.N; i++ {
-		t := experiments.Fig9(benchSizing)
+		t := benchScenario(b, "fig9")[0]
 		n := 0
 		for _, row := range t.Rows {
 			if row[2] <= row[1] {
@@ -143,7 +159,7 @@ func BenchmarkFig09(b *testing.B) {
 func BenchmarkFig10(b *testing.B) {
 	var worst float64
 	for i := 0; i < b.N; i++ {
-		t := experiments.Fig10(benchSizing)
+		t := benchScenario(b, "fig10")[0]
 		worst = 0
 		for _, row := range t.Rows {
 			if v := row[2]; v > worst || -v > worst {
@@ -160,7 +176,7 @@ func BenchmarkFig10(b *testing.B) {
 func BenchmarkFig11(b *testing.B) {
 	var maxRatio float64
 	for i := 0; i < b.N; i++ {
-		t := experiments.Fig11(benchSizing)
+		t := benchScenario(b, "fig11")[0]
 		maxRatio = 0
 		for _, row := range t.Rows {
 			if row[3] > maxRatio {
@@ -174,7 +190,7 @@ func BenchmarkFig11(b *testing.B) {
 func BenchmarkFig12to15(b *testing.B) {
 	var pRatio float64
 	for i := 0; i < b.N; i++ {
-		t := experiments.Fig12to15(benchSizing)
+		t := benchScenario(b, "fig12-15")[0]
 		s, n := 0.0, 0
 		for _, row := range t.Rows {
 			s += row[4]
@@ -190,7 +206,7 @@ func BenchmarkFig12to15(b *testing.B) {
 func BenchmarkFig16(b *testing.B) {
 	var mean float64
 	for i := 0; i < b.N; i++ {
-		t := experiments.Fig16(benchSizing)
+		t := benchScenario(b, "fig16")[0]
 		s := 0.0
 		for _, row := range t.Rows {
 			s += row[3]
@@ -205,7 +221,7 @@ func BenchmarkFig16(b *testing.B) {
 func BenchmarkFig17(b *testing.B) {
 	var comp float64
 	for i := 0; i < b.N; i++ {
-		t := experiments.Fig17(benchSizing)
+		t := benchScenario(b, "fig17")[0]
 		s, n := 0.0, 0
 		for _, row := range t.Rows {
 			if row[2] > 0 {
@@ -223,7 +239,7 @@ func BenchmarkFig17(b *testing.B) {
 func BenchmarkFig18to19(b *testing.B) {
 	var normTCP float64
 	for i := 0; i < b.N; i++ {
-		t := experiments.Fig18to19(benchSizing)
+		t := benchScenario(b, "fig18-19")[0]
 		s, n := 0.0, 0
 		for _, row := range t.Rows {
 			s += row[6]
@@ -238,7 +254,7 @@ func BenchmarkFig18to19(b *testing.B) {
 
 func BenchmarkTableI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.TableI()
+		t := benchScenario(b, "tableI")[0]
 		if len(t.Rows) != 4 {
 			b.Fatal("tableI should list 4 WAN profiles")
 		}
@@ -248,7 +264,7 @@ func BenchmarkTableI(b *testing.B) {
 func BenchmarkClaim3(b *testing.B) {
 	var spread float64
 	for i := 0; i < b.N; i++ {
-		t := experiments.Claim3()
+		t := benchScenario(b, "claim3")[0]
 		spread = t.Rows[len(t.Rows)-1][2] / t.Rows[0][2] // p''/p'
 	}
 	b.ReportMetric(spread, "poisson-over-tcp")
@@ -257,7 +273,7 @@ func BenchmarkClaim3(b *testing.B) {
 func BenchmarkClaim4(b *testing.B) {
 	var fluid float64
 	for i := 0; i < b.N; i++ {
-		t := experiments.Claim4()
+		t := benchScenario(b, "claim4")[0]
 		for _, row := range t.Rows {
 			if row[0] == 0.5 {
 				fluid = row[2]
@@ -408,4 +424,39 @@ func BenchmarkAblationCrossTraffic(b *testing.B) {
 	}
 	b.ReportMetric(clean, "clean-p")
 	b.ReportMetric(loaded, "crossload-p")
+}
+
+// --- Runner engine benches ---
+
+// suiteScenarios is the sim-heavy subset that dominates the full figure
+// suite's wall time — the workload the -parallel CLI mode targets.
+var suiteScenarios = []string{"fig5", "fig7", "fig8", "fig9", "fig17"}
+
+func runSuite(b *testing.B, ex runner.Executor) {
+	b.Helper()
+	for _, name := range suiteScenarios {
+		s, ok := experiments.Lookup(name)
+		if !ok {
+			b.Fatalf("scenario %q not registered", name)
+		}
+		if _, err := s.Run(context.Background(), benchSizing, ex); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteSerial is the baseline: the sim-heavy scenarios on one
+// core, as the pre-runner code ran them.
+func BenchmarkSuiteSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSuite(b, runner.Serial{})
+	}
+}
+
+// BenchmarkSuiteParallel runs the same scenarios on a NumCPU worker
+// pool; compare against BenchmarkSuiteSerial for the engine's speedup.
+func BenchmarkSuiteParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSuite(b, runner.NewPool(0))
+	}
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -15,6 +16,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/formula"
+	"repro/internal/runner"
 	"repro/internal/tfrc"
 )
 
@@ -80,7 +82,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	res := experiments.RunSim(cfg)
+	// Submit the run through the scenario engine so invalid configs
+	// surface as errors instead of raw panics.
+	results, err := runner.Serial{}.Execute(context.Background(), []runner.Job{{
+		Name: "ebrc-sim",
+		Seed: cfg.Seed,
+		Run:  func(context.Context) any { return experiments.RunSim(cfg) },
+	}})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ebrc-sim: %v\n", err)
+		os.Exit(1)
+	}
+	res := results[0].(experiments.SimResult)
 	printClass := func(name string, cs experiments.ClassStats) {
 		if cs.Flows == 0 {
 			return

@@ -1,39 +1,81 @@
 // Command ebrc regenerates the data behind every figure of the paper's
-// evaluation section as TSV on stdout.
+// evaluation section as TSV on stdout, driven by the declarative
+// scenario registry in internal/experiments and executed by the
+// internal/runner engine — serially by default, or on a worker pool
+// with -parallel (byte-identical output either way).
 //
 // Usage:
 //
-//	ebrc [-quick] [-events N] [-simfactor F] <experiment> [...]
-//	ebrc list
+//	ebrc [-quick] [-parallel] [-events N] [-simfactor F] <scenario> [...]
+//	ebrc -list
+//	ebrc -run fig5,fig7
 //	ebrc all
 //
-// Experiments: fig1 fig2 fig3 fig3c fig4 fig5 fig6 fig7 fig8 fig9 fig10
+// Scenarios: fig1 fig2 fig3 fig3c fig4 fig5 fig6 fig7 fig8 fig9 fig10
 // fig11 fig12-15 fig16 fig17 fig18-19 tableI claim3 claim4.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sort"
+	"strings"
 
 	"repro/internal/experiments"
-	"repro/internal/tfrc"
+	"repro/internal/runner"
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "use the scaled-down Quick sizing")
-	events := flag.Int("events", 0, "override the Monte Carlo event budget")
-	simFactor := flag.Float64("simfactor", 0, "override the simulation duration factor (0..1]")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ebrc [flags] <experiment> [...]\n")
-		fmt.Fprintf(os.Stderr, "       ebrc list | all\n\nflags:\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ebrc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "use the scaled-down Quick sizing")
+	events := fs.Int("events", 0, "override the Monte Carlo event budget")
+	simFactor := fs.Float64("simfactor", 0, "override the simulation duration factor (0..1]")
+	parallel := fs.Bool("parallel", false, "run each scenario's jobs on a worker pool")
+	workers := fs.Int("workers", 0, "worker count for -parallel (0 = NumCPU)")
+	list := fs.Bool("list", false, "list the registered scenarios and exit")
+	runNames := fs.String("run", "", "comma-separated scenarios to run")
+	progress := fs.Bool("progress", false, "report per-job progress on stderr")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: ebrc [flags] <scenario> [...]\n")
+		fmt.Fprintf(stderr, "       ebrc -list | -run <scenario>[,...] | all\n\nflags:\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() == 0 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	if *list || (fs.NArg() > 0 && fs.Arg(0) == "list") {
+		for _, s := range experiments.Scenarios() {
+			fmt.Fprintf(stdout, "%-10s %s\n", s.Name, s.Note)
+		}
+		return 0
+	}
+
+	names := fs.Args()
+	if *runNames != "" {
+		for _, n := range strings.Split(*runNames, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	if len(names) == 0 {
+		fs.Usage()
+		return 2
+	}
+	if len(names) == 1 && names[0] == "all" {
+		names = experiments.ScenarioNames()
 	}
 
 	sz := experiments.Full
@@ -47,77 +89,40 @@ func main() {
 		sz.SimFactor = *simFactor
 	}
 
-	runners := registry(sz)
-	args := flag.Args()
-	if args[0] == "list" {
-		names := make([]string, 0, len(runners))
-		for n := range runners {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			fmt.Println(n)
-		}
-		return
-	}
-	if args[0] == "all" {
-		names := make([]string, 0, len(runners))
-		for n := range runners {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		args = names
-	}
-	for _, name := range args {
-		run, ok := runners[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "ebrc: unknown experiment %q (try: ebrc list)\n", name)
-			os.Exit(2)
-		}
-		for _, t := range run() {
-			if err := t.WriteTSV(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "ebrc: %v\n", err)
-				os.Exit(1)
+	var ex runner.Executor = runner.Serial{}
+	if *parallel {
+		pool := runner.NewPool(*workers)
+		if *progress {
+			pool.OnProgress = func(p runner.Progress) {
+				fmt.Fprintf(stderr, "ebrc: [%d/%d] %s\n", p.Done, p.Total, p.Name)
 			}
-			fmt.Println()
 		}
+		ex = pool
+	} else if *progress {
+		ex = runner.Serial{OnProgress: func(p runner.Progress) {
+			fmt.Fprintf(stderr, "ebrc: [%d/%d] %s\n", p.Done, p.Total, p.Name)
+		}}
 	}
-}
 
-func registry(sz experiments.Sizing) map[string]func() []*experiments.Table {
-	one := func(t *experiments.Table) []*experiments.Table { return []*experiments.Table{t} }
-	return map[string]func() []*experiments.Table{
-		"fig1": func() []*experiments.Table { return one(experiments.Fig1()) },
-		"fig2": func() []*experiments.Table {
-			return []*experiments.Table{experiments.Fig2(), experiments.Fig2Summary()}
-		},
-		"fig3": func() []*experiments.Table {
-			return []*experiments.Table{
-				experiments.Fig3(tfrc.SQRT, sz),
-				experiments.Fig3(tfrc.PFTKSimplified, sz),
+	ctx := context.Background()
+	for _, name := range names {
+		s, ok := experiments.Lookup(name)
+		if !ok {
+			fmt.Fprintf(stderr, "ebrc: unknown scenario %q (try: ebrc -list)\n", name)
+			return 2
+		}
+		tables, err := s.Run(ctx, sz, ex)
+		if err != nil {
+			fmt.Fprintf(stderr, "ebrc: %v\n", err)
+			return 1
+		}
+		for _, t := range tables {
+			if err := t.WriteTSV(stdout); err != nil {
+				fmt.Fprintf(stderr, "ebrc: %v\n", err)
+				return 1
 			}
-		},
-		"fig3c": func() []*experiments.Table { return one(experiments.Fig3Comprehensive(sz)) },
-		"fig4": func() []*experiments.Table {
-			a := experiments.Fig4(0.01, sz)
-			a.Name = "fig4-p001"
-			b := experiments.Fig4(0.1, sz)
-			b.Name = "fig4-p01"
-			return []*experiments.Table{a, b}
-		},
-		"fig5":     func() []*experiments.Table { return one(experiments.Fig5(sz)) },
-		"fig6":     func() []*experiments.Table { return one(experiments.Fig6(sz)) },
-		"fig7":     func() []*experiments.Table { return one(experiments.Fig7(sz)) },
-		"fig8":     func() []*experiments.Table { return one(experiments.Fig8(sz)) },
-		"fig9":     func() []*experiments.Table { return one(experiments.Fig9(sz)) },
-		"fig10":    func() []*experiments.Table { return one(experiments.Fig10(sz)) },
-		"fig11":    func() []*experiments.Table { return one(experiments.Fig11(sz)) },
-		"fig12-15": func() []*experiments.Table { return one(experiments.Fig12to15(sz)) },
-		"fig16":    func() []*experiments.Table { return one(experiments.Fig16(sz)) },
-		"fig17":    func() []*experiments.Table { return one(experiments.Fig17(sz)) },
-		"fig18-19": func() []*experiments.Table { return one(experiments.Fig18to19(sz)) },
-		"tableI":   func() []*experiments.Table { return one(experiments.TableI()) },
-		"claim3":   func() []*experiments.Table { return one(experiments.Claim3()) },
-		"claim4":   func() []*experiments.Table { return one(experiments.Claim4()) },
+			fmt.Fprintln(stdout)
+		}
 	}
+	return 0
 }

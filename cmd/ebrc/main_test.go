@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Smoke test: -list prints every registered scenario.
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"fig1", "fig12-15", "claim4", "tableI"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out.String())
+		}
+	}
+	// The legacy positional spelling still works.
+	var out2 bytes.Buffer
+	if code := run([]string{"list"}, &out2, &errb); code != 0 || out2.String() != out.String() {
+		t.Fatalf("positional list differs (exit %d)", code)
+	}
+}
+
+// Smoke test: -run executes a small scenario end to end, serially and
+// in parallel, with identical TSV.
+func TestRunScenario(t *testing.T) {
+	var serial, par, errb bytes.Buffer
+	if code := run([]string{"-run", "fig1,tableI"}, &serial, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(serial.String(), "# fig1") || !strings.Contains(serial.String(), "# tableI") {
+		t.Fatalf("missing table headers:\n%s", serial.String())
+	}
+	if code := run([]string{"-parallel", "-workers", "4", "-run", "fig1,tableI"}, &par, &errb); code != 0 {
+		t.Fatalf("parallel exit %d, stderr: %s", code, errb.String())
+	}
+	if par.String() != serial.String() {
+		t.Fatal("parallel output differs from serial")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "no-such-figure"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown scenario: exit %d", code)
+	}
+	if !strings.Contains(errb.String(), "no-such-figure") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no args: exit %d", code)
+	}
+}

@@ -23,6 +23,7 @@ func basicCfg(f formula.Formula, L int, proc lossmodel.Process, events int) Conf
 // Theorem 1 / Corollary 1: IID loss intervals + convex g imply the basic
 // control is conservative.
 func TestCorollary1Conservative(t *testing.T) {
+	t.Parallel()
 	params := formula.DefaultParams()
 	for _, f := range []formula.Formula{
 		formula.NewSQRT(params),
@@ -48,6 +49,7 @@ func TestCorollary1Conservative(t *testing.T) {
 // previous interval, E[θ̂^{-1/2}] = sqrt(pi/m), and the normalized
 // throughput is exactly 1/sqrt(pi) ≈ 0.5642.
 func TestSQRTL1ExactValue(t *testing.T) {
+	t.Parallel()
 	f := formula.NewSQRT(formula.DefaultParams())
 	proc := lossmodel.DesignShiftedExp(0.05, 1.0, rng.New(7))
 	res := RunBasic(basicCfg(f, 1, proc, 400000))
@@ -60,6 +62,7 @@ func TestSQRTL1ExactValue(t *testing.T) {
 // Figure 3 shape, PFTK-simplified: conservativeness strengthens with p
 // (throughput drop under heavy loss), and weakens with larger L.
 func TestFig3ShapePFTK(t *testing.T) {
+	t.Parallel()
 	f := formula.NewPFTKSimplified(formula.DefaultParams())
 	cv := 1 - 1.0/1000
 	norm := func(p float64, L int, seed uint64) float64 {
@@ -85,6 +88,7 @@ func TestFig3ShapePFTK(t *testing.T) {
 // p·θ0 does not depend on p, so the normalized throughput is invariant
 // to p.
 func TestFig3SQRTInvariantInP(t *testing.T) {
+	t.Parallel()
 	f := formula.NewSQRT(formula.DefaultParams())
 	cv := 1 - 1.0/1000
 	norm := func(p float64) float64 {
@@ -100,6 +104,7 @@ func TestFig3SQRTInvariantInP(t *testing.T) {
 // Figure 4 shape: conservativeness strengthens with the coefficient of
 // variation of the loss intervals.
 func TestFig4ShapeCV(t *testing.T) {
+	t.Parallel()
 	f := formula.NewPFTKSimplified(formula.DefaultParams())
 	norm := func(cv float64, seed uint64) float64 {
 		proc := lossmodel.DesignShiftedExp(0.1, cv, rng.New(seed))
@@ -118,6 +123,7 @@ func TestFig4ShapeCV(t *testing.T) {
 // Proposition 2: the comprehensive control attains at least the basic
 // control's throughput under the same loss process.
 func TestProp2ComprehensiveAtLeastBasic(t *testing.T) {
+	t.Parallel()
 	params := formula.DefaultParams()
 	for _, f := range []formula.Formula{
 		formula.NewSQRT(params),
@@ -138,6 +144,7 @@ func TestProp2ComprehensiveAtLeastBasic(t *testing.T) {
 // The comprehensive control's conservativeness is less pronounced than
 // the basic control's (paper §V-B.1).
 func TestComprehensiveLessPronounced(t *testing.T) {
+	t.Parallel()
 	f := formula.NewPFTKSimplified(formula.DefaultParams())
 	b := RunBasic(basicCfg(f, 8, lossmodel.DesignShiftedExp(0.3, 0.95, rng.New(41)), 80000))
 	c := RunComprehensive(basicCfg(f, 8, lossmodel.DesignShiftedExp(0.3, 0.95, rng.New(41)), 80000))
@@ -150,6 +157,7 @@ func TestComprehensiveLessPronounced(t *testing.T) {
 // Proposition 3: the closed-form interval duration matches the numeric
 // quadrature used by RunComprehensive, for SQRT and PFTK-simplified.
 func TestProp3MatchesQuadrature(t *testing.T) {
+	t.Parallel()
 	params := formula.DefaultParams()
 	r := rng.New(51)
 	for _, f := range []formula.Formula{
@@ -186,6 +194,7 @@ func TestProp3MatchesQuadrature(t *testing.T) {
 }
 
 func TestProp3RejectsPFTKStandard(t *testing.T) {
+	t.Parallel()
 	f := formula.NewPFTKStandard(formula.DefaultParams())
 	if _, err := IntervalDurationProp3(f, 0.2, 10, 12, 15); err == nil {
 		t.Fatal("expected error for PFTK-standard")
@@ -193,6 +202,7 @@ func TestProp3RejectsPFTKStandard(t *testing.T) {
 }
 
 func TestProp3NoIncreaseBranch(t *testing.T) {
+	t.Parallel()
 	f := formula.NewSQRT(formula.DefaultParams())
 	// hatNext <= hatN: duration is the plain basic-control value.
 	got, err := IntervalDurationProp3(f, 0.2, 10, 9, 5)
@@ -209,6 +219,7 @@ func TestProp3NoIncreaseBranch(t *testing.T) {
 // rate, variable packet length) through a Bernoulli dropper is
 // non-conservative for PFTK under heavy loss and conservative for SQRT.
 func TestClaim2Audio(t *testing.T) {
+	t.Parallel()
 	params := formula.ParamsForRTT(0.2)
 	const spacing = 0.02 // one packet per 20 ms, as in the paper
 	heavy := 0.2         // heavy loss: PFTK's f(1/x) is convex there
@@ -244,6 +255,7 @@ func TestClaim2Audio(t *testing.T) {
 
 // Eq. (10): the bound holds against measured throughput when (C1) holds.
 func TestTheorem1BoundHolds(t *testing.T) {
+	t.Parallel()
 	f := formula.NewPFTKSimplified(formula.DefaultParams())
 	proc := lossmodel.DesignShiftedExp(0.1, 0.9, rng.New(71))
 	res := RunBasic(basicCfg(f, 8, proc, 100000))
@@ -262,6 +274,7 @@ func TestTheorem1BoundHolds(t *testing.T) {
 }
 
 func TestTheorem1BoundInvalidDenominator(t *testing.T) {
+	t.Parallel()
 	f := formula.NewSQRT(formula.DefaultParams())
 	// Large positive covariance drives the denominator negative
 	// (elasticity is -1/2 for SQRT, so need cov·p² > 2).
@@ -274,6 +287,7 @@ func TestTheorem1BoundInvalidDenominator(t *testing.T) {
 // Proposition 4: under (C1) the overshoot never exceeds the deviation
 // ratio. For PFTK-standard the bound is ~1.003.
 func TestProp4BoundObserved(t *testing.T) {
+	t.Parallel()
 	f := formula.NewPFTKStandard(formula.DefaultParams())
 	bound := Prop4Bound(f, 1.01, 100, 5000)
 	if bound < 1 || bound > 1.01 {
@@ -287,6 +301,7 @@ func TestProp4BoundObserved(t *testing.T) {
 }
 
 func TestClassifyVerdicts(t *testing.T) {
+	t.Parallel()
 	params := formula.DefaultParams()
 	// IID + PFTK-simplified: Theorem 1 path, conservative.
 	cfg := basicCfg(formula.NewPFTKSimplified(params), 8,
@@ -324,6 +339,7 @@ func TestClassifyVerdicts(t *testing.T) {
 }
 
 func TestVerdictString(t *testing.T) {
+	t.Parallel()
 	if PredictConservative.String() != "conservative" ||
 		PredictNonConservative.String() != "non-conservative" ||
 		Inconclusive.String() != "inconclusive" {
@@ -334,6 +350,7 @@ func TestVerdictString(t *testing.T) {
 // Phase (slow-transition) losses create a positive covariance, taking the
 // run outside Theorem 1's hypotheses — the §III-B.2 scenario.
 func TestPhaseProcessBreaksC1(t *testing.T) {
+	t.Parallel()
 	proc := lossmodel.NewTwoPhase(200, 4, 0.02, rng.New(93))
 	f := formula.NewSQRT(formula.DefaultParams())
 	res := RunBasic(basicCfg(f, 8, proc, 150000))
@@ -343,6 +360,7 @@ func TestPhaseProcessBreaksC1(t *testing.T) {
 }
 
 func TestResultFields(t *testing.T) {
+	t.Parallel()
 	f := formula.NewSQRT(formula.DefaultParams())
 	proc := lossmodel.DesignShiftedExp(0.1, 0.5, rng.New(94))
 	res := RunBasic(basicCfg(f, 8, proc, 20000))
@@ -367,6 +385,7 @@ func TestResultFields(t *testing.T) {
 }
 
 func TestConfigPanics(t *testing.T) {
+	t.Parallel()
 	f := formula.NewSQRT(formula.DefaultParams())
 	proc := lossmodel.NewGeometric(0.1, rng.New(1))
 	cases := []func(){
@@ -396,6 +415,7 @@ func TestConfigPanics(t *testing.T) {
 // convex g, the basic control never overshoots materially (Theorem 1 with
 // C1 ≈ 0). Uses short runs, so allow generous Monte Carlo slack.
 func TestQuickTheorem1(t *testing.T) {
+	t.Parallel()
 	params := formula.DefaultParams()
 	fs := []formula.Formula{formula.NewSQRT(params), formula.NewPFTKSimplified(params)}
 	seed := uint64(1000)
@@ -416,6 +436,7 @@ func TestQuickTheorem1(t *testing.T) {
 // Property: comprehensive throughput >= basic throughput for the same
 // seed and parameters (Proposition 2), across random settings.
 func TestQuickProp2(t *testing.T) {
+	t.Parallel()
 	params := formula.DefaultParams()
 	seed := uint64(5000)
 	check := func(a, b uint8) bool {

@@ -9,6 +9,7 @@ import (
 )
 
 func TestAnalyzeSQRT(t *testing.T) {
+	t.Parallel()
 	rep := AnalyzeFormula(formula.NewSQRT(formula.DefaultParams()), 1.01, 100, 2000)
 	if !rep.GConvexEverywhere {
 		t.Fatal("SQRT: g should be convex everywhere")
@@ -26,6 +27,10 @@ func TestAnalyzeSQRT(t *testing.T) {
 }
 
 func TestAnalyzePFTKSimplified(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4000-point formula analysis skipped in -short mode")
+	}
+	t.Parallel()
 	rep := AnalyzeFormula(formula.NewPFTKSimplified(formula.DefaultParams()), 1.01, 100, 4000)
 	if !rep.GConvexEverywhere {
 		t.Fatal("PFTK-simplified: g should be convex")
@@ -48,6 +53,10 @@ func TestAnalyzePFTKSimplified(t *testing.T) {
 }
 
 func TestAnalyzePFTKStandardProp4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("40000-point formula analysis skipped in -short mode")
+	}
+	t.Parallel()
 	rep := AnalyzeFormula(formula.NewPFTKStandard(formula.Params{R: 1, Q: 4, B: 1}), 1.01, 50, 40000)
 	if rep.GConvexEverywhere {
 		t.Fatal("PFTK-standard has a kink; strict convexity must fail")
@@ -61,6 +70,7 @@ func TestAnalyzePFTKStandardProp4(t *testing.T) {
 }
 
 func TestReportString(t *testing.T) {
+	t.Parallel()
 	rep := AnalyzeFormula(formula.NewPFTKSimplified(formula.DefaultParams()), 1.01, 100, 2000)
 	s := rep.String()
 	for _, want := range []string{"PFTK-simplified", "(F1)", "Prop 4", "(F2c)"} {
@@ -71,6 +81,7 @@ func TestReportString(t *testing.T) {
 }
 
 func TestAnalyzePanics(t *testing.T) {
+	t.Parallel()
 	f := formula.NewSQRT(formula.DefaultParams())
 	for i, fn := range []func(){
 		func() { AnalyzeFormula(f, 0, 10, 100) },

@@ -14,6 +14,7 @@ import (
 // throughput (Proposition 1 is an identity, both evaluate the same
 // expectations).
 func TestDecompositionMatchesDirect(t *testing.T) {
+	t.Parallel()
 	f := formula.NewPFTKSimplified(formula.DefaultParams())
 	mk := func() Config {
 		return Config{
@@ -36,6 +37,7 @@ func TestDecompositionMatchesDirect(t *testing.T) {
 // For IID intervals the covariance factor is ~1: convexity alone drives
 // conservativeness (the comment's special case).
 func TestDecompositionIIDCovFactorNearOne(t *testing.T) {
+	t.Parallel()
 	f := formula.NewPFTKSimplified(formula.DefaultParams())
 	dec := DecomposeProp1(Config{
 		Formula: f,
@@ -54,6 +56,7 @@ func TestDecompositionIIDCovFactorNearOne(t *testing.T) {
 
 // Phase losses introduce a covariance factor clearly different from 1.
 func TestDecompositionPhaseCovFactor(t *testing.T) {
+	t.Parallel()
 	f := formula.NewSQRT(formula.DefaultParams())
 	dec := DecomposeProp1(Config{
 		Formula: f,

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// renderAll writes every table of a scenario run to one buffer.
+func renderAll(t *testing.T, name string, sz Sizing, ex runner.Executor) []byte {
+	t.Helper()
+	s, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("scenario %q not registered", name)
+	}
+	tables, err := s.Run(context.Background(), sz, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, tb := range tables {
+		if err := tb.WriteTSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// Regression: a registry scenario must emit byte-identical TSV whether
+// its jobs run serially or on an 8-worker pool — the property the
+// -parallel CLI mode relies on.
+func TestScenarioParallelDeterminism(t *testing.T) {
+	t.Parallel()
+	sz := Sizing{Events: 2000, SimFactor: 0.08, Pairs: []int{1, 4}, PairsCap: 2}
+	serial := renderAll(t, "fig3", sz, runner.Serial{})
+	if len(serial) == 0 {
+		t.Fatal("empty serial output")
+	}
+	for run := 0; run < 2; run++ {
+		par := renderAll(t, "fig3", sz, runner.NewPool(8))
+		if !bytes.Equal(serial, par) {
+			t.Fatalf("run %d: parallel TSV differs from serial\nserial:\n%s\nparallel:\n%s",
+				run, serial, par)
+		}
+	}
+}
+
+// The same property for a packet-level scenario, where the jobs are
+// full dumbbell simulations.
+func TestSimScenarioParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-level determinism check skipped in -short mode")
+	}
+	t.Parallel()
+	sz := Sizing{Events: 2000, SimFactor: 0.04, Pairs: []int{1, 2}, PairsCap: 2}
+	serial := renderAll(t, "fig8", sz, runner.Serial{})
+	par := renderAll(t, "fig8", sz, runner.NewPool(8))
+	if !bytes.Equal(serial, par) {
+		t.Fatalf("parallel sim TSV differs from serial\nserial:\n%s\nparallel:\n%s", serial, par)
+	}
+}
+
+// Every registered scenario must expand to at least one job and fold
+// without error under a tiny sizing... cheap structural checks only:
+// expansion must be deterministic and job names unique enough to audit.
+func TestRegistryExpansion(t *testing.T) {
+	t.Parallel()
+	sz := Sizing{Events: 100, SimFactor: 0.01, Pairs: []int{1}, PairsCap: 1}
+	for _, s := range Scenarios() {
+		jobs, fold := s.Plan(sz)
+		if len(jobs) == 0 {
+			t.Errorf("%s: no jobs", s.Name)
+		}
+		if fold == nil {
+			t.Errorf("%s: nil fold", s.Name)
+		}
+		jobs2, _ := s.Plan(sz)
+		if len(jobs2) != len(jobs) {
+			t.Errorf("%s: expansion not deterministic (%d vs %d jobs)",
+				s.Name, len(jobs), len(jobs2))
+		}
+		for i := range jobs {
+			if jobs[i].Name != jobs2[i].Name || jobs[i].Seed != jobs2[i].Seed {
+				t.Errorf("%s: job %d differs across expansions", s.Name, i)
+			}
+		}
+	}
+	if len(Scenarios()) < 19 {
+		t.Fatalf("registry has %d scenarios, want >= 19", len(Scenarios()))
+	}
+}

@@ -13,6 +13,7 @@ import (
 var tiny = Sizing{Events: 6000, SimFactor: 0.08, Pairs: []int{1, 4}, PairsCap: 2}
 
 func TestTableBasics(t *testing.T) {
+	t.Parallel()
 	tb := &Table{Name: "t", Note: "n", Columns: []string{"a", "b"}}
 	tb.AddRow(1, 2)
 	tb.AddRow(3, 4)
@@ -32,6 +33,7 @@ func TestTableBasics(t *testing.T) {
 }
 
 func TestTablePanics(t *testing.T) {
+	t.Parallel()
 	tb := &Table{Name: "t", Columns: []string{"a"}}
 	for i, fn := range []func(){
 		func() { tb.AddRow(1, 2) },
@@ -49,6 +51,7 @@ func TestTablePanics(t *testing.T) {
 }
 
 func TestFig1ShapesMatchPaper(t *testing.T) {
+	t.Parallel()
 	tb := Fig1()
 	if len(tb.Rows) == 0 {
 		t.Fatal("empty table")
@@ -74,6 +77,7 @@ func TestFig1ShapesMatchPaper(t *testing.T) {
 }
 
 func TestFig2ReproducesDeviationBound(t *testing.T) {
+	t.Parallel()
 	tb := Fig2()
 	ratios := tb.Column("ratio")
 	maxRatio := 0.0
@@ -103,6 +107,7 @@ func TestFig2ReproducesDeviationBound(t *testing.T) {
 }
 
 func TestFig3PFTKShape(t *testing.T) {
+	t.Parallel()
 	tb := Fig3(tfrc.PFTKSimplified, tiny)
 	ps := tb.Column("p")
 	l8 := tb.Column("L8")
@@ -126,6 +131,7 @@ func TestFig3PFTKShape(t *testing.T) {
 }
 
 func TestFig3SQRTFlat(t *testing.T) {
+	t.Parallel()
 	tb := Fig3(tfrc.SQRT, tiny)
 	l4 := tb.Column("L4")
 	lo, hi := l4[0], l4[0]
@@ -139,6 +145,10 @@ func TestFig3SQRTFlat(t *testing.T) {
 }
 
 func TestFig3ComprehensiveLessPronounced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow comprehensive Monte Carlo sweep skipped in -short mode")
+	}
+	t.Parallel()
 	basic := Fig3(tfrc.PFTKSimplified, tiny)
 	comp := Fig3Comprehensive(tiny)
 	// Compare at the shared highest p (0.4): comprehensive is less
@@ -155,6 +165,7 @@ func TestFig3ComprehensiveLessPronounced(t *testing.T) {
 }
 
 func TestFig4CVShape(t *testing.T) {
+	t.Parallel()
 	tb := Fig4(0.1, tiny)
 	l8 := tb.Column("L8")
 	if l8[len(l8)-1] >= l8[0] {
@@ -166,6 +177,7 @@ func TestFig4CVShape(t *testing.T) {
 }
 
 func TestFig4Panics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for bad p")
@@ -175,6 +187,7 @@ func TestFig4Panics(t *testing.T) {
 }
 
 func TestFig6Claim2(t *testing.T) {
+	t.Parallel()
 	tb := Fig6(tiny)
 	ps := tb.Column("p")
 	sqrtN := tb.Column("sqrt_norm")
@@ -196,6 +209,7 @@ func TestFig6Claim2(t *testing.T) {
 }
 
 func TestRunSimBasics(t *testing.T) {
+	t.Parallel()
 	pr := NS2Profile().Scale(0.08, 0)
 	res := RunSim(pr.Config(2, 8, 99))
 	if res.TFRC.Throughput <= 0 || res.TCP.Throughput <= 0 {
@@ -215,6 +229,7 @@ func TestRunSimBasics(t *testing.T) {
 }
 
 func TestRunSimDeterminism(t *testing.T) {
+	t.Parallel()
 	pr := NS2Profile().Scale(0.05, 0)
 	a := RunSim(pr.Config(1, 8, 123))
 	b := RunSim(pr.Config(1, 8, 123))
@@ -228,6 +243,7 @@ func TestRunSimDeterminism(t *testing.T) {
 }
 
 func TestRunSimPanics(t *testing.T) {
+	t.Parallel()
 	pr := NS2Profile()
 	cases := []func(){
 		func() { RunSim(SimConfig{}) },
@@ -256,6 +272,10 @@ func TestRunSimPanics(t *testing.T) {
 }
 
 func TestFig7Claim3Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow probe sweep skipped in -short mode")
+	}
+	t.Parallel()
 	tb := Fig7(tiny)
 	if len(tb.Rows) == 0 {
 		t.Fatal("empty fig7")
@@ -281,6 +301,10 @@ func TestFig7Claim3Ordering(t *testing.T) {
 }
 
 func TestFig8TFRCNotStarved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sim sweep skipped in -short mode")
+	}
+	t.Parallel()
 	tb := Fig8(tiny)
 	for _, row := range tb.Rows {
 		if row[2] < 0.2 || row[2] > 5 {
@@ -290,6 +314,7 @@ func TestFig8TFRCNotStarved(t *testing.T) {
 }
 
 func TestFig9TCPBelowFormulaOnAverage(t *testing.T) {
+	t.Parallel()
 	tb := Fig9(tiny)
 	if len(tb.Rows) == 0 {
 		t.Fatal("empty fig9")
@@ -307,6 +332,10 @@ func TestFig9TCPBelowFormulaOnAverage(t *testing.T) {
 }
 
 func TestFig10CovNearZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow profile sweep skipped in -short mode")
+	}
+	t.Parallel()
 	tb := Fig10(tiny)
 	if len(tb.Rows) == 0 {
 		t.Fatal("empty fig10")
@@ -319,6 +348,10 @@ func TestFig10CovNearZero(t *testing.T) {
 }
 
 func TestFig17CompetingRatioAboveOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long DropTail buffer sweep skipped in -short mode")
+	}
+	t.Parallel()
 	// Fig 17 needs enough loss events per point to stabilize the
 	// ratio; use a third of the full duration rather than the tiny
 	// sizing.
@@ -338,6 +371,7 @@ func TestFig17CompetingRatioAboveOne(t *testing.T) {
 }
 
 func TestBreakdownColumnsSane(t *testing.T) {
+	t.Parallel()
 	tb := Breakdown("test", []Profile{LabDT100.Scale(0.3, 2)}, tiny)
 	if len(tb.Rows) == 0 {
 		t.Fatal("empty breakdown")
@@ -352,6 +386,7 @@ func TestBreakdownColumnsSane(t *testing.T) {
 }
 
 func TestTableI(t *testing.T) {
+	t.Parallel()
 	tb := TableI()
 	if len(tb.Rows) != 4 {
 		t.Fatalf("tableI rows = %d, want 4 WAN profiles", len(tb.Rows))
@@ -359,6 +394,7 @@ func TestTableI(t *testing.T) {
 }
 
 func TestClaim3Table(t *testing.T) {
+	t.Parallel()
 	tb := Claim3()
 	// Row 0 is TCP, rows 1-4 EBRC with growing L, last is Poisson.
 	tcpP := tb.Rows[0][2]
@@ -377,6 +413,7 @@ func TestClaim3Table(t *testing.T) {
 }
 
 func TestClaim4Table(t *testing.T) {
+	t.Parallel()
 	tb := Claim4()
 	for _, row := range tb.Rows {
 		beta, analyticR, fluidR := row[0], row[1], row[2]
@@ -399,6 +436,7 @@ func TestClaim4Table(t *testing.T) {
 }
 
 func TestProfileScale(t *testing.T) {
+	t.Parallel()
 	pr := LabDT100.Scale(0.5, 3)
 	if pr.Duration != 150 || pr.Warmup != 25 {
 		t.Fatalf("scaled durations: %v %v", pr.Duration, pr.Warmup)

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"repro/internal/analytic"
@@ -11,6 +13,7 @@ import (
 	"repro/internal/lossmodel"
 	"repro/internal/numerics"
 	"repro/internal/rng"
+	"repro/internal/runner"
 	"repro/internal/tfrc"
 )
 
@@ -44,6 +47,68 @@ func NS2Profile() Profile {
 		Comprehensive: true,
 		Duration:      400, Warmup: 60,
 	}
+}
+
+func init() {
+	register(&Scenario{Name: "fig1",
+		Note: "formula landscape: f(1/x) and g = 1/f(1/x) for the three formulae",
+		Plan: tablePlan("fig1", func(Sizing) *Table { return Fig1() })})
+	register(&Scenario{Name: "fig2",
+		Note: "deviation from convexity of PFTK-standard g, plus the summary ratios",
+		Plan: combinePlans(
+			tablePlan("fig2", func(Sizing) *Table { return Fig2() }),
+			planFig2Summary)})
+	register(&Scenario{Name: "fig3",
+		Note: "basic control normalized throughput vs p (SQRT and PFTK-simplified panels)",
+		Plan: combinePlans(planFig3(tfrc.SQRT), planFig3(tfrc.PFTKSimplified))})
+	register(&Scenario{Name: "fig3c",
+		Note: "comprehensive control normalized throughput vs p",
+		Plan: planFig3Comprehensive})
+	register(&Scenario{Name: "fig4",
+		Note: "basic control normalized throughput vs cv[θ] at p = 0.01 and 0.1",
+		Plan: combinePlans(planFig4(0.01, "fig4-p001"), planFig4(0.1, "fig4-p01"))})
+	register(&Scenario{Name: "fig5",
+		Note: "TFRC normalized throughput and cov[θ,θ̂]p² vs p (ns-2-style RED)",
+		Plan: planFig5})
+	register(&Scenario{Name: "fig6",
+		Note: "audio sender through Bernoulli dropper vs p",
+		Plan: planFig6})
+	register(&Scenario{Name: "fig7",
+		Note: "loss-event rates of TFRC/TCP/Poisson vs number of connections",
+		Plan: planFig7})
+	register(&Scenario{Name: "fig8",
+		Note: "TFRC/TCP throughput ratio vs number of connections",
+		Plan: planFig8})
+	register(&Scenario{Name: "fig9",
+		Note: "TCP throughput vs PFTK-standard prediction, per flow",
+		Plan: planFig9})
+	register(&Scenario{Name: "fig10",
+		Note: "normalized covariance per profile (C1 check)",
+		Plan: planFig10})
+	register(&Scenario{Name: "fig11",
+		Note: "TFRC/TCP throughput ratio vs p on the WAN profiles",
+		Plan: planFriendliness("fig11", WANProfiles)})
+	register(&Scenario{Name: "fig12-15",
+		Note: "TCP-friendliness breakdown on the WAN profiles",
+		Plan: planBreakdown("fig12-15", WANProfiles)})
+	register(&Scenario{Name: "fig16",
+		Note: "TFRC/TCP throughput ratio vs p on the lab profiles",
+		Plan: planFriendliness("fig16", func() []Profile { return []Profile{LabDT100, LabRED} })})
+	register(&Scenario{Name: "fig17",
+		Note: "p'(TCP)/p(TFRC) over DropTail buffer b: isolation and competing",
+		Plan: planFig17})
+	register(&Scenario{Name: "fig18-19",
+		Note: "TCP-friendliness breakdown on the lab profiles",
+		Plan: planBreakdown("fig18-19", func() []Profile { return []Profile{LabDT100, LabRED} })})
+	register(&Scenario{Name: "tableI",
+		Note: "WAN profile stand-ins for the paper's Table I",
+		Plan: tablePlan("tableI", func(Sizing) *Table { return TableI() })})
+	register(&Scenario{Name: "claim3",
+		Note: "many-sources limit: p seen by TCP / EBRC(L) / Poisson",
+		Plan: tablePlan("claim3", func(Sizing) *Table { return Claim3() })})
+	register(&Scenario{Name: "claim4",
+		Note: "AIMD vs EBRC loss-event rate ratio: analytic and fluid sim",
+		Plan: planClaim4})
 }
 
 // Fig1 tabulates the functions of Figure 1: x, f(1/x) and 1/f(1/x) for
@@ -89,26 +154,82 @@ func Fig2() *Table {
 	return t
 }
 
+// planFig2Summary computes the deviation ratio per b as one job each.
+func planFig2Summary(Sizing) ([]runner.Job, FoldFunc) {
+	bs := []float64{1, 2}
+	jobs := make([]runner.Job, len(bs))
+	for i, b := range bs {
+		jobs[i] = runner.Job{
+			Name: fmt.Sprintf("fig2-summary b=%g", b),
+			Run: func(context.Context) any {
+				f := formula.NewPFTKStandard(formula.Params{R: 1, Q: 4, B: b})
+				ratio, arg := formula.DeviationFromConvexity(f, 1.01, 50, 40000)
+				return [2]float64{ratio, arg}
+			},
+		}
+	}
+	fold := func(results []any) []*Table {
+		t := &Table{
+			Name:    "fig2-summary",
+			Note:    "deviation-from-convexity ratio r = sup g/g** for PFTK-standard",
+			Columns: []string{"b", "ratio", "argmax_x"},
+		}
+		for i, b := range bs {
+			ra := results[i].([2]float64)
+			t.AddRow(b, ra[0], ra[1])
+		}
+		return []*Table{t}
+	}
+	return jobs, fold
+}
+
 // Fig2Summary returns the deviation ratio and its argmax for both b = 1
 // (the paper's plot) and b = 2 (the text's stated default).
 func Fig2Summary() *Table {
-	t := &Table{
-		Name:    "fig2-summary",
-		Note:    "deviation-from-convexity ratio r = sup g/g** for PFTK-standard",
-		Columns: []string{"b", "ratio", "argmax_x"},
-	}
-	for _, b := range []float64{1, 2} {
-		f := formula.NewPFTKStandard(formula.Params{R: 1, Q: 4, B: b})
-		ratio, arg := formula.DeviationFromConvexity(f, 1.01, 50, 40000)
-		t.AddRow(b, ratio, arg)
-	}
-	return t
+	return runPlan(planFig2Summary, Sizing{})[0]
 }
 
-// Fig3 reproduces Figure 3: normalized throughput x̄/f(p) of the basic
+// mcGridPlan is the shared shape of Figures 3, 3-comprehensive and 4: a
+// Monte Carlo sweep over an x-axis and the window L, one job per cell,
+// seeds assigned in row-major order from seed0+1.
+func mcGridPlan(name, note, xcol string, xs []float64, seed0 uint64,
+	run func(x float64, L int, seed uint64, sz Sizing) float64) PlanFunc {
+	Ls := []int{1, 2, 4, 8, 16}
+	return func(sz Sizing) ([]runner.Job, FoldFunc) {
+		var jobs []runner.Job
+		seed := seed0
+		for _, x := range xs {
+			for _, L := range Ls {
+				seed++
+				x, L, seed := x, L, seed
+				jobs = append(jobs, runner.Job{
+					Name: fmt.Sprintf("%s %s=%g L=%d", name, xcol, x, L),
+					Seed: seed,
+					Run:  func(context.Context) any { return run(x, L, seed, sz) },
+				})
+			}
+		}
+		fold := func(results []any) []*Table {
+			t := &Table{Name: name, Note: note,
+				Columns: []string{xcol, "L1", "L2", "L4", "L8", "L16"}}
+			i := 0
+			for _, x := range xs {
+				row := []float64{x}
+				for range Ls {
+					row = append(row, results[i].(float64))
+					i++
+				}
+				t.AddRow(row...)
+			}
+			return []*Table{t}
+		}
+		return jobs, fold
+	}
+}
+
+// planFig3 is one panel of Figure 3: normalized throughput of the basic
 // control versus p with cv[θ] = 1 - 1/1000, for L in {1, 2, 4, 8, 16}.
-// kind selects SQRT (left panel) or PFTK-simplified (right panel).
-func Fig3(kind tfrc.FormulaKind, sz Sizing) *Table {
+func planFig3(kind tfrc.FormulaKind) PlanFunc {
 	var f formula.Formula
 	name := "fig3-sqrt"
 	switch kind {
@@ -120,369 +241,430 @@ func Fig3(kind tfrc.FormulaKind, sz Sizing) *Table {
 	default:
 		panic("experiments: Fig3 takes SQRT or PFTKSimplified")
 	}
-	t := &Table{
-		Name:    name,
-		Note:    "basic control normalized throughput vs p, cv=1-1/1000",
-		Columns: []string{"p", "L1", "L2", "L4", "L8", "L16"},
-	}
 	cv := 1 - 1.0/1000
-	seed := uint64(40)
-	for _, p := range []float64{0.01, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4} {
-		row := []float64{p}
-		for _, L := range []int{1, 2, 4, 8, 16} {
-			seed++
-			res := core.RunBasic(core.Config{
+	return mcGridPlan(name, "basic control normalized throughput vs p, cv=1-1/1000", "p",
+		[]float64{0.01, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4}, 40,
+		func(p float64, L int, seed uint64, sz Sizing) float64 {
+			return core.RunBasic(core.Config{
 				Formula: f,
 				Weights: estimator.TFRCWeights(L),
 				Process: lossmodel.DesignShiftedExp(p, cv, rng.New(seed)),
 				Events:  sz.Events,
-			})
-			row = append(row, res.Normalized)
-		}
-		t.AddRow(row...)
-	}
-	return t
+			}).Normalized
+		})
 }
 
-// Fig3Comprehensive runs the same sweep with the comprehensive control
-// (the paper reports the same shape with less pronounced effects).
-func Fig3Comprehensive(sz Sizing) *Table {
+// Fig3 reproduces Figure 3; kind selects SQRT (left panel) or
+// PFTK-simplified (right panel).
+func Fig3(kind tfrc.FormulaKind, sz Sizing) *Table {
+	return runPlan(planFig3(kind), sz)[0]
+}
+
+// planFig3Comprehensive runs the same sweep with the comprehensive
+// control (the paper reports the same shape with less pronounced
+// effects).
+var planFig3Comprehensive = func() PlanFunc {
 	f := formula.NewPFTKSimplified(formula.DefaultParams())
-	t := &Table{
-		Name:    "fig3-comprehensive",
-		Note:    "comprehensive control normalized throughput vs p (PFTK-simplified)",
-		Columns: []string{"p", "L1", "L2", "L4", "L8", "L16"},
-	}
 	cv := 1 - 1.0/1000
-	seed := uint64(140)
-	for _, p := range []float64{0.01, 0.1, 0.2, 0.3, 0.4} {
-		row := []float64{p}
-		for _, L := range []int{1, 2, 4, 8, 16} {
-			seed++
-			res := core.RunComprehensive(core.Config{
+	return mcGridPlan("fig3-comprehensive",
+		"comprehensive control normalized throughput vs p (PFTK-simplified)", "p",
+		[]float64{0.01, 0.1, 0.2, 0.3, 0.4}, 140,
+		func(p float64, L int, seed uint64, sz Sizing) float64 {
+			return core.RunComprehensive(core.Config{
 				Formula: f,
 				Weights: estimator.TFRCWeights(L),
 				Process: lossmodel.DesignShiftedExp(p, cv, rng.New(seed)),
 				Events:  sz.Events,
-			})
-			row = append(row, res.Normalized)
-		}
-		t.AddRow(row...)
-	}
-	return t
+			}).Normalized
+		})
+}()
+
+// Fig3Comprehensive reproduces the comprehensive-control panel.
+func Fig3Comprehensive(sz Sizing) *Table {
+	return runPlan(planFig3Comprehensive, sz)[0]
 }
 
-// Fig4 reproduces Figure 4: normalized throughput of the basic control
-// versus cv[θ] at fixed p (the paper shows p = 1/100 and p = 1/10),
-// PFTK-simplified, L in {1, 2, 4, 8, 16}.
-func Fig4(p float64, sz Sizing) *Table {
+// planFig4 is Figure 4 at one p: normalized throughput of the basic
+// control versus cv[θ], PFTK-simplified, L in {1, 2, 4, 8, 16}.
+func planFig4(p float64, name string) PlanFunc {
 	if p <= 0 || p > 1 {
 		panic("experiments: Fig4 needs p in (0,1]")
 	}
 	f := formula.NewPFTKSimplified(formula.DefaultParams())
-	t := &Table{
-		Name:    "fig4",
-		Note:    "basic control normalized throughput vs cv[θ] (PFTK-simplified)",
-		Columns: []string{"cv", "L1", "L2", "L4", "L8", "L16"},
-	}
-	seed := uint64(240)
-	for _, cv := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.999} {
-		row := []float64{cv}
-		for _, L := range []int{1, 2, 4, 8, 16} {
-			seed++
-			res := core.RunBasic(core.Config{
+	return mcGridPlan(name,
+		"basic control normalized throughput vs cv[θ] (PFTK-simplified)", "cv",
+		[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.999}, 240,
+		func(cv float64, L int, seed uint64, sz Sizing) float64 {
+			return core.RunBasic(core.Config{
 				Formula: f,
 				Weights: estimator.TFRCWeights(L),
 				Process: lossmodel.DesignShiftedExp(p, cv, rng.New(seed)),
 				Events:  sz.Events,
-			})
-			row = append(row, res.Normalized)
-		}
-		t.AddRow(row...)
-	}
-	return t
+			}).Normalized
+		})
 }
 
-// Fig5 reproduces Figure 5: TFRC over the ns-2-style RED bottleneck,
+// Fig4 reproduces Figure 4 at one p (the paper shows p = 1/100 and
+// p = 1/10).
+func Fig4(p float64, sz Sizing) *Table {
+	return runPlan(planFig4(p, "fig4"), sz)[0]
+}
+
+// lpCells expands the ns-2-style L × pairs sweep shared by Figures 5,
+// 7 and 8, assigning seeds in row-major order from seed0+1.
+func lpCells(figure string, sz Sizing, seed0 uint64, mut func(*SimConfig)) []simCell {
+	pr := NS2Profile().Scale(sz.SimFactor, 0)
+	var cells []simCell
+	seed := seed0
+	for _, L := range []int{2, 4, 8, 16} {
+		for _, pairs := range sz.Pairs {
+			seed++
+			cfg := pr.Config(pairs, L, seed)
+			if mut != nil {
+				mut(&cfg)
+			}
+			cells = append(cells, simCell{
+				name: fmt.Sprintf("%s L=%d pairs=%d", figure, L, pairs),
+				cfg:  cfg, L: L, pairs: pairs,
+			})
+		}
+	}
+	return cells
+}
+
+// profileCells expands the per-profile pair sweep shared by Figures
+// 10, 11, 16 and the breakdowns (window L = 8 throughout).
+func profileCells(figure string, profiles []Profile, sz Sizing, seed0 uint64) []simCell {
+	var cells []simCell
+	seed := seed0
+	for pi, pr := range profiles {
+		pr = pr.Scale(sz.SimFactor, sz.PairsCap)
+		for _, pairs := range pr.Pairs {
+			seed++
+			cells = append(cells, simCell{
+				name: fmt.Sprintf("%s %s pairs=%d", figure, pr.Name, pairs),
+				cfg:  pr.Config(pairs, 8, seed), profile: pi, pairs: pairs,
+			})
+		}
+	}
+	return cells
+}
+
+// planFig5 reproduces Figure 5: TFRC over the ns-2-style RED bottleneck,
 // sweeping the number of connections to sweep p. For each L it reports
 // the loss-event rate, the normalized throughput x̄/f(p, r) with
 // PFTK-standard, and the normalized covariance cov[θ0,θ̂0]·p².
-func Fig5(sz Sizing) *Table {
+func planFig5(sz Sizing) ([]runner.Job, FoldFunc) {
 	t := &Table{
 		Name:    "fig5",
 		Note:    "TFRC normalized throughput and cov[θ,θ̂]p² vs p (ns-2-style RED)",
 		Columns: []string{"L", "pairs", "p", "normalized", "covnorm"},
 	}
-	pr := NS2Profile()
-	pr = pr.Scale(sz.SimFactor, 0)
-	seed := uint64(340)
-	for _, L := range []int{2, 4, 8, 16} {
-		for _, pairs := range sz.Pairs {
-			seed++
-			res := RunSim(pr.Config(pairs, L, seed))
+	return simGridPlan(t, lpCells("fig5", sz, 340, nil),
+		func(c simCell, res SimResult) [][]float64 {
 			cls := res.TFRC
 			if cls.Events == 0 || cls.MeanRTT <= 0 {
-				continue
+				return nil
 			}
 			f := formula.NewPFTKStandard(formula.ParamsForRTT(cls.MeanRTT))
 			norm := cls.Throughput / f.Rate(math.Max(cls.LossEventRate, 1e-9))
-			t.AddRow(float64(L), float64(pairs), cls.LossEventRate, norm, cls.CovNorm)
-		}
-	}
-	return t
+			return [][]float64{{float64(c.L), float64(c.pairs),
+				cls.LossEventRate, norm, cls.CovNorm}}
+		})
 }
 
-// Fig6 reproduces Figure 6: the audio sender (fixed 20 ms packet
+// Fig5 reproduces Figure 5.
+func Fig5(sz Sizing) *Table { return runPlan(planFig5, sz)[0] }
+
+// planFig6 reproduces Figure 6: the audio sender (fixed 20 ms packet
 // spacing, equation-modulated packet length) through a Bernoulli
 // dropper, L = 4: normalized throughput and squared CV of θ̂ versus p
 // for the three formulae.
-func Fig6(sz Sizing) *Table {
-	t := &Table{
-		Name:    "fig6",
-		Note:    "audio sender through Bernoulli dropper: normalized throughput and cv²[θ̂] vs p (L=4)",
-		Columns: []string{"p", "sqrt_norm", "pftkstd_norm", "pftksimp_norm", "cv2"},
-	}
+func planFig6(sz Sizing) ([]runner.Job, FoldFunc) {
 	params := formula.ParamsForRTT(0.2)
+	ps := []float64{0.01, 0.05, 0.1, 0.15, 0.2, 0.25}
+	fs := formula.All(params)
+	var jobs []runner.Job
 	seed := uint64(440)
-	for _, p := range []float64{0.01, 0.05, 0.1, 0.15, 0.2, 0.25} {
-		row := []float64{p}
-		var cv2 float64
-		for _, f := range formula.All(params) {
+	for _, p := range ps {
+		for _, f := range fs {
 			seed++
-			res := cbr.NewAudio(f, 4, 0.02, p, seed).Run(sz.Events, sz.Events/10)
-			row = append(row, res.Normalized)
-			cv2 = res.CVEstimatorSq
+			p, f, seed := p, f, seed
+			jobs = append(jobs, runner.Job{
+				Name: fmt.Sprintf("fig6 %s p=%g", f.Name(), p),
+				Seed: seed,
+				Run: func(context.Context) any {
+					return cbr.NewAudio(f, 4, 0.02, p, seed).Run(sz.Events, sz.Events/10)
+				},
+			})
 		}
-		row = append(row, cv2)
-		t.AddRow(row...)
 	}
-	return t
+	fold := func(results []any) []*Table {
+		t := &Table{
+			Name:    "fig6",
+			Note:    "audio sender through Bernoulli dropper: normalized throughput and cv²[θ̂] vs p (L=4)",
+			Columns: []string{"p", "sqrt_norm", "pftkstd_norm", "pftksimp_norm", "cv2"},
+		}
+		i := 0
+		for _, p := range ps {
+			row := []float64{p}
+			var cv2 float64
+			for range fs {
+				res := results[i].(cbr.AudioResult)
+				row = append(row, res.Normalized)
+				cv2 = res.CVEstimatorSq
+				i++
+			}
+			row = append(row, cv2)
+			t.AddRow(row...)
+		}
+		return []*Table{t}
+	}
+	return jobs, fold
 }
 
-// Fig7 reproduces Figure 7: loss-event rates of TFRC (p), TCP (p') and
-// a Poisson probe (p”) versus the number of connections, for each L.
-// Claim 3 predicts p' <= p <= p” with p increasing in L.
-func Fig7(sz Sizing) *Table {
+// Fig6 reproduces Figure 6.
+func Fig6(sz Sizing) *Table { return runPlan(planFig6, sz)[0] }
+
+// planFig7 reproduces Figure 7: loss-event rates of TFRC (p), TCP (p')
+// and a Poisson probe (p”) versus the number of connections, for each
+// L. Claim 3 predicts p' <= p <= p” with p increasing in L.
+func planFig7(sz Sizing) ([]runner.Job, FoldFunc) {
 	t := &Table{
 		Name:    "fig7",
 		Note:    "loss-event rates of TFRC/TCP/Poisson vs number of connections",
 		Columns: []string{"L", "pairs", "p_tfrc", "p_tcp", "p_poisson"},
 	}
-	pr := NS2Profile()
-	pr = pr.Scale(sz.SimFactor, 0)
-	seed := uint64(540)
-	for _, L := range []int{2, 4, 8, 16} {
-		for _, pairs := range sz.Pairs {
-			seed++
-			cfg := pr.Config(pairs, L, seed)
-			cfg.ProbeRate = 10 // light Poisson probe
-			res := RunSim(cfg)
-			t.AddRow(float64(L), float64(pairs),
-				res.TFRC.LossEventRate, res.TCP.LossEventRate, res.Poisson.LossEventRate)
-		}
-	}
-	return t
+	probe := func(cfg *SimConfig) { cfg.ProbeRate = 10 } // light Poisson probe
+	return simGridPlan(t, lpCells("fig7", sz, 540, probe),
+		func(c simCell, res SimResult) [][]float64 {
+			return [][]float64{{float64(c.L), float64(c.pairs),
+				res.TFRC.LossEventRate, res.TCP.LossEventRate, res.Poisson.LossEventRate}}
+		})
 }
 
-// Fig8 reproduces Figure 8: the ratio of TFRC to TCP throughput versus
-// the number of connections, per L.
-func Fig8(sz Sizing) *Table {
+// Fig7 reproduces Figure 7.
+func Fig7(sz Sizing) *Table { return runPlan(planFig7, sz)[0] }
+
+// planFig8 reproduces Figure 8: the ratio of TFRC to TCP throughput
+// versus the number of connections, per L.
+func planFig8(sz Sizing) ([]runner.Job, FoldFunc) {
 	t := &Table{
 		Name:    "fig8",
 		Note:    "TFRC/TCP throughput ratio vs number of connections",
 		Columns: []string{"L", "pairs", "ratio"},
 	}
-	pr := NS2Profile()
-	pr = pr.Scale(sz.SimFactor, 0)
-	seed := uint64(640)
-	for _, L := range []int{2, 4, 8, 16} {
-		for _, pairs := range sz.Pairs {
-			seed++
-			res := RunSim(pr.Config(pairs, L, seed))
+	return simGridPlan(t, lpCells("fig8", sz, 640, nil),
+		func(c simCell, res SimResult) [][]float64 {
 			if res.TCP.Throughput <= 0 {
-				continue
+				return nil
 			}
-			t.AddRow(float64(L), float64(pairs), res.TFRC.Throughput/res.TCP.Throughput)
-		}
-	}
-	return t
+			return [][]float64{{float64(c.L), float64(c.pairs),
+				res.TFRC.Throughput / res.TCP.Throughput}}
+		})
 }
 
-// Fig9 reproduces Figure 9: per-TCP-flow throughput against the
+// Fig8 reproduces Figure 8.
+func Fig8(sz Sizing) *Table { return runPlan(planFig8, sz)[0] }
+
+// planFig9 reproduces Figure 9: per-TCP-flow throughput against the
 // PFTK-standard prediction f(p', r') — the "obedience of TCP to its
 // formula" scatter. TCP falls below the formula except at large
 // throughputs (few connections).
-func Fig9(sz Sizing) *Table {
+func planFig9(sz Sizing) ([]runner.Job, FoldFunc) {
+	pr := NS2Profile().Scale(sz.SimFactor, 0)
+	var cells []simCell
+	seed := uint64(740)
+	for _, pairs := range sz.Pairs {
+		seed++
+		cells = append(cells, simCell{
+			name: fmt.Sprintf("fig9 pairs=%d", pairs),
+			cfg:  pr.Config(pairs, 8, seed), pairs: pairs,
+		})
+	}
 	t := &Table{
 		Name:    "fig9",
 		Note:    "TCP throughput vs PFTK-standard prediction, per flow",
 		Columns: []string{"pairs", "predicted", "measured"},
 	}
-	pr := NS2Profile()
-	pr = pr.Scale(sz.SimFactor, 0)
-	seed := uint64(740)
-	for _, pairs := range sz.Pairs {
-		seed++
-		res := RunSim(pr.Config(pairs, 8, seed))
+	return simGridPlan(t, cells, func(c simCell, res SimResult) [][]float64 {
+		var rows [][]float64
 		for _, st := range res.TCPPerFlow {
 			if st.LossEventRate <= 0 || st.MeanRTT <= 0 {
 				continue
 			}
 			f := formula.NewPFTKStandard(formula.ParamsForRTT(st.MeanRTT))
-			t.AddRow(float64(pairs), f.Rate(st.LossEventRate), st.Throughput)
+			rows = append(rows, []float64{float64(c.pairs), f.Rate(st.LossEventRate), st.Throughput})
 		}
-	}
-	return t
+		return rows
+	})
 }
 
-// Fig10 reproduces Figure 10: the normalized covariance cov[θ0,θ̂0]·p²
-// per testbed/WAN profile (the paper's box plots; we report the pooled
-// value per pair count and profile). Values near zero confirm condition
-// (C1) of Claim 1.
-func Fig10(sz Sizing) *Table {
+// Fig9 reproduces Figure 9.
+func Fig9(sz Sizing) *Table { return runPlan(planFig9, sz)[0] }
+
+// planFig10 reproduces Figure 10: the normalized covariance
+// cov[θ0,θ̂0]·p² per testbed/WAN profile (the paper's box plots; we
+// report the pooled value per pair count and profile). Values near zero
+// confirm condition (C1) of Claim 1.
+func planFig10(sz Sizing) ([]runner.Job, FoldFunc) {
 	t := &Table{
 		Name:    "fig10",
 		Note:    "normalized covariance cov[θ,θ̂]p² per profile (C1 check)",
 		Columns: []string{"profile", "pairs", "covnorm"},
 	}
-	profiles := append(LabProfiles(), WANProfiles()...)
-	seed := uint64(840)
-	for pi, pr := range profiles {
-		pr = pr.Scale(sz.SimFactor, sz.PairsCap)
-		for _, pairs := range pr.Pairs {
-			seed++
-			res := RunSim(pr.Config(pairs, 8, seed))
-			if res.TFRC.Events < 10 {
-				continue
-			}
-			t.AddRow(float64(pi), float64(pairs), res.TFRC.CovNorm)
+	cells := profileCells("fig10", append(LabProfiles(), WANProfiles()...), sz, 840)
+	return simGridPlan(t, cells, func(c simCell, res SimResult) [][]float64 {
+		if res.TFRC.Events < 10 {
+			return nil
 		}
+		return [][]float64{{float64(c.profile), float64(c.pairs), res.TFRC.CovNorm}}
+	})
+}
+
+// Fig10 reproduces Figure 10.
+func Fig10(sz Sizing) *Table { return runPlan(planFig10, sz)[0] }
+
+// planFriendliness is the shared plan of Figures 11 and 16: the
+// TFRC/TCP throughput ratio versus p per profile.
+func planFriendliness(name string, profiles func() []Profile) PlanFunc {
+	return func(sz Sizing) ([]runner.Job, FoldFunc) {
+		t := &Table{
+			Name:    name,
+			Note:    "TFRC/TCP throughput ratio vs p per profile",
+			Columns: []string{"profile", "pairs", "p", "ratio"},
+		}
+		cells := profileCells(name, profiles(), sz, 940)
+		return simGridPlan(t, cells, func(c simCell, res SimResult) [][]float64 {
+			if res.TCP.Throughput <= 0 {
+				return nil
+			}
+			return [][]float64{{float64(c.profile), float64(c.pairs),
+				res.TFRC.LossEventRate, res.TFRC.Throughput / res.TCP.Throughput}}
+		})
 	}
-	return t
 }
 
 // Fig11 reproduces Figure 11: the TFRC/TCP throughput ratio versus p on
 // the WAN profiles; values above 1 at small p show the
 // non-TCP-friendliness the paper reports for INRIA/KTH/UMASS.
 func Fig11(sz Sizing) *Table {
-	return friendlinessRatio("fig11", WANProfiles(), sz)
+	return runPlan(planFriendliness("fig11", WANProfiles), sz)[0]
 }
 
 // Fig16 reproduces Figure 16: the same ratio on the lab profiles
 // (DropTail 100 and RED).
 func Fig16(sz Sizing) *Table {
-	return friendlinessRatio("fig16", []Profile{LabDT100, LabRED}, sz)
+	return runPlan(planFriendliness("fig16",
+		func() []Profile { return []Profile{LabDT100, LabRED} }), sz)[0]
 }
 
-func friendlinessRatio(name string, profiles []Profile, sz Sizing) *Table {
-	t := &Table{
-		Name:    name,
-		Note:    "TFRC/TCP throughput ratio vs p per profile",
-		Columns: []string{"profile", "pairs", "p", "ratio"},
-	}
-	seed := uint64(940)
-	for pi, pr := range profiles {
-		pr = pr.Scale(sz.SimFactor, sz.PairsCap)
-		for _, pairs := range pr.Pairs {
-			seed++
-			res := RunSim(pr.Config(pairs, 8, seed))
-			if res.TCP.Throughput <= 0 {
-				continue
-			}
-			t.AddRow(float64(pi), float64(pairs), res.TFRC.LossEventRate,
-				res.TFRC.Throughput/res.TCP.Throughput)
-		}
-	}
-	return t
-}
-
-// Breakdown reproduces Figures 12-15 (WAN) and 18-19 (lab): for each
-// profile and pair count, the four sub-condition ratios of the
+// planBreakdown reproduces Figures 12-15 (WAN) and 18-19 (lab): for
+// each profile and pair count, the four sub-condition ratios of the
 // TCP-friendliness breakdown:
 //
 //	norm_tfrc = x̄/f(p, r)    (conservativeness)
 //	p_ratio   = p'/p          (loss-event rate comparison)
 //	rtt_ratio = r'/r          (round-trip time comparison)
 //	norm_tcp  = x̄'/f(p', r') (TCP's obedience to the formula)
-func Breakdown(name string, profiles []Profile, sz Sizing) *Table {
-	t := &Table{
-		Name:    name,
-		Note:    "TCP-friendliness breakdown: x/f(p,r), p'/p, r'/r, x'/f(p',r')",
-		Columns: []string{"profile", "pairs", "p", "norm_tfrc", "p_ratio", "rtt_ratio", "norm_tcp"},
-	}
-	seed := uint64(1040)
-	for pi, pr := range profiles {
-		pr = pr.Scale(sz.SimFactor, sz.PairsCap)
-		for _, pairs := range pr.Pairs {
-			seed++
-			res := RunSim(pr.Config(pairs, 8, seed))
+func planBreakdown(name string, profiles func() []Profile) PlanFunc {
+	return func(sz Sizing) ([]runner.Job, FoldFunc) {
+		t := &Table{
+			Name:    name,
+			Note:    "TCP-friendliness breakdown: x/f(p,r), p'/p, r'/r, x'/f(p',r')",
+			Columns: []string{"profile", "pairs", "p", "norm_tfrc", "p_ratio", "rtt_ratio", "norm_tcp"},
+		}
+		cells := profileCells(name, profiles(), sz, 1040)
+		return simGridPlan(t, cells, func(c simCell, res SimResult) [][]float64 {
 			tf, tc := res.TFRC, res.TCP
 			if tf.Events == 0 || tc.Events == 0 || tf.MeanRTT <= 0 || tc.MeanRTT <= 0 {
-				continue
+				return nil
 			}
 			ftf := formula.NewPFTKStandard(formula.ParamsForRTT(tf.MeanRTT))
 			ftc := formula.NewPFTKStandard(formula.ParamsForRTT(tc.MeanRTT))
-			t.AddRow(float64(pi), float64(pairs), tf.LossEventRate,
-				tf.Throughput/ftf.Rate(math.Max(tf.LossEventRate, 1e-9)),
-				tc.LossEventRate/tf.LossEventRate,
-				tc.MeanRTT/tf.MeanRTT,
-				tc.Throughput/ftc.Rate(math.Max(tc.LossEventRate, 1e-9)))
-		}
+			return [][]float64{{float64(c.profile), float64(c.pairs), tf.LossEventRate,
+				tf.Throughput / ftf.Rate(math.Max(tf.LossEventRate, 1e-9)),
+				tc.LossEventRate / tf.LossEventRate,
+				tc.MeanRTT / tf.MeanRTT,
+				tc.Throughput / ftc.Rate(math.Max(tc.LossEventRate, 1e-9))}}
+		})
 	}
-	return t
+}
+
+// Breakdown runs the TCP-friendliness breakdown over the given
+// profiles.
+func Breakdown(name string, profiles []Profile, sz Sizing) *Table {
+	return runPlan(planBreakdown(name, func() []Profile { return profiles }), sz)[0]
 }
 
 // Fig12to15 is the WAN breakdown (Figures 12, 13, 14, 15).
-func Fig12to15(sz Sizing) *Table { return Breakdown("fig12-15", WANProfiles(), sz) }
+func Fig12to15(sz Sizing) *Table {
+	return runPlan(planBreakdown("fig12-15", WANProfiles), sz)[0]
+}
 
 // Fig18to19 is the lab breakdown (Figures 18 and 19: DropTail 100, RED).
 func Fig18to19(sz Sizing) *Table {
-	return Breakdown("fig18-19", []Profile{LabDT100, LabRED}, sz)
+	return runPlan(planBreakdown("fig18-19",
+		func() []Profile { return []Profile{LabDT100, LabRED} }), sz)[0]
 }
 
-// Fig17 reproduces Figure 17: the ratio p'/p of TCP's to TFRC's
+// planFig17 reproduces Figure 17: the ratio p'/p of TCP's to TFRC's
 // loss-event rate over a DropTail bottleneck with buffer b — each flow
 // in isolation (left) and one TCP competing with one TFRC (right).
-func Fig17(sz Sizing) *Table {
-	t := &Table{
-		Name:    "fig17",
-		Note:    "p'(TCP)/p(TFRC) over DropTail buffer b: isolation and competing",
-		Columns: []string{"buffer", "isolation_ratio", "competing_ratio"},
-	}
+// Each buffer point expands into three independent sims (TFRC alone,
+// TCP alone, both).
+func planFig17(sz Sizing) ([]runner.Job, FoldFunc) {
 	base := Profile{
 		Name: "fig17", Capacity: 1.25e6, Queue: DropTail,
 		BaseDelay: 0.01, RevDelay: 0.03, Comprehensive: true,
 		Duration: 600, Warmup: 60,
 	}
 	base = base.Scale(sz.SimFactor, 0)
+	bufs := []int{20, 40, 80, 160, 300}
+	var jobs []runner.Job
 	seed := uint64(1140)
-	for _, buf := range []int{20, 40, 80, 160, 300} {
+	for _, buf := range bufs {
 		seed += 10
 		cfgT := base.Config(1, 8, seed)
 		cfgT.Buffer = buf
 		cfgT.NTCP = 0
-		tfrcAlone := RunSim(cfgT)
+		jobs = append(jobs, simJob(fmt.Sprintf("fig17 buf=%d tfrc-alone", buf), cfgT))
 
 		cfgC := base.Config(1, 8, seed+1)
 		cfgC.Buffer = buf
 		cfgC.NTFRC = 0
-		tcpAlone := RunSim(cfgC)
+		jobs = append(jobs, simJob(fmt.Sprintf("fig17 buf=%d tcp-alone", buf), cfgC))
 
 		cfgBoth := base.Config(1, 8, seed+2)
 		cfgBoth.Buffer = buf
-		both := RunSim(cfgBoth)
-
-		iso, comp := 0.0, 0.0
-		if tfrcAlone.TFRC.LossEventRate > 0 {
-			iso = tcpAlone.TCP.LossEventRate / tfrcAlone.TFRC.LossEventRate
-		}
-		if both.TFRC.LossEventRate > 0 {
-			comp = both.TCP.LossEventRate / both.TFRC.LossEventRate
-		}
-		t.AddRow(float64(buf), iso, comp)
+		jobs = append(jobs, simJob(fmt.Sprintf("fig17 buf=%d competing", buf), cfgBoth))
 	}
-	return t
+	fold := func(results []any) []*Table {
+		t := &Table{
+			Name:    "fig17",
+			Note:    "p'(TCP)/p(TFRC) over DropTail buffer b: isolation and competing",
+			Columns: []string{"buffer", "isolation_ratio", "competing_ratio"},
+		}
+		for i, buf := range bufs {
+			tfrcAlone := results[3*i].(SimResult)
+			tcpAlone := results[3*i+1].(SimResult)
+			both := results[3*i+2].(SimResult)
+			iso, comp := 0.0, 0.0
+			if tfrcAlone.TFRC.LossEventRate > 0 {
+				iso = tcpAlone.TCP.LossEventRate / tfrcAlone.TFRC.LossEventRate
+			}
+			if both.TFRC.LossEventRate > 0 {
+				comp = both.TCP.LossEventRate / both.TFRC.LossEventRate
+			}
+			t.AddRow(float64(buf), iso, comp)
+		}
+		return []*Table{t}
+	}
+	return jobs, fold
 }
+
+// Fig17 reproduces Figure 17.
+func Fig17(sz Sizing) *Table { return runPlan(planFig17, sz)[0] }
 
 // TableI tabulates the WAN profile stand-ins for the paper's Table I:
 // capacity (packets/second), base RTT in milliseconds, queue kind
@@ -521,20 +703,37 @@ func Claim3() *Table {
 	return t
 }
 
-// Claim4 evaluates the fixed-capacity competing-senders model: the
+// planClaim4 evaluates the fixed-capacity competing-senders model: the
 // analytic ratio 4/(1+β)² per β, and the fluid simulation's measured
 // ratio for the TCP-like β = 1/2 (expected above 1 but less pronounced
-// than the analytic value).
-func Claim4() *Table {
-	t := &Table{
-		Name:    "claim4",
-		Note:    "AIMD vs EBRC loss-event rate ratio: analytic and shared-link fluid sim",
-		Columns: []string{"beta", "analytic_ratio", "fluid_ratio"},
+// than the analytic value). One fluid sim per β.
+func planClaim4(Sizing) ([]runner.Job, FoldFunc) {
+	betas := []float64{0.25, 0.5, 0.75}
+	jobs := make([]runner.Job, len(betas))
+	for i, beta := range betas {
+		jobs[i] = runner.Job{
+			Name: fmt.Sprintf("claim4 beta=%g", beta),
+			Seed: 7,
+			Run: func(context.Context) any {
+				a := analytic.AIMDParams{Alpha: 1, Beta: beta}
+				return analytic.SimulateFluidShared(a, 200, 8, 40000, 7).Ratio
+			},
+		}
 	}
-	for _, beta := range []float64{0.25, 0.5, 0.75} {
-		a := analytic.AIMDParams{Alpha: 1, Beta: beta}
-		fluid := analytic.SimulateFluidShared(a, 200, 8, 40000, 7)
-		t.AddRow(beta, analytic.Claim4Ratio(a), fluid.Ratio)
+	fold := func(results []any) []*Table {
+		t := &Table{
+			Name:    "claim4",
+			Note:    "AIMD vs EBRC loss-event rate ratio: analytic and shared-link fluid sim",
+			Columns: []string{"beta", "analytic_ratio", "fluid_ratio"},
+		}
+		for i, beta := range betas {
+			a := analytic.AIMDParams{Alpha: 1, Beta: beta}
+			t.AddRow(beta, analytic.Claim4Ratio(a), results[i].(float64))
+		}
+		return []*Table{t}
 	}
-	return t
+	return jobs, fold
 }
+
+// Claim4 evaluates Claim 4.
+func Claim4() *Table { return runPlan(planClaim4, Sizing{})[0] }

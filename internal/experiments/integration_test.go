@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -9,14 +10,38 @@ import (
 	"repro/internal/formula"
 	"repro/internal/lossmodel"
 	"repro/internal/rng"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
+
+// runSims executes independent sims through the runner pool, the same
+// path the scenario registry uses.
+func runSims(t *testing.T, cfgs ...SimConfig) []SimResult {
+	t.Helper()
+	jobs := make([]runner.Job, len(cfgs))
+	for i, cfg := range cfgs {
+		jobs[i] = simJob("integration", cfg)
+	}
+	results, err := runner.NewPool(0).Execute(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]SimResult, len(results))
+	for i, r := range results {
+		out[i] = r.(SimResult)
+	}
+	return out
+}
 
 // Integration: the packet-level TFRC's loss-interval statistics fed back
 // through the analytical core must predict a throughput close to the
 // protocol's measured one. This closes the loop between the simulator
 // substrate (netsim/tfrc) and the paper's theory (core).
 func TestIntegrationSimulatorMatchesTheory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long packet-level integration run skipped in -short mode")
+	}
+	t.Parallel()
 	pr := NS2Profile().Scale(0.4, 0)
 	res := RunSim(pr.Config(4, 8, 7777))
 	cls := res.TFRC
@@ -41,6 +66,10 @@ func TestIntegrationSimulatorMatchesTheory(t *testing.T) {
 // normalized throughput below the comprehensive protocol's, per
 // Proposition 2's direction.
 func TestIntegrationReplayIntervalsThroughCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long packet-level integration run skipped in -short mode")
+	}
+	t.Parallel()
 	pr := NS2Profile().Scale(0.6, 0)
 	res := RunSim(pr.Config(6, 8, 4242))
 	var intervals []float64
@@ -93,8 +122,21 @@ func (s *sliceProcess) Name() string          { return "replay" }
 // Figure 17 competing run point the same way (TCP sees more loss
 // events per packet than TFRC when competing over DropTail).
 func TestIntegrationClaim4Directions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long packet-level integration run skipped in -short mode")
+	}
+	t.Parallel()
 	analyticRatio := 16.0 / 9
-	tb := Fig17(Sizing{Events: 5000, SimFactor: 0.35, Pairs: []int{1}})
+	s, ok := Lookup("fig17")
+	if !ok {
+		t.Fatal("fig17 not registered")
+	}
+	tables, err := s.Run(context.Background(),
+		Sizing{Events: 5000, SimFactor: 0.35, Pairs: []int{1}}, runner.NewPool(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
 	var competing float64
 	n := 0
 	for _, row := range tb.Rows {
@@ -116,13 +158,17 @@ func TestIntegrationClaim4Directions(t *testing.T) {
 // Integration: cross traffic raises the loss-event rate seen by the
 // foreground flows without starving them.
 func TestIntegrationCrossTrafficRaisesLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long packet-level integration run skipped in -short mode")
+	}
+	t.Parallel()
 	pr := INRIA.Scale(0.3, 0)
 	base := pr.Config(2, 8, 31)
 	base.CrossLoad = 0
-	clean := RunSim(base)
 	loaded := pr.Config(2, 8, 31)
 	loaded.CrossLoad = 0.3
-	dirty := RunSim(loaded)
+	res := runSims(t, base, loaded)
+	clean, dirty := res[0], res[1]
 	if dirty.TFRC.Throughput <= 0 || dirty.TCP.Throughput <= 0 {
 		t.Fatal("cross traffic starved the foreground")
 	}
@@ -139,12 +185,16 @@ func TestIntegrationCrossTrafficRaisesLoss(t *testing.T) {
 // raising the rate during long loss-free periods (weakly larger
 // throughput under light load).
 func TestIntegrationHistoryDiscounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long packet-level integration run skipped in -short mode")
+	}
+	t.Parallel()
 	pr := NS2Profile().Scale(0.3, 0)
 	plain := pr.Config(1, 8, 63)
-	plainRes := RunSim(plain)
 	disc := pr.Config(1, 8, 63)
 	disc.HistoryDiscounting = true
-	discRes := RunSim(disc)
+	res := runSims(t, plain, disc)
+	plainRes, discRes := res[0], res[1]
 	if discRes.TFRC.Throughput < plainRes.TFRC.Throughput*0.8 {
 		t.Fatalf("discounting collapsed throughput: %v vs %v",
 			discRes.TFRC.Throughput, plainRes.TFRC.Throughput)
@@ -160,6 +210,7 @@ func TestIntegrationHistoryDiscounting(t *testing.T) {
 // direct statistics computed from the same stream (Proposition 1 is a
 // plain identity of the simulated quantities).
 func TestIntegrationProp1Identity(t *testing.T) {
+	t.Parallel()
 	f := formula.NewPFTKSimplified(formula.DefaultParams())
 	proc := lossmodel.DesignShiftedExp(0.1, 0.8, rng.New(555))
 	res := core.RunBasic(core.Config{

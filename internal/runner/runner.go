@@ -1,0 +1,170 @@
+// Package runner is the scenario execution engine: it runs batches of
+// independent jobs either serially or on a fixed worker pool, returning
+// the results in job order regardless of the execution schedule. Each
+// job carries its own deterministic seed, so a batch produces identical
+// results under any worker count — the property the experiment layer
+// relies on for byte-identical tables in serial and parallel mode.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Job is one independent unit of work.
+type Job struct {
+	// Name labels the job in progress reports (e.g. "fig5 L=8 pairs=16").
+	Name string
+	// Seed records the deterministic seed driving the job. It is
+	// informational — Run must capture the seed itself — but keeping it
+	// here makes batches auditable.
+	Seed uint64
+	// Run computes the job's result. It must be safe to call from any
+	// goroutine and must derive all randomness from the captured seed.
+	Run func(ctx context.Context) any
+}
+
+// Progress reports the completion of one job.
+type Progress struct {
+	// Done and Total count finished jobs and the batch size.
+	Done, Total int
+	// Index is the finished job's position in the batch.
+	Index int
+	// Name is the finished job's label.
+	Name string
+}
+
+// Executor runs a batch of jobs and returns their results in job order.
+// An Executor must be deterministic given deterministic jobs: the
+// returned slice depends only on the jobs, never on scheduling.
+type Executor interface {
+	Execute(ctx context.Context, jobs []Job) ([]any, error)
+}
+
+// Serial runs jobs one at a time, in order, on the calling goroutine.
+type Serial struct {
+	// OnProgress, when non-nil, is called after each job completes.
+	OnProgress func(Progress)
+}
+
+// Execute implements Executor.
+func (s Serial) Execute(ctx context.Context, jobs []Job) ([]any, error) {
+	results := make([]any, len(jobs))
+	for i, j := range jobs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		v, err := runOne(ctx, i, j)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = v
+		if s.OnProgress != nil {
+			s.OnProgress(Progress{Done: i + 1, Total: len(jobs), Index: i, Name: j.Name})
+		}
+	}
+	return results, nil
+}
+
+// Pool runs jobs concurrently on a fixed set of workers. Results are
+// collected by job index, so the output order matches the input order.
+type Pool struct {
+	// Workers is the worker count; <= 0 means runtime.NumCPU().
+	Workers int
+	// OnProgress, when non-nil, is called after each job completes. The
+	// pool serializes the calls, but they may come from any worker and
+	// in any completion order.
+	OnProgress func(Progress)
+}
+
+// NewPool returns a pool with the given worker count (<= 0 = NumCPU).
+func NewPool(workers int) *Pool { return &Pool{Workers: workers} }
+
+// Execute implements Executor. The first job error (or context
+// cancellation) stops the dispatch of further jobs; in-flight jobs run
+// to completion before Execute returns.
+func (p *Pool) Execute(ctx context.Context, jobs []Job) ([]any, error) {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if len(jobs) == 0 {
+		return nil, ctx.Err()
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]any, len(jobs))
+	indices := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		done     int
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				v, err := runOne(ctx, i, jobs[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				results[i] = v
+				mu.Lock()
+				done++
+				prog := Progress{Done: done, Total: len(jobs), Index: i, Name: jobs[i].Name}
+				if p.OnProgress != nil {
+					p.OnProgress(prog)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+dispatch:
+	for i := range jobs {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			fail(ctx.Err())
+			break dispatch
+		}
+	}
+	close(indices)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// runOne executes one job, converting a panic into an error so a bad
+// job cannot kill a worker goroutine (and with it the process) without
+// a diagnosable cause.
+func runOne(ctx context.Context, index int, j Job) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: job %d (%s) panicked: %v", index, j.Name, r)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return j.Run(ctx), nil
+}

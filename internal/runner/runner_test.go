@@ -1,0 +1,134 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func intJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Name: "job", Seed: uint64(i), Run: func(context.Context) any { return i * i }}
+	}
+	return jobs
+}
+
+func TestSerialOrderAndProgress(t *testing.T) {
+	t.Parallel()
+	var seen []int
+	s := Serial{OnProgress: func(p Progress) { seen = append(seen, p.Done) }}
+	results, err := s.Execute(context.Background(), intJobs(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range results {
+		if v.(int) != i*i {
+			t.Fatalf("results[%d] = %v", i, v)
+		}
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("progress done sequence %v", seen)
+		}
+	}
+}
+
+func TestPoolMatchesSerial(t *testing.T) {
+	t.Parallel()
+	jobs := intJobs(64)
+	serial, err := Serial{}.Execute(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8, 0} {
+		pool := NewPool(workers)
+		par, err := pool.Execute(context.Background(), jobs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d results", workers, len(par))
+		}
+		for i := range par {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: results[%d] = %v, want %v", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestPoolProgressCounts(t *testing.T) {
+	t.Parallel()
+	var calls atomic.Int64
+	var maxDone atomic.Int64
+	p := &Pool{Workers: 4, OnProgress: func(pr Progress) {
+		calls.Add(1)
+		if int64(pr.Done) > maxDone.Load() {
+			maxDone.Store(int64(pr.Done))
+		}
+		if pr.Total != 20 {
+			t.Errorf("total = %d", pr.Total)
+		}
+	}}
+	if _, err := p.Execute(context.Background(), intJobs(20)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 20 || maxDone.Load() != 20 {
+		t.Fatalf("calls = %d, max done = %d", calls.Load(), maxDone.Load())
+	}
+}
+
+func TestPoolEmptyBatch(t *testing.T) {
+	t.Parallel()
+	results, err := NewPool(4).Execute(context.Background(), nil)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("results = %v, err = %v", results, err)
+	}
+}
+
+func TestCancellationStopsDispatch(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int64
+	jobs := make([]Job, 100)
+	for i := range jobs {
+		jobs[i] = Job{Name: "slow", Run: func(context.Context) any {
+			if started.Add(1) == 1 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+			return nil
+		}}
+	}
+	_, err := (&Pool{Workers: 2}).Execute(ctx, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n >= 100 {
+		t.Fatalf("all %d jobs ran despite cancellation", n)
+	}
+
+	if _, err := (Serial{}).Execute(ctx, jobs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("serial err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	t.Parallel()
+	jobs := []Job{
+		{Name: "fine", Run: func(context.Context) any { return 1 }},
+		{Name: "boom", Run: func(context.Context) any { panic("kaput") }},
+	}
+	for _, ex := range []Executor{Serial{}, NewPool(2)} {
+		_, err := ex.Execute(context.Background(), jobs)
+		if err == nil || !strings.Contains(err.Error(), "kaput") || !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("%T err = %v, want panic error naming the job", ex, err)
+		}
+	}
+}
