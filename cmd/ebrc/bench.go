@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/perfbench"
+)
+
+// benchEntry is one benchmark's record in the BENCH_<n>.json report.
+type benchEntry struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerRun uint64  `json:"events_per_run,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// benchReport is the schema of BENCH_<n>.json: one file per PR so the
+// perf trajectory of the simulator is recorded alongside the code.
+type benchReport struct {
+	ID          int          `json:"id,omitempty"`
+	GeneratedAt string       `json:"generated_at"`
+	GoVersion   string       `json:"go_version"`
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	Benchmarks  []benchEntry `json:"benchmarks"`
+}
+
+// runBenchSuite executes the canonical hot-path benchmark bodies from
+// internal/perfbench via testing.Benchmark — the same bodies `go test
+// -bench` runs — and writes the report to outPath. id == 0 (the
+// default) writes the scratch file BENCH_local.json so a bare `ebrc
+// -bench` never overwrites a committed BENCH_<n>.json baseline; pass
+// -benchid explicitly when recording a PR's numbers.
+func runBenchSuite(id int, outPath string, stdout, stderr io.Writer) int {
+	if outPath == "" {
+		if id > 0 {
+			outPath = fmt.Sprintf("BENCH_%d.json", id)
+		} else {
+			outPath = "BENCH_local.json"
+		}
+	}
+	report := benchReport{
+		ID:          id,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+	}
+
+	record := func(name string, bench func(*testing.B)) {
+		r := testing.Benchmark(bench)
+		e := benchEntry{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if v, ok := r.Extra["events/run"]; ok {
+			e.EventsPerRun = uint64(v)
+		}
+		if v, ok := r.Extra["events/sec"]; ok {
+			e.EventsPerSec = v
+		} else if r.T > 0 {
+			// The scheduler benches fire one event per op.
+			e.EventsPerSec = float64(r.N) / r.T.Seconds()
+		}
+		report.Benchmarks = append(report.Benchmarks, e)
+		fmt.Fprintf(stdout, "%-28s %12.1f ns/op %8d allocs/op %14.0f events/sec\n",
+			e.Name, e.NsPerOp, e.AllocsPerOp, e.EventsPerSec)
+	}
+
+	record("SchedulerFire", perfbench.SchedulerFire)
+	record("SchedulerTimerChurn", perfbench.SchedulerTimerChurn)
+	record("SchedulerDeepQueue", perfbench.SchedulerDeepQueue)
+	record("DumbbellSteadyState", perfbench.DumbbellSteadyState)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "ebrc: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(stderr, "ebrc: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", outPath)
+	return 0
+}

@@ -10,9 +10,15 @@
 //	ebrc -list
 //	ebrc -run fig5,fig7
 //	ebrc all
+//	ebrc -bench [-benchid N] [-benchout FILE]
 //
 // Scenarios: fig1 fig2 fig3 fig3c fig4 fig5 fig6 fig7 fig8 fig9 fig10
 // fig11 fig12-15 fig16 fig17 fig18-19 tableI claim3 claim4.
+//
+// -bench runs the DES/packet hot-path microbenchmarks and records
+// ns/op, allocs/op and events/sec in BENCH_<n>.json, so the simulator's
+// performance trajectory is tracked across PRs. -cpuprofile and
+// -memprofile write pprof profiles of whatever work the invocation did.
 package main
 
 import (
@@ -22,6 +28,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
@@ -43,9 +51,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list the registered scenarios and exit")
 	runNames := fs.String("run", "", "comma-separated scenarios to run")
 	progress := fs.Bool("progress", false, "report per-job progress on stderr")
+	bench := fs.Bool("bench", false, "run the hot-path microbenchmarks and write BENCH_<n>.json")
+	benchID := fs.Int("benchid", 0, "PR id for the -bench file name (0 = scratch BENCH_local.json)")
+	benchOut := fs.String("benchout", "", "explicit output path for -bench (default BENCH_<benchid>.json)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: ebrc [flags] <scenario> [...]\n")
-		fmt.Fprintf(stderr, "       ebrc -list | -run <scenario>[,...] | all\n\nflags:\n")
+		fmt.Fprintf(stderr, "       ebrc -list | -run <scenario>[,...] | all | -bench\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -53,6 +66,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 0
 		}
 		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "ebrc: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "ebrc: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "ebrc: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "ebrc: %v\n", err)
+			}
+		}()
+	}
+
+	if *bench {
+		return runBenchSuite(*benchID, *benchOut, stdout, stderr)
 	}
 
 	if *list || (fs.NArg() > 0 && fs.Arg(0) == "list") {

@@ -28,8 +28,9 @@ type Probe struct {
 	poisson bool
 	random  *rng.RNG
 
-	nextSeq int64
-	started bool
+	nextSeq    int64
+	started    bool
+	sendNextFn des.Event // bound once: the pacing loop re-arms per packet
 
 	// receiver side
 	expected int64
@@ -75,6 +76,7 @@ func NewProbe(sched *des.Scheduler, net *netsim.Dumbbell, flow int, size int, ra
 		rttGuess: rttGuess,
 	}
 	p.events = netsim.NewLossEventCounter(func() float64 { return p.rttGuess })
+	p.sendNextFn = p.sendNext
 	net.AttachFlow(flow, netsim.EndpointFunc(func(*netsim.Packet) {}), netsim.EndpointFunc(p.receive), fwdExtra, revDelay)
 	return p
 }
@@ -86,6 +88,9 @@ func (p *Probe) Start() {
 	}
 	p.started = true
 	p.measStart = p.sched.Now()
+	if p.sendNextFn == nil {
+		p.sendNextFn = p.sendNext
+	}
 	p.sendNext()
 }
 
@@ -112,19 +117,19 @@ func (p *Probe) Stats() ProbeStats {
 
 func (p *Probe) sendNext() {
 	p.pktsSent++
-	p.net.SendForward(&netsim.Packet{
-		Flow:   p.flow,
-		Seq:    p.nextSeq,
-		Size:   p.size,
-		SentAt: p.sched.Now(),
-		Kind:   netsim.Data,
-	})
+	pkt := p.net.GetPacket()
+	pkt.Flow = p.flow
+	pkt.Seq = p.nextSeq
+	pkt.Size = p.size
+	pkt.SentAt = p.sched.Now()
+	pkt.Kind = netsim.Data
+	p.net.SendForward(pkt)
 	p.nextSeq++
 	gap := 1 / p.rate
 	if p.poisson {
 		gap = p.random.Exp(p.rate)
 	}
-	p.sched.After(gap, p.sendNext)
+	p.sched.After(gap, p.sendNextFn)
 }
 
 func (p *Probe) receive(pkt *netsim.Packet) {

@@ -1,6 +1,7 @@
 package des
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -68,19 +69,19 @@ func TestCancel(t *testing.T) {
 	if ran {
 		t.Fatal("cancelled event ran")
 	}
-	// Double cancel and nil cancel are no-ops.
+	// Double cancel and zero-Timer cancel are no-ops.
 	tm.Cancel()
-	var nilT *Timer
-	nilT.Cancel()
-	if nilT.Active() {
-		t.Fatal("nil timer active")
+	var zero Timer
+	zero.Cancel()
+	if zero.Active() {
+		t.Fatal("zero timer active")
 	}
 }
 
 func TestCancelDuringRun(t *testing.T) {
 	var s Scheduler
 	ran := false
-	var tm *Timer
+	var tm Timer
 	s.At(1, func() { tm.Cancel() })
 	tm = s.At(2, func() { ran = true })
 	s.Run()
@@ -122,17 +123,194 @@ func TestRunUntilExactBoundary(t *testing.T) {
 	}
 }
 
-func TestPending(t *testing.T) {
+func TestPendingCountsLiveOnly(t *testing.T) {
 	var s Scheduler
-	s.At(1, func() {})
+	t1 := s.At(1, func() {})
 	s.At(2, func() {})
-	if s.Pending() != 2 {
+	t3 := s.At(3, func() {})
+	if s.Pending() != 3 {
 		t.Fatalf("pending = %d", s.Pending())
+	}
+	t1.Cancel()
+	t3.Cancel()
+	if s.Pending() != 1 {
+		t.Fatalf("pending after two cancels = %d, want 1 (live only)", s.Pending())
 	}
 	s.Run()
 	if s.Pending() != 0 {
 		t.Fatalf("pending after run = %d", s.Pending())
 	}
+}
+
+func TestCompactionBoundsHeap(t *testing.T) {
+	var s Scheduler
+	// Cancel-heavy workload: schedule far-future timers and immediately
+	// cancel them, as a retransmit timer re-armed per ACK does. Without
+	// compaction the heap would grow by one dead entry per iteration.
+	for i := 0; i < 100000; i++ {
+		tm := s.At(1e9+float64(i), func() {})
+		tm.Cancel()
+	}
+	if got := len(s.heap); got > 200 {
+		t.Fatalf("heap holds %d entries after cancel storm, want compacted (<= 200)", got)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", s.Pending())
+	}
+	// Live events must survive compaction and fire in order.
+	var got []float64
+	for i := 10; i > 0; i-- {
+		s.At(float64(i), func() { got = append(got, s.Now()) })
+	}
+	for i := 0; i < 100000; i++ {
+		tm := s.At(1e9+float64(i), func() {})
+		tm.Cancel()
+	}
+	s.RunUntil(20)
+	if len(got) != 10 {
+		t.Fatalf("fired %d live events, want 10", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("out of order after compaction: %v", got)
+		}
+	}
+}
+
+// TestTimerGenerationReuse checks that a stale handle to a recycled slot
+// can neither cancel nor observe the slot's new occupant.
+func TestTimerGenerationReuse(t *testing.T) {
+	var s Scheduler
+	old := s.At(1, func() {})
+	old.Cancel() // slot returns to the freelist
+	ran := false
+	fresh := s.At(2, func() { ran = true }) // recycles the slot
+	if old.slot != fresh.slot {
+		t.Fatalf("freelist did not recycle the slot (%d vs %d)", old.slot, fresh.slot)
+	}
+	if old.Active() {
+		t.Fatal("stale handle reports active")
+	}
+	old.Cancel() // must not touch the recycled slot
+	if !fresh.Active() {
+		t.Fatal("stale Cancel killed the new timer")
+	}
+	s.Run()
+	if !ran {
+		t.Fatal("recycled-slot event did not run")
+	}
+	// After firing, both handles are dead and further cancels are no-ops.
+	if fresh.Active() {
+		t.Fatal("fired timer reports active")
+	}
+	fresh.Cancel()
+}
+
+// TestFIFOUnderFreelistReuse checks the same-instant FIFO tie-break when
+// the events' slots come from the freelist in scrambled order.
+func TestFIFOUnderFreelistReuse(t *testing.T) {
+	var s Scheduler
+	// Build a scrambled freelist: schedule a batch, cancel out of order.
+	var tms []Timer
+	for i := 0; i < 16; i++ {
+		tms = append(tms, s.At(100, func() {}))
+	}
+	for _, i := range []int{7, 0, 15, 3, 12, 1, 9, 5, 14, 2, 11, 4, 13, 6, 10, 8} {
+		tms[i].Cancel()
+	}
+	var got []int
+	for i := 0; i < 16; i++ {
+		i := i
+		s.At(50, func() { got = append(got, i) })
+	}
+	s.RunUntil(60)
+	if len(got) != 16 {
+		t.Fatalf("fired %d events, want 16", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events out of scheduling order under slot reuse: %v", got)
+		}
+	}
+}
+
+// refEvent mirrors one scheduled event in the naive reference model.
+type refEvent struct {
+	at   float64
+	seq  uint64
+	id   int
+	dead bool
+}
+
+// TestQuickVsSortedSliceReference drives random schedule/cancel/
+// reschedule/step traffic through the scheduler and a naive
+// sorted-slice reference in lockstep, comparing the full firing order.
+func TestQuickVsSortedSliceReference(t *testing.T) {
+	r := rng.New(2024)
+	for trial := 0; trial < 200; trial++ {
+		var s Scheduler
+		var ref []refEvent
+		timers := map[int]Timer{}
+		var gotIDs, wantIDs []int
+		nextID := 0
+		steps := int(r.Uint64()%200) + 10
+		for op := 0; op < steps; op++ {
+			switch {
+			case r.Bernoulli(0.55): // schedule
+				id := nextID
+				nextID++
+				at := s.Now() + r.Float64()*10
+				timers[id] = s.At(at, func() { gotIDs = append(gotIDs, id) })
+				ref = append(ref, refEvent{at: at, seq: uint64(op), id: id})
+			case r.Bernoulli(0.5): // cancel a random live timer
+				for id, tm := range timers {
+					tm.Cancel()
+					delete(timers, id)
+					for i := range ref {
+						if ref[i].id == id {
+							ref[i].dead = true
+						}
+					}
+					break
+				}
+			default: // step
+				s.Step()
+				stepRef(&ref, &wantIDs)
+			}
+		}
+		for s.Step() {
+			stepRef(&ref, &wantIDs)
+		}
+		if len(gotIDs) != len(wantIDs) {
+			t.Fatalf("trial %d: fired %d events, reference fired %d", trial, len(gotIDs), len(wantIDs))
+		}
+		for i := range gotIDs {
+			if gotIDs[i] != wantIDs[i] {
+				t.Fatalf("trial %d: firing order diverges at %d: got %v want %v", trial, i, gotIDs, wantIDs)
+			}
+		}
+	}
+}
+
+// stepRef pops the earliest live event of the reference model.
+func stepRef(ref *[]refEvent, fired *[]int) {
+	events := *ref
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].seq < events[j].seq
+	})
+	for i, e := range events {
+		if e.dead {
+			continue
+		}
+		*fired = append(*fired, e.id)
+		*ref = append(events[:i], events[i+1:]...)
+		return
+	}
+	// Drop any fully dead prefix.
+	*ref = events[:0]
 }
 
 func TestPanics(t *testing.T) {
@@ -208,10 +386,32 @@ func TestQuickClockMonotone(t *testing.T) {
 	}
 }
 
+// TestSteadyStateZeroAlloc pins the tentpole property: a steady
+// schedule/cancel/fire cycle with a preallocated callback performs no
+// per-event allocations once the heap and freelist have warmed up.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	var s Scheduler
+	fn := func() {}
+	var tm Timer
+	work := func() {
+		tm.Cancel()
+		tm = s.After(2, fn)
+		s.After(1, fn)
+		s.Step()
+	}
+	for i := 0; i < 1024; i++ { // warm up
+		work()
+	}
+	if avg := testing.AllocsPerRun(1000, work); avg != 0 {
+		t.Fatalf("steady-state allocs per event cycle = %v, want 0", avg)
+	}
+}
+
 func BenchmarkScheduleAndFire(b *testing.B) {
 	var s Scheduler
+	fn := func() {}
 	for i := 0; i < b.N; i++ {
-		s.After(1, func() {})
+		s.After(1, fn)
 		s.Step()
 	}
 }

@@ -1,0 +1,14 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"repro/internal/perfbench"
+)
+
+// The benchmark body lives in internal/perfbench so that this wrapper
+// and `ebrc -bench` (BENCH_<n>.json) measure identical workloads. This
+// file is an external test package because perfbench imports
+// experiments.
+
+func BenchmarkDumbbellSteadyState(b *testing.B) { perfbench.DumbbellSteadyState(b) }

@@ -86,6 +86,10 @@ type SimResult struct {
 	TCPPerFlow []tcp.Stats
 	// TFRCPerFlow keeps each TFRC flow's stats.
 	TFRCPerFlow []tfrc.Stats
+	// EventsFired is the number of discrete events the scheduler executed
+	// over the whole run (warmup included) — the denominator for
+	// events/second throughput measurements of the simulator itself.
+	EventsFired uint64
 }
 
 // RunSim executes the configured dumbbell simulation and returns the
@@ -182,32 +186,38 @@ func RunSim(cfg SimConfig) SimResult {
 	sched.RunUntil(cfg.Warmup + cfg.Duration)
 
 	var res SimResult
-	res.TFRC = aggregateTFRC(tfrcSenders, cfg.L)
-	res.TCP = aggregateTCP(tcpSenders)
-	if probe != nil {
-		res.Poisson = probe.stats()
-	}
-	for _, s := range tcpSenders {
-		res.TCPPerFlow = append(res.TCPPerFlow, s.Stats())
-	}
+	res.TFRCPerFlow = make([]tfrc.Stats, 0, len(tfrcSenders))
 	for _, s := range tfrcSenders {
 		res.TFRCPerFlow = append(res.TFRCPerFlow, s.Stats())
 	}
+	res.TCPPerFlow = make([]tcp.Stats, 0, len(tcpSenders))
+	for _, s := range tcpSenders {
+		res.TCPPerFlow = append(res.TCPPerFlow, s.Stats())
+	}
+	res.TFRC = aggregateTFRC(res.TFRCPerFlow, cfg.L)
+	res.TCP = aggregateTCP(res.TCPPerFlow)
+	if probe != nil {
+		res.Poisson = probe.stats()
+	}
+	res.EventsFired = sched.Fired()
 	return res
 }
 
-func aggregateTFRC(senders []*tfrc.Sender, L int) ClassStats {
+func aggregateTFRC(perFlow []tfrc.Stats, L int) ClassStats {
 	var cs ClassStats
-	cs.Flows = len(senders)
-	if len(senders) == 0 {
+	cs.Flows = len(perFlow)
+	if len(perFlow) == 0 {
 		return cs
 	}
 	var pkts, events int64
 	var xSum, rttSum float64
 	var covAcc stats.Cov
-	var pAll []float64
-	for _, s := range senders {
-		st := s.Stats()
+	total := 0
+	for _, st := range perFlow {
+		total += len(st.LossIntervals)
+	}
+	pAll := make([]float64, 0, total)
+	for _, st := range perFlow {
 		pkts += st.PacketsSent
 		events += st.LossEvents
 		xSum += st.Throughput
@@ -217,8 +227,8 @@ func aggregateTFRC(senders []*tfrc.Sender, L int) ClassStats {
 		feedCov(&covAcc, st.LossIntervals, L)
 		pAll = append(pAll, st.LossIntervals...)
 	}
-	cs.Throughput = xSum / float64(len(senders))
-	cs.MeanRTT = rttSum / float64(len(senders))
+	cs.Throughput = xSum / float64(len(perFlow))
+	cs.MeanRTT = rttSum / float64(len(perFlow))
 	cs.Events = events
 	if pkts > 0 {
 		cs.LossEventRate = float64(events) / float64(pkts)
@@ -246,23 +256,22 @@ func feedCov(acc *stats.Cov, intervals []float64, L int) {
 	}
 }
 
-func aggregateTCP(senders []*tcp.Sender) ClassStats {
+func aggregateTCP(perFlow []tcp.Stats) ClassStats {
 	var cs ClassStats
-	cs.Flows = len(senders)
-	if len(senders) == 0 {
+	cs.Flows = len(perFlow)
+	if len(perFlow) == 0 {
 		return cs
 	}
 	var pkts, events int64
 	var xSum, rttSum float64
-	for _, s := range senders {
-		st := s.Stats()
+	for _, st := range perFlow {
 		pkts += st.PacketsSent
 		events += st.LossEvents
 		xSum += st.Throughput
 		rttSum += st.MeanRTT
 	}
-	cs.Throughput = xSum / float64(len(senders))
-	cs.MeanRTT = rttSum / float64(len(senders))
+	cs.Throughput = xSum / float64(len(perFlow))
+	cs.MeanRTT = rttSum / float64(len(perFlow))
 	cs.Events = events
 	if pkts > 0 {
 		cs.LossEventRate = float64(events) / float64(pkts)
@@ -288,6 +297,7 @@ type probeHandle struct {
 	eventsBase int64
 	pktsBase   int64
 	measStart  float64
+	sendNextFn des.Event
 }
 
 func newProbe(sched *des.Scheduler, net *netsim.Dumbbell, flow int, rate, rttGuess float64, seed uint64, revDelay float64) *probeHandle {
@@ -296,6 +306,7 @@ func newProbe(sched *des.Scheduler, net *netsim.Dumbbell, flow int, rate, rttGue
 		random: rng.New(seed), rttGuess: rttGuess,
 	}
 	p.events = netsim.NewLossEventCounter(func() float64 { return p.rttGuess })
+	p.sendNextFn = p.sendNext
 	net.AttachFlow(flow, netsim.EndpointFunc(func(*netsim.Packet) {}),
 		netsim.EndpointFunc(p.receive), 0, revDelay)
 	return p
@@ -305,12 +316,15 @@ func (p *probeHandle) start() { p.sendNext() }
 
 func (p *probeHandle) sendNext() {
 	p.pktsSent++
-	p.net.SendForward(&netsim.Packet{
-		Flow: p.flow, Seq: p.nextSeq, Size: 1000,
-		SentAt: p.sched.Now(), Kind: netsim.Data,
-	})
+	pkt := p.net.GetPacket()
+	pkt.Flow = p.flow
+	pkt.Seq = p.nextSeq
+	pkt.Size = 1000
+	pkt.SentAt = p.sched.Now()
+	pkt.Kind = netsim.Data
+	p.net.SendForward(pkt)
 	p.nextSeq++
-	p.sched.After(p.random.Exp(p.rate), p.sendNext)
+	p.sched.After(p.random.Exp(p.rate), p.sendNextFn)
 }
 
 func (p *probeHandle) receive(pkt *netsim.Packet) {

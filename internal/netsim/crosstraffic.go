@@ -34,6 +34,12 @@ type CrossTraffic struct {
 	seq     int64
 	// PacketsSent counts emitted packets.
 	PacketsSent int64
+
+	remaining int // packets left in the current burst
+	// Bound callbacks, allocated once so the burst loop schedules
+	// without capturing closures.
+	startBurstFn des.Event
+	burstStepFn  des.Event
 }
 
 // NewCrossTraffic builds a cross-traffic source on the dumbbell.
@@ -44,7 +50,7 @@ func NewCrossTraffic(sched *des.Scheduler, net *Dumbbell, flow int, peakRate, me
 	if peakRate <= 0 || meanBurst < 1 || paretoShape <= 1 || meanOff <= 0 || packetSize <= 0 {
 		panic("netsim: invalid cross-traffic parameters")
 	}
-	return &CrossTraffic{
+	c := &CrossTraffic{
 		sched:       sched,
 		net:         net,
 		Flow:        flow,
@@ -55,6 +61,9 @@ func NewCrossTraffic(sched *des.Scheduler, net *Dumbbell, flow int, peakRate, me
 		PacketSize:  packetSize,
 		random:      rng.New(seed),
 	}
+	c.startBurstFn = c.startBurst
+	c.burstStepFn = c.burstStep
+	return c
 }
 
 // Start begins the on/off cycle (with an initial off period).
@@ -76,7 +85,7 @@ func (c *CrossTraffic) MeanRate() float64 {
 
 func (c *CrossTraffic) scheduleOff() {
 	off := c.random.Exp(1 / c.MeanOff)
-	c.sched.After(off, c.startBurst)
+	c.sched.After(off, c.startBurstFn)
 }
 
 func (c *CrossTraffic) startBurst() {
@@ -86,20 +95,25 @@ func (c *CrossTraffic) startBurst() {
 	if n < 1 {
 		n = 1
 	}
-	c.sendBurst(n)
+	c.remaining = n
+	c.burstStep()
 }
 
-func (c *CrossTraffic) sendBurst(remaining int) {
-	if remaining <= 0 {
+func (c *CrossTraffic) burstStep() {
+	if c.remaining <= 0 {
 		c.scheduleOff()
 		return
 	}
+	c.remaining--
 	c.PacketsSent++
-	c.net.SendForward(&Packet{
-		Flow: c.Flow, Seq: c.seq, Size: c.PacketSize,
-		SentAt: c.sched.Now(), Kind: Data,
-	})
+	p := c.net.GetPacket()
+	p.Flow = c.Flow
+	p.Seq = c.seq
+	p.Size = c.PacketSize
+	p.SentAt = c.sched.Now()
+	p.Kind = Data
+	c.net.SendForward(p)
 	c.seq++
 	gap := float64(c.PacketSize) / c.PeakRate
-	c.sched.After(gap, func() { c.sendBurst(remaining - 1) })
+	c.sched.After(gap, c.burstStepFn)
 }

@@ -8,6 +8,12 @@
 // Conventions: sizes are in bytes, rates in bytes/second, times in
 // seconds. Queues are FIFO, so a same-path packet stream is never
 // reordered; protocols may treat sequence gaps as losses immediately.
+//
+// Packet memory is recycled: sources draw packets from the dumbbell's
+// freelist (Dumbbell.GetPacket) and the simulator returns them after the
+// destination endpoint's Receive returns, or at the drop point for
+// packets rejected by a queue. Endpoints must therefore copy out any
+// field they need and never retain a *Packet past Receive.
 package netsim
 
 import (
@@ -67,10 +73,33 @@ type Queue interface {
 	Len() int
 }
 
+// pktRing is a fixed-capacity circular FIFO of packets — the buffer
+// behind both queue disciplines, sized once at construction so the
+// steady-state enqueue/dequeue path never allocates.
+type pktRing struct {
+	buf   []*Packet
+	head  int
+	count int
+}
+
+func newPktRing(capacity int) pktRing { return pktRing{buf: make([]*Packet, capacity)} }
+
+func (r *pktRing) push(p *Packet) {
+	r.buf[(r.head+r.count)%len(r.buf)] = p
+	r.count++
+}
+
+func (r *pktRing) pop() *Packet {
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	return p
+}
+
 // DropTail is a FIFO queue with a fixed capacity in packets.
 type DropTail struct {
-	capacity int
-	buf      []*Packet
+	ring pktRing
 	// Drops counts packets rejected at enqueue.
 	Drops int64
 }
@@ -80,32 +109,29 @@ func NewDropTail(capacity int) *DropTail {
 	if capacity < 1 {
 		panic("netsim: DropTail capacity must be >= 1")
 	}
-	return &DropTail{capacity: capacity}
+	return &DropTail{ring: newPktRing(capacity)}
 }
 
 // Enqueue implements Queue.
 func (q *DropTail) Enqueue(p *Packet, _ float64) bool {
-	if len(q.buf) >= q.capacity {
+	if q.ring.count >= len(q.ring.buf) {
 		q.Drops++
 		return false
 	}
-	q.buf = append(q.buf, p)
+	q.ring.push(p)
 	return true
 }
 
 // Dequeue implements Queue.
 func (q *DropTail) Dequeue(_ float64) *Packet {
-	if len(q.buf) == 0 {
+	if q.ring.count == 0 {
 		return nil
 	}
-	p := q.buf[0]
-	q.buf[0] = nil
-	q.buf = q.buf[1:]
-	return p
+	return q.ring.pop()
 }
 
 // Len implements Queue.
-func (q *DropTail) Len() int { return len(q.buf) }
+func (q *DropTail) Len() int { return q.ring.count }
 
 // REDConfig holds the RED active-queue-management parameters, mirroring
 // the knobs the paper sets in its ns-2 and lab experiments.
@@ -156,7 +182,7 @@ func PaperRED(bdpPackets float64) REDConfig {
 // correction.
 type RED struct {
 	cfg      REDConfig
-	buf      []*Packet
+	ring     pktRing
 	avg      float64
 	count    int // packets since last drop while in [minth, maxth)
 	idleAt   float64
@@ -182,7 +208,10 @@ func NewRED(cfg REDConfig, linkRate float64, random *rng.RNG) *RED {
 	if random == nil {
 		panic("netsim: RED needs a random source")
 	}
-	return &RED{cfg: cfg, linkRate: linkRate, random: random, idle: true, meanPkt: 1000}
+	return &RED{
+		cfg: cfg, ring: newPktRing(cfg.Capacity),
+		linkRate: linkRate, random: random, idle: true, meanPkt: 1000,
+	}
 }
 
 // Avg returns the current average queue estimate in packets.
@@ -204,12 +233,12 @@ func (q *RED) Enqueue(p *Packet, now float64) bool {
 		}
 		q.idle = false
 	}
-	q.avg = (1-q.cfg.Wq)*q.avg + q.cfg.Wq*float64(len(q.buf))
+	q.avg = (1-q.cfg.Wq)*q.avg + q.cfg.Wq*float64(q.ring.count)
 
 	drop := false
 	forced := false
 	switch {
-	case len(q.buf) >= q.cfg.Capacity:
+	case q.ring.count >= q.cfg.Capacity:
 		drop, forced = true, true
 	case q.avg < q.cfg.MinTh:
 		// accept
@@ -246,19 +275,17 @@ func (q *RED) Enqueue(p *Packet, now float64) bool {
 	} else {
 		q.count = 0
 	}
-	q.buf = append(q.buf, p)
+	q.ring.push(p)
 	return true
 }
 
 // Dequeue implements Queue.
 func (q *RED) Dequeue(now float64) *Packet {
-	if len(q.buf) == 0 {
+	if q.ring.count == 0 {
 		return nil
 	}
-	p := q.buf[0]
-	q.buf[0] = nil
-	q.buf = q.buf[1:]
-	if len(q.buf) == 0 {
+	p := q.ring.pop()
+	if q.ring.count == 0 {
 		q.idle = true
 		q.idleAt = now
 	}
@@ -266,10 +293,15 @@ func (q *RED) Dequeue(now float64) *Packet {
 }
 
 // Len implements Queue.
-func (q *RED) Len() int { return len(q.buf) }
+func (q *RED) Len() int { return q.ring.count }
 
 // Link transmits packets from its queue at a fixed rate and delivers
 // them after a propagation delay. Deliver must be set before any Send.
+//
+// The transmission and propagation pipeline is driven by two callbacks
+// preallocated at construction; the packets in flight between
+// transmission completion and delivery wait in a circular buffer, so the
+// steady-state forwarding path performs no per-packet allocations.
 type Link struct {
 	sched *des.Scheduler
 	// Rate is the transmission rate in bytes/second.
@@ -280,10 +312,19 @@ type Link struct {
 	busy  bool
 	// Deliver receives each packet after transmission + propagation.
 	Deliver func(*Packet)
+	// Release, when set, receives packets rejected by the queue so
+	// their memory can be recycled (the dumbbell points it at its
+	// packet freelist). Unset, dropped packets are left to the GC.
+	Release func(*Packet)
 	// Forwarded counts packets fully transmitted.
 	Forwarded int64
 	// BytesForwarded counts bytes fully transmitted.
 	BytesForwarded int64
+
+	txPkt                       *Packet // the packet currently being serialized
+	prop                        []*Packet
+	propHead, propLen           int
+	onTxDoneFn, deliverOldestFn des.Event
 }
 
 // NewLink builds a link with the given rate (bytes/second), propagation
@@ -295,19 +336,25 @@ func NewLink(sched *des.Scheduler, rate, delay float64, queue Queue) *Link {
 	if rate <= 0 || delay < 0 {
 		panic("netsim: invalid link rate/delay")
 	}
-	return &Link{sched: sched, Rate: rate, Delay: delay, queue: queue}
+	l := &Link{sched: sched, Rate: rate, Delay: delay, queue: queue}
+	l.onTxDoneFn = l.onTxDone
+	l.deliverOldestFn = l.deliverOldest
+	return l
 }
 
 // Queue exposes the link's queue (for inspection in tests/experiments).
 func (l *Link) Queue() Queue { return l.queue }
 
 // Send offers a packet to the link. Dropped packets disappear silently
-// (the queue records them).
+// (the queue records them; Release recycles them when set).
 func (l *Link) Send(p *Packet) {
 	if l.Deliver == nil {
 		panic("netsim: link has no Deliver sink")
 	}
 	if !l.queue.Enqueue(p, l.sched.Now()) {
+		if l.Release != nil {
+			l.Release(p)
+		}
 		return
 	}
 	if !l.busy {
@@ -319,22 +366,57 @@ func (l *Link) transmitNext() {
 	p := l.queue.Dequeue(l.sched.Now())
 	if p == nil {
 		l.busy = false
+		l.txPkt = nil
 		return
 	}
 	l.busy = true
-	txTime := float64(p.Size) / l.Rate
-	l.sched.After(txTime, func() {
-		l.Forwarded++
-		l.BytesForwarded += int64(p.Size)
-		// Propagation in parallel with the next transmission.
-		l.sched.After(l.Delay, func() { l.Deliver(p) })
-		l.transmitNext()
-	})
+	l.txPkt = p
+	l.sched.After(float64(p.Size)/l.Rate, l.onTxDoneFn)
+}
+
+// onTxDone fires when the serialization of txPkt completes: the packet
+// enters propagation (in parallel with the next transmission).
+func (l *Link) onTxDone() {
+	p := l.txPkt
+	l.Forwarded++
+	l.BytesForwarded += int64(p.Size)
+	l.propPush(p)
+	l.sched.After(l.Delay, l.deliverOldestFn)
+	l.transmitNext()
+}
+
+// deliverOldest hands the head of the propagation pipeline to the sink.
+// Transmission completions are strictly ordered in time and propagation
+// delay is constant, so deliveries pop in FIFO order.
+func (l *Link) deliverOldest() {
+	l.Deliver(l.propPop())
+}
+
+func (l *Link) propPush(p *Packet) {
+	if l.propLen == len(l.prop) {
+		grown := make([]*Packet, max(8, 2*len(l.prop)))
+		for i := 0; i < l.propLen; i++ {
+			grown[i] = l.prop[(l.propHead+i)%len(l.prop)]
+		}
+		l.prop = grown
+		l.propHead = 0
+	}
+	l.prop[(l.propHead+l.propLen)%len(l.prop)] = p
+	l.propLen++
+}
+
+func (l *Link) propPop() *Packet {
+	p := l.prop[l.propHead]
+	l.prop[l.propHead] = nil
+	l.propHead = (l.propHead + 1) % len(l.prop)
+	l.propLen--
+	return p
 }
 
 // Endpoint consumes delivered packets.
 type Endpoint interface {
-	// Receive handles one packet addressed to this endpoint.
+	// Receive handles one packet addressed to this endpoint. The packet
+	// is recycled when Receive returns: copy fields out, never retain p.
 	Receive(p *Packet)
 }
 
@@ -344,11 +426,35 @@ type EndpointFunc func(p *Packet)
 // Receive implements Endpoint.
 func (f EndpointFunc) Receive(p *Packet) { f(p) }
 
+// delivery is one pending hand-off of a packet to an endpoint after a
+// pure delay (per-flow forward extra or reverse path). Deliveries are
+// recycled through the dumbbell's freelist; the bound run callback is
+// allocated once per delivery object, not per packet.
+type delivery struct {
+	d   *Dumbbell
+	to  Endpoint
+	p   *Packet
+	run des.Event
+}
+
+func (dv *delivery) deliver() {
+	to, p := dv.to, dv.p
+	dv.to, dv.p = nil, nil
+	dv.d.dpool = append(dv.d.dpool, dv)
+	to.Receive(p)
+	dv.d.PutPacket(p)
+}
+
 // Dumbbell is the canonical topology of the paper's experiments: every
 // forward-path packet traverses the shared bottleneck link and is then
 // demultiplexed by flow id to its receiver after a per-flow extra
 // one-way delay; the reverse path is uncongested and modeled as a pure
 // per-flow delay.
+//
+// The dumbbell owns the packet freelist: sources obtain packets with
+// GetPacket and the dumbbell returns each packet to the pool after final
+// delivery or at its drop point, so a steady-state simulation recycles a
+// small working set of packets instead of allocating one per send.
 type Dumbbell struct {
 	Sched      *des.Scheduler
 	Bottleneck *Link
@@ -363,6 +469,9 @@ type Dumbbell struct {
 	// arrivals into queue vacancies with unrealistic precision.
 	ReverseJitter float64
 	jitterRNG     *rng.RNG
+
+	pool  []*Packet
+	dpool []*delivery
 }
 
 // SetReverseJitter enables reverse-path delay jitter with the given
@@ -389,7 +498,44 @@ func NewDumbbell(sched *des.Scheduler, bottleneck *Link) *Dumbbell {
 		senders:    map[int]Endpoint{},
 	}
 	bottleneck.Deliver = d.deliverForward
+	bottleneck.Release = d.PutPacket
 	return d
+}
+
+// GetPacket returns a zeroed packet from the freelist (allocating only
+// when the pool is empty). The simulator reclaims it after delivery.
+func (d *Dumbbell) GetPacket() *Packet {
+	if n := len(d.pool); n > 0 {
+		p := d.pool[n-1]
+		d.pool = d.pool[:n-1]
+		*p = Packet{}
+		return p
+	}
+	return &Packet{}
+}
+
+// PutPacket returns a packet to the freelist. Callers normally never
+// need this — the dumbbell releases packets itself after delivery and on
+// drops — but sources that abandon a packet before sending may.
+func (d *Dumbbell) PutPacket(p *Packet) {
+	if p == nil {
+		return
+	}
+	d.pool = append(d.pool, p)
+}
+
+func (d *Dumbbell) getDelivery(to Endpoint, p *Packet) *delivery {
+	var dv *delivery
+	if n := len(d.dpool); n > 0 {
+		dv = d.dpool[n-1]
+		d.dpool = d.dpool[:n-1]
+	} else {
+		dv = &delivery{d: d}
+		dv.run = dv.deliver
+	}
+	dv.to = to
+	dv.p = p
+	return dv
 }
 
 // AttachFlow registers a flow's endpoints and path delays: fwdExtra is
@@ -425,22 +571,26 @@ func (d *Dumbbell) SendReverse(p *Packet) {
 	if d.ReverseJitter > 0 {
 		delay *= 1 + d.ReverseJitter*(2*d.jitterRNG.Float64()-1)
 	}
-	d.Sched.After(delay, func() { sender.Receive(p) })
+	dv := d.getDelivery(sender, p)
+	d.Sched.After(delay, dv.run)
 }
 
 func (d *Dumbbell) deliverForward(p *Packet) {
 	receiver, ok := d.receivers[p.Flow]
 	if !ok {
 		// Unattached flow (e.g. background traffic that terminates at
-		// the bottleneck): drop silently.
+		// the bottleneck): recycle silently.
+		d.PutPacket(p)
 		return
 	}
 	extra := d.fwdExtra[p.Flow]
 	if extra == 0 {
 		receiver.Receive(p)
+		d.PutPacket(p)
 		return
 	}
-	d.Sched.After(extra, func() { receiver.Receive(p) })
+	dv := d.getDelivery(receiver, p)
+	d.Sched.After(extra, dv.run)
 }
 
 // BaseRTT returns the no-queueing round-trip time for the flow: the

@@ -1,0 +1,87 @@
+// Package perfbench defines the canonical DES/packet hot-path benchmark
+// bodies. The `go test -bench` wrappers (internal/des and
+// internal/experiments) and the `ebrc -bench` BENCH_<n>.json reporter
+// all run these same functions, so every recorded number measures an
+// identical workload and the perf trajectory stays comparable across
+// PRs.
+package perfbench
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/experiments"
+)
+
+// SchedulerFire measures the schedule-one/fire-one cycle — the
+// event-loop cost every simulated packet pays at least twice (enqueue at
+// the sender, transmit completion at the link).
+func SchedulerFire(b *testing.B) {
+	var s des.Scheduler
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(1, fn)
+		s.Step()
+	}
+}
+
+// SchedulerTimerChurn measures the cancel/re-arm pattern of the
+// protocol timers (TFRC no-feedback, TCP retransmit): every ACK cancels
+// a pending timer and schedules a fresh one.
+func SchedulerTimerChurn(b *testing.B) {
+	var s des.Scheduler
+	fn := func() {}
+	tm := s.After(1, fn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Cancel()
+		tm = s.After(2, fn)
+		s.After(1, fn)
+		s.Step()
+	}
+}
+
+// SchedulerDeepQueue measures push/pop with many pending events (a
+// loaded dumbbell keeps hundreds of timers and in-flight packets
+// queued), where heap depth dominates.
+func SchedulerDeepQueue(b *testing.B) {
+	var s des.Scheduler
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		s.After(float64(i)+0.5, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(0.25, fn)
+		s.Step()
+	}
+}
+
+// DumbbellSteadyState measures whole-simulation throughput on a
+// mid-size run of the lab testbed profile: 8 TFRC + 8 TCP flows through
+// the 10 Mb/s DropTail-100 bottleneck for 30 simulated seconds — large
+// enough that the steady-state event loop (packet transmissions,
+// deliveries, acks, protocol timers) dominates setup cost. It reports
+// events/sec (scheduler events per second of wall time, the end-to-end
+// number the hot-path optimization targets) and events/run (divide
+// allocs/op by it for allocations per simulated event).
+func DumbbellSteadyState(b *testing.B) {
+	cfg := experiments.LabDT100.Scale(0.1, 0).Config(8, 8, 17)
+	var events uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunSim(cfg)
+		events = res.EventsFired
+	}
+	b.StopTimer()
+	if events > 0 {
+		secPerOp := b.Elapsed().Seconds() / float64(b.N)
+		b.ReportMetric(float64(events)/secPerOp, "events/sec")
+		b.ReportMetric(float64(events), "events/run")
+	}
+}

@@ -97,7 +97,8 @@ type Sender struct {
 
 	srtt, rttvar, rto float64
 	backoff           int
-	rtoTimer          *des.Timer
+	rtoTimer          des.Timer
+	onTimeoutFn       des.Event // bound once: the RTO re-arm path is per-ACK
 
 	lossEvents *netsim.LossEventCounter
 
@@ -132,6 +133,7 @@ func NewSender(sched *des.Scheduler, net *netsim.Dumbbell, flow int, cfg Config)
 		}
 		return 0.1
 	})
+	s.onTimeoutFn = s.onTimeout
 	return s
 }
 
@@ -195,13 +197,13 @@ func (s *Sender) maybeSend() {
 
 func (s *Sender) sendSeq(seq int64) {
 	s.pktsSent++
-	s.net.SendForward(&netsim.Packet{
-		Flow:   s.flow,
-		Seq:    seq,
-		Size:   s.cfg.SegSize,
-		SentAt: s.sched.Now(),
-		Kind:   netsim.Data,
-	})
+	p := s.net.GetPacket()
+	p.Flow = s.flow
+	p.Seq = seq
+	p.Size = s.cfg.SegSize
+	p.SentAt = s.sched.Now()
+	p.Kind = netsim.Data
+	s.net.SendForward(p)
 }
 
 // Receive implements netsim.Endpoint for the returning ACK stream.
@@ -277,11 +279,9 @@ func (s *Sender) sampleRTT(rtt float64) {
 }
 
 func (s *Sender) armRTO() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Cancel()
-	}
+	s.rtoTimer.Cancel()
 	d := s.rto * math.Pow(2, float64(s.backoff))
-	s.rtoTimer = s.sched.After(d, s.onTimeout)
+	s.rtoTimer = s.sched.After(d, s.onTimeoutFn)
 }
 
 func (s *Sender) onTimeout() {
@@ -348,13 +348,13 @@ func (r *Receiver) Receive(p *netsim.Packet) {
 	r.unacked++
 	if dup || r.unacked >= r.cfg.AckEvery {
 		r.unacked = 0
-		r.net.SendReverse(&netsim.Packet{
-			Flow:   r.flow,
-			Kind:   netsim.Ack,
-			Size:   r.cfg.AckSize,
-			AckSeq: r.expected,
-			Echo:   p.SentAt,
-		})
+		ack := r.net.GetPacket()
+		ack.Flow = r.flow
+		ack.Kind = netsim.Ack
+		ack.Size = r.cfg.AckSize
+		ack.AckSeq = r.expected
+		ack.Echo = p.SentAt
+		r.net.SendReverse(ack)
 	}
 }
 

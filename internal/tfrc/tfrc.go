@@ -147,12 +147,17 @@ type Sender struct {
 	slowStart bool
 	random    *rng.RNG
 
-	sendTimer  *des.Timer
-	nfTimer    *des.Timer
+	sendTimer  des.Timer
+	nfTimer    des.Timer
 	receiver   *Receiver
 	started    bool
 	lastRecvRt float64
 	lastP      float64
+
+	// Bound callbacks, allocated once so the per-packet and per-timer
+	// scheduling path stays allocation-free.
+	sendNextFn     des.Event
+	onNoFeedbackFn des.Event
 
 	measStart float64
 	pktsSent  int64
@@ -177,7 +182,8 @@ type Receiver struct {
 
 	bytesSinceFB float64
 	lastFBAt     float64
-	fbTimer      *des.Timer
+	fbTimer      des.Timer
+	sendFBFn     des.Event
 
 	// PacketsReceived counts data packets delivered.
 	PacketsReceived int64
@@ -206,6 +212,7 @@ func NewFlow(sched *des.Scheduler, net *netsim.Dumbbell, flow int, cfg Config, f
 		}
 		return 0.1
 	})
+	rcv.sendFBFn = rcv.sendFeedback
 	snd := &Sender{
 		cfg:       cfg,
 		sched:     sched,
@@ -217,6 +224,8 @@ func NewFlow(sched *des.Scheduler, net *netsim.Dumbbell, flow int, cfg Config, f
 		receiver:  rcv,
 		random:    rng.New(cfg.Seed ^ uint64(flow)*0x9e3779b97f4a7c15),
 	}
+	snd.sendNextFn = snd.sendNext
+	snd.onNoFeedbackFn = snd.onNoFeedback
 	net.AttachFlow(flow, snd, rcv, fwdExtra, revDelay)
 	return snd, rcv
 }
@@ -271,20 +280,20 @@ func (s *Sender) Stats() Stats {
 func (s *Sender) sendNext() {
 	now := s.sched.Now()
 	s.pktsSent++
-	s.net.SendForward(&netsim.Packet{
-		Flow:   s.flow,
-		Seq:    s.nextSeq,
-		Size:   s.cfg.SegSize,
-		SentAt: now,
-		Kind:   netsim.Data,
-		RTTEst: s.rtt.Value(),
-	})
+	p := s.net.GetPacket()
+	p.Flow = s.flow
+	p.Seq = s.nextSeq
+	p.Size = s.cfg.SegSize
+	p.SentAt = now
+	p.Kind = netsim.Data
+	p.RTTEst = s.rtt.Value()
+	s.net.SendForward(p)
 	s.nextSeq++
 	gap := float64(s.cfg.SegSize) / s.rate
 	if s.cfg.SendJitter > 0 {
 		gap *= 1 + s.cfg.SendJitter*(2*s.random.Float64()-1)
 	}
-	s.sendTimer = s.sched.After(gap, s.sendNext)
+	s.sendTimer = s.sched.After(gap, s.sendNextFn)
 }
 
 // Receive implements netsim.Endpoint for the feedback stream.
@@ -338,9 +347,7 @@ func (s *Sender) updateRate(p, recvRate float64) {
 }
 
 func (s *Sender) armNoFeedback() {
-	if s.nfTimer != nil {
-		s.nfTimer.Cancel()
-	}
+	s.nfTimer.Cancel()
 	// RFC 3448 §4.4: the no-feedback interval is max(4R, 2s/X) — the
 	// 2s/X term keeps slow senders from spiraling down when packets
 	// (and hence feedback) are spaced wider than four round-trip times.
@@ -348,11 +355,14 @@ func (s *Sender) armNoFeedback() {
 	if rtt := s.rtt.Value(); rtt > 0 {
 		d = math.Max(4*rtt, 2*float64(s.cfg.SegSize)/s.rate)
 	}
-	s.nfTimer = s.sched.After(d, func() {
-		// No feedback: halve the rate and keep waiting.
-		s.rate = math.Max(s.rate/2, float64(s.cfg.SegSize)/8)
-		s.armNoFeedback()
-	})
+	s.nfTimer = s.sched.After(d, s.onNoFeedbackFn)
+}
+
+// onNoFeedback fires when no feedback arrived for a full no-feedback
+// interval: halve the rate and keep waiting.
+func (s *Sender) onNoFeedback() {
+	s.rate = math.Max(s.rate/2, float64(s.cfg.SegSize)/8)
+	s.armNoFeedback()
 }
 
 // LossEventRateEstimate returns the receiver's current p estimate: the
@@ -407,7 +417,7 @@ func (r *Receiver) Receive(p *netsim.Packet) {
 	if p.Seq > r.highest {
 		r.highest = p.Seq
 	}
-	if r.fbTimer == nil || !r.fbTimer.Active() {
+	if !r.fbTimer.Active() {
 		r.scheduleFeedback()
 	}
 }
@@ -450,7 +460,7 @@ func (r *Receiver) scheduleFeedback() {
 		rtt = 0.1
 	}
 	interval := math.Max(rtt, r.cfg.MinInterval)
-	r.fbTimer = r.sched.After(interval, r.sendFeedback)
+	r.fbTimer = r.sched.After(interval, r.sendFBFn)
 }
 
 func (r *Receiver) sendFeedback() {
@@ -474,13 +484,13 @@ func (r *Receiver) sendFeedback() {
 	if r.lastSentAt > 0 {
 		echo = r.lastSentAt + (now - r.lastRecvAt)
 	}
-	r.net.SendReverse(&netsim.Packet{
-		Flow:     r.flow,
-		Kind:     netsim.Feedback,
-		Size:     r.cfg.FeedbackSize,
-		Echo:     echo,
-		LossRate: r.LossEventRateEstimate(),
-		RecvRate: recvRate,
-	})
+	p := r.net.GetPacket()
+	p.Flow = r.flow
+	p.Kind = netsim.Feedback
+	p.Size = r.cfg.FeedbackSize
+	p.Echo = echo
+	p.LossRate = r.LossEventRateEstimate()
+	p.RecvRate = recvRate
+	r.net.SendReverse(p)
 	r.scheduleFeedback()
 }
