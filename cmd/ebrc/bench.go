@@ -81,6 +81,7 @@ func runBenchSuite(id int, outPath string, stdout, stderr io.Writer) int {
 	record("SchedulerTimerChurn", perfbench.SchedulerTimerChurn)
 	record("SchedulerDeepQueue", perfbench.SchedulerDeepQueue)
 	record("DumbbellSteadyState", perfbench.DumbbellSteadyState)
+	record("ParkingLotSteadyState", perfbench.ParkingLotSteadyState)
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -13,7 +13,8 @@
 //	ebrc -bench [-benchid N] [-benchout FILE]
 //
 // Scenarios: fig1 fig2 fig3 fig3c fig4 fig5 fig6 fig7 fig8 fig9 fig10
-// fig11 fig12-15 fig16 fig17 fig18-19 tableI claim3 claim4.
+// fig11 fig12-15 fig16 fig17 fig18-19 tableI claim3 claim4, plus the
+// multi-hop topology family: parkinglot hetrtt multibneck.
 //
 // -bench runs the DES/packet hot-path microbenchmarks and records
 // ns/op, allocs/op and events/sec in BENCH_<n>.json, so the simulator's
@@ -107,9 +108,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	names := fs.Args()
-	if *runNames != "" {
-		for _, n := range strings.Split(*runNames, ",") {
+	// Scenario names come from the positional arguments and the -run
+	// flag alike; both accept comma-separated lists ("ebrc fig5,fig7").
+	var names []string
+	for _, arg := range append(fs.Args(), *runNames) {
+		for _, n := range strings.Split(arg, ",") {
 			if n = strings.TrimSpace(n); n != "" {
 				names = append(names, n)
 			}

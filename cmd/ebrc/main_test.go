@@ -40,6 +40,15 @@ func TestRunScenario(t *testing.T) {
 	if par.String() != serial.String() {
 		t.Fatal("parallel output differs from serial")
 	}
+	// Positional arguments accept the same comma-separated spelling,
+	// with whitespace tolerated.
+	var pos bytes.Buffer
+	if code := run([]string{"fig1, tableI"}, &pos, &errb); code != 0 {
+		t.Fatalf("positional list exit %d, stderr: %s", code, errb.String())
+	}
+	if pos.String() != serial.String() {
+		t.Fatal("positional comma list differs from -run")
+	}
 }
 
 func TestRunErrors(t *testing.T) {

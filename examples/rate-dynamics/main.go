@@ -15,13 +15,14 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/tcp"
 	"repro/internal/tfrc"
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
 func main() {
 	var sched des.Scheduler
 	link := netsim.NewLink(&sched, 1.25e6, 0.01, netsim.NewDropTail(80))
-	net := netsim.NewDumbbell(&sched, link)
+	net := topology.NewDumbbell(&sched, link)
 	net.SetReverseJitter(0.2, 7)
 
 	tsnd, _ := tfrc.NewFlow(&sched, net, 1, tfrc.DefaultConfig(), 0, 0.03)

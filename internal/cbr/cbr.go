@@ -21,7 +21,7 @@ import (
 // Figure 7.
 type Probe struct {
 	sched   *des.Scheduler
-	net     *netsim.Dumbbell
+	net     netsim.Network
 	flow    int
 	size    int
 	rate    float64 // packets per second
@@ -54,11 +54,11 @@ type ProbeStats struct {
 	LossEventRate float64
 }
 
-// NewProbe attaches a probe flow to the dumbbell. rate is in packets per
+// NewProbe attaches a probe flow to the network. rate is in packets per
 // second; if poisson is true the inter-packet gaps are exponential
 // (Poisson arrivals), otherwise constant (CBR). rttGuess sets the
 // loss-event grouping window.
-func NewProbe(sched *des.Scheduler, net *netsim.Dumbbell, flow int, size int, rate float64, poisson bool, rttGuess float64, seed uint64, fwdExtra, revDelay float64) *Probe {
+func NewProbe(sched *des.Scheduler, net netsim.Network, flow int, size int, rate float64, poisson bool, rttGuess float64, seed uint64, fwdExtra, revDelay float64) *Probe {
 	if sched == nil || net == nil {
 		panic("cbr: nil scheduler or network")
 	}

@@ -9,12 +9,13 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/rng"
 	"repro/internal/tcp"
+	"repro/internal/topology"
 )
 
 func TestProbeCountsLossEvents(t *testing.T) {
 	var s des.Scheduler
 	link := netsim.NewLink(&s, 1.25e6, 0.01, netsim.NewDropTail(50))
-	net := netsim.NewDumbbell(&s, link)
+	net := topology.NewDumbbell(&s, link)
 	// Saturating TCP flow creates periodic loss episodes; the probe
 	// samples them.
 	csnd, _ := tcp.NewFlow(&s, net, 1, tcp.DefaultConfig(), 0, 0.015)
@@ -39,7 +40,7 @@ func TestProbeCountsLossEvents(t *testing.T) {
 func TestProbeCBRSpacing(t *testing.T) {
 	var s des.Scheduler
 	link := netsim.NewLink(&s, 1e9, 0, netsim.NewDropTail(1000))
-	net := netsim.NewDumbbell(&s, link)
+	net := topology.NewDumbbell(&s, link)
 	var arrivals []float64
 	net.AttachFlow(7, netsim.EndpointFunc(func(*netsim.Packet) {}),
 		netsim.EndpointFunc(func(p *netsim.Packet) { arrivals = append(arrivals, s.Now()) }), 0, 0)
@@ -60,7 +61,7 @@ func TestProbeCBRSpacing(t *testing.T) {
 func TestPoissonProbeExponentialGaps(t *testing.T) {
 	var s des.Scheduler
 	link := netsim.NewLink(&s, 1e9, 0, netsim.NewDropTail(100000))
-	net := netsim.NewDumbbell(&s, link)
+	net := topology.NewDumbbell(&s, link)
 	probe := NewProbe(&s, net, 7, 100, 50, true, 0.1, 5, 0, 0)
 	var arrivals []float64
 	inner := link.Deliver
@@ -163,7 +164,7 @@ func TestAudioLargerLWeakerEffect(t *testing.T) {
 func TestPanics(t *testing.T) {
 	var s des.Scheduler
 	link := netsim.NewLink(&s, 1e6, 0, netsim.NewDropTail(10))
-	net := netsim.NewDumbbell(&s, link)
+	net := topology.NewDumbbell(&s, link)
 	f := formula.NewSQRT(formula.DefaultParams())
 	cases := []func(){
 		func() { NewProbe(nil, net, 1, 100, 1, false, 0.1, 1, 0, 0) },

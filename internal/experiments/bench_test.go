@@ -12,3 +12,5 @@ import (
 // experiments.
 
 func BenchmarkDumbbellSteadyState(b *testing.B) { perfbench.DumbbellSteadyState(b) }
+
+func BenchmarkParkingLotSteadyState(b *testing.B) { perfbench.ParkingLotSteadyState(b) }

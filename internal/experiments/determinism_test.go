@@ -62,6 +62,28 @@ func TestSimScenarioParallelDeterminism(t *testing.T) {
 	}
 }
 
+// The same property for the multi-hop topology scenarios: the
+// parking-lot and multi-bottleneck sweeps must fold byte-identically
+// from a worker pool.
+func TestTopoScenarioParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-level determinism check skipped in -short mode")
+	}
+	t.Parallel()
+	sz := Sizing{Events: 2000, SimFactor: 0.04, Pairs: []int{1}, PairsCap: 1}
+	for _, name := range []string{"multibneck", "parkinglot", "hetrtt"} {
+		serial := renderAll(t, name, sz, runner.Serial{})
+		if len(serial) == 0 {
+			t.Fatalf("%s: empty serial output", name)
+		}
+		par := renderAll(t, name, sz, runner.NewPool(8))
+		if !bytes.Equal(serial, par) {
+			t.Fatalf("%s: parallel TSV differs from serial\nserial:\n%s\nparallel:\n%s",
+				name, serial, par)
+		}
+	}
+}
+
 // Every registered scenario must expand to at least one job and fold
 // without error under a tiny sizing... cheap structural checks only:
 // expansion must be deterministic and job names unique enough to audit.
@@ -87,7 +109,7 @@ func TestRegistryExpansion(t *testing.T) {
 			}
 		}
 	}
-	if len(Scenarios()) < 19 {
-		t.Fatalf("registry has %d scenarios, want >= 19", len(Scenarios()))
+	if len(Scenarios()) < 22 {
+		t.Fatalf("registry has %d scenarios, want >= 22", len(Scenarios()))
 	}
 }

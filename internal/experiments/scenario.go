@@ -151,21 +151,27 @@ type simCell struct {
 	pairs      int
 }
 
-// simGridPlan is the shared shape of the packet-level figures: one sim
-// job per cell, each completed sim folded into zero or more rows of t.
-func simGridPlan(t *Table, cells []simCell,
-	rows func(c simCell, res SimResult) [][]float64) ([]runner.Job, FoldFunc) {
+// gridPlan is the shared shape of the packet-level figures: one job per
+// sweep cell, each completed run folded into zero or more rows of t.
+func gridPlan[C, R any](t *Table, cells []C, job func(c C) runner.Job,
+	rows func(c C, res R) [][]float64) ([]runner.Job, FoldFunc) {
 	jobs := make([]runner.Job, len(cells))
 	for i, c := range cells {
-		jobs[i] = simJob(c.name, c.cfg)
+		jobs[i] = job(c)
 	}
 	fold := func(results []any) []*Table {
 		for i, r := range results {
-			for _, row := range rows(cells[i], r.(SimResult)) {
+			for _, row := range rows(cells[i], r.(R)) {
 				t.AddRow(row...)
 			}
 		}
 		return []*Table{t}
 	}
 	return jobs, fold
+}
+
+// simGridPlan instantiates gridPlan for dumbbell sweeps.
+func simGridPlan(t *Table, cells []simCell,
+	rows func(c simCell, res SimResult) [][]float64) ([]runner.Job, FoldFunc) {
+	return gridPlan(t, cells, func(c simCell) runner.Job { return simJob(c.name, c.cfg) }, rows)
 }

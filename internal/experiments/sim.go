@@ -10,6 +10,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/tcp"
 	"repro/internal/tfrc"
+	"repro/internal/topology"
 )
 
 // QueueKind selects the bottleneck queue discipline.
@@ -92,6 +93,38 @@ type SimResult struct {
 	EventsFired uint64
 }
 
+// staggeredStart schedules a sender's Start at a seed-drawn offset
+// inside the first half of the warmup (capped at 5 s), breaking phase
+// locking between flows that would otherwise start simultaneously.
+func staggeredStart(sched *des.Scheduler, seedRNG *rng.RNG, warmup float64, start des.Event) {
+	sched.At(seedRNG.Float64()*math.Min(warmup/2, 5), start)
+}
+
+// resetStats restarts every sender's measurement window (warmup ends).
+func resetStats[S interface{ ResetStats() }](senders []S) {
+	for _, s := range senders {
+		s.ResetStats()
+	}
+}
+
+// collectStats gathers each sender's measurement-window summary in
+// attachment order.
+func collectStats[S any, St any](senders []S, stats func(S) St) []St {
+	out := make([]St, 0, len(senders))
+	for _, s := range senders {
+		out = append(out, stats(s))
+	}
+	return out
+}
+
+func tfrcStats(senders []*tfrc.Sender) []tfrc.Stats {
+	return collectStats(senders, (*tfrc.Sender).Stats)
+}
+
+func tcpStats(senders []*tcp.Sender) []tcp.Stats {
+	return collectStats(senders, (*tcp.Sender).Stats)
+}
+
 // RunSim executes the configured dumbbell simulation and returns the
 // per-class aggregates. It is fully deterministic in cfg.Seed.
 func RunSim(cfg SimConfig) SimResult {
@@ -117,7 +150,7 @@ func RunSim(cfg SimConfig) SimResult {
 		panic("experiments: unknown queue kind")
 	}
 	link := netsim.NewLink(&sched, cfg.Capacity, cfg.BaseDelay, queue)
-	net := netsim.NewDumbbell(&sched, link)
+	net := topology.NewDumbbell(&sched, link)
 	if cfg.RevJitter > 0 {
 		net.SetReverseJitter(cfg.RevJitter, seedRNG.Uint64())
 	}
@@ -135,16 +168,14 @@ func RunSim(cfg SimConfig) SimResult {
 		c.Seed = seedRNG.Uint64()
 		snd, _ := tfrc.NewFlow(&sched, net, flowID, c, 0, cfg.RevDelay)
 		tfrcSenders = append(tfrcSenders, snd)
-		start := seedRNG.Float64() * math.Min(cfg.Warmup/2, 5)
-		sched.At(start, snd.Start)
+		staggeredStart(&sched, seedRNG, cfg.Warmup, snd.Start)
 		flowID++
 	}
 	tcpSenders := make([]*tcp.Sender, 0, cfg.NTCP)
 	for i := 0; i < cfg.NTCP; i++ {
 		snd, _ := tcp.NewFlow(&sched, net, flowID, tcp.DefaultConfig(), 0, cfg.RevDelay)
 		tcpSenders = append(tcpSenders, snd)
-		start := seedRNG.Float64() * math.Min(cfg.Warmup/2, 5)
-		sched.At(start, snd.Start)
+		staggeredStart(&sched, seedRNG, cfg.Warmup, snd.Start)
 		flowID++
 	}
 	var probe *probeHandle
@@ -174,32 +205,27 @@ func RunSim(cfg SimConfig) SimResult {
 	}
 
 	sched.RunUntil(cfg.Warmup)
-	for _, s := range tfrcSenders {
-		s.ResetStats()
-	}
-	for _, s := range tcpSenders {
-		s.ResetStats()
-	}
+	resetStats(tfrcSenders)
+	resetStats(tcpSenders)
 	if probe != nil {
 		probe.resetStats()
 	}
 	sched.RunUntil(cfg.Warmup + cfg.Duration)
 
 	var res SimResult
-	res.TFRCPerFlow = make([]tfrc.Stats, 0, len(tfrcSenders))
-	for _, s := range tfrcSenders {
-		res.TFRCPerFlow = append(res.TFRCPerFlow, s.Stats())
-	}
-	res.TCPPerFlow = make([]tcp.Stats, 0, len(tcpSenders))
-	for _, s := range tcpSenders {
-		res.TCPPerFlow = append(res.TCPPerFlow, s.Stats())
-	}
+	res.TFRCPerFlow = tfrcStats(tfrcSenders)
+	res.TCPPerFlow = tcpStats(tcpSenders)
 	res.TFRC = aggregateTFRC(res.TFRCPerFlow, cfg.L)
 	res.TCP = aggregateTCP(res.TCPPerFlow)
 	if probe != nil {
 		res.Poisson = probe.stats()
 	}
 	res.EventsFired = sched.Fired()
+	if LeakCheck {
+		if err := net.CheckLeaks(); err != nil {
+			panic(err)
+		}
+	}
 	return res
 }
 
@@ -284,7 +310,7 @@ func aggregateTCP(perFlow []tcp.Stats) ClassStats {
 // risk and keeps the class-stats shape uniform).
 type probeHandle struct {
 	sched    *des.Scheduler
-	net      *netsim.Dumbbell
+	net      netsim.Network
 	flow     int
 	rate     float64
 	random   *rng.RNG
@@ -300,7 +326,7 @@ type probeHandle struct {
 	sendNextFn des.Event
 }
 
-func newProbe(sched *des.Scheduler, net *netsim.Dumbbell, flow int, rate, rttGuess float64, seed uint64, revDelay float64) *probeHandle {
+func newProbe(sched *des.Scheduler, net netsim.Network, flow int, rate, rttGuess float64, seed uint64, revDelay float64) *probeHandle {
 	p := &probeHandle{
 		sched: sched, net: net, flow: flow, rate: rate,
 		random: rng.New(seed), rttGuess: rttGuess,

@@ -1,0 +1,366 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/formula"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/runner"
+	"repro/internal/tcp"
+	"repro/internal/tfrc"
+	"repro/internal/topology"
+)
+
+// LeakCheck, when set (the experiments test harness turns it on),
+// verifies the packet-freelist leak invariant at the end of every
+// packet-level run and panics on a violation. It stays off in
+// production runs to keep the hot path assertion-free.
+var LeakCheck bool
+
+// TopoSimConfig describes one multi-hop simulation on a chain of
+// bottleneck links (the "parking lot" of the multi-bottleneck
+// literature): long TFRC and TCP flows traverse every hop end to end,
+// while short TCP flows cross a single hop each. Hops = 1 degenerates
+// to the dumbbell.
+type TopoSimConfig struct {
+	// Hops is the number of bottleneck links in series (>= 1).
+	Hops int
+	// Capacity is the per-hop link rate in bytes/second.
+	Capacity float64
+	// Buffer is the per-hop DropTail capacity in packets.
+	Buffer int
+	// HopDelay is the per-hop one-way propagation delay in seconds.
+	HopDelay float64
+	// AccessDelay is the extra one-way delay from the last hop's egress
+	// to each long flow's receiver.
+	AccessDelay float64
+	// RevDelay is the uncongested reverse-path delay of the long flows.
+	RevDelay float64
+	// NTFRC and NTCP are the numbers of long (end-to-end) flows.
+	NTFRC, NTCP int
+	// CrossPerHop adds this many short TCP flows crossing each hop.
+	CrossPerHop int
+	// CrossRevDelay is the reverse-path delay of the crossing flows
+	// (their forward path is just the one hop).
+	CrossRevDelay float64
+	// RTTSpread, when positive, scales long flow i's terminal delays by
+	// 1 + RTTSpread·i/(n-1), giving a heterogeneous-RTT population
+	// (flow 0 keeps the base RTT, the last flow gets 1+RTTSpread times
+	// the terminal delays).
+	RTTSpread float64
+	// L is the TFRC loss-interval window.
+	L int
+	// Comprehensive toggles TFRC's comprehensive-control element.
+	Comprehensive bool
+	// Duration and Warmup are the measured and discarded sim seconds.
+	Duration, Warmup float64
+	// Seed drives all randomness in the run.
+	Seed uint64
+	// RevJitter randomizes reverse-path delays (fraction, see topology).
+	RevJitter float64
+}
+
+// TopoSimResult holds per-class aggregates of one multi-hop run: the
+// long flows by protocol, and the crossing flows pooled.
+type TopoSimResult struct {
+	// TFRC and TCP aggregate the long end-to-end flows.
+	TFRC, TCP ClassStats
+	// Cross aggregates the short crossing TCP flows over all hops.
+	Cross ClassStats
+	// TFRCPerFlow and TCPPerFlow keep the long flows' stats in
+	// attachment order (flow i has the i-th smallest RTT under
+	// RTTSpread).
+	TFRCPerFlow []tfrc.Stats
+	TCPPerFlow  []tcp.Stats
+	// BaseRTT is the long flows' no-queueing RTT per TFRC flow index.
+	BaseRTT []float64
+	// EventsFired counts the scheduler events of the whole run.
+	EventsFired uint64
+}
+
+// RunTopoSim executes the configured multi-hop simulation and returns
+// the per-class aggregates. It is fully deterministic in cfg.Seed.
+func RunTopoSim(cfg TopoSimConfig) TopoSimResult {
+	if cfg.Hops < 1 || cfg.Capacity <= 0 || cfg.Buffer < 1 || cfg.Duration <= 0 ||
+		cfg.Warmup < 0 || cfg.L < 1 {
+		panic("experiments: invalid topo sim config")
+	}
+	if cfg.NTFRC < 0 || cfg.NTCP < 0 || cfg.NTFRC+cfg.NTCP == 0 {
+		panic("experiments: need at least one long flow")
+	}
+	var sched des.Scheduler
+	seedRNG := rng.New(cfg.Seed)
+
+	net := topology.New(&sched)
+	nodes := make([]topology.NodeID, cfg.Hops+1)
+	for i := range nodes {
+		nodes[i] = net.AddNode(fmt.Sprintf("n%d", i))
+	}
+	route := make([]topology.LinkID, cfg.Hops)
+	for i := 0; i < cfg.Hops; i++ {
+		route[i] = net.AddLink(nodes[i], nodes[i+1], cfg.Capacity, cfg.HopDelay,
+			netsim.NewDropTail(cfg.Buffer))
+	}
+	net.SetDefaultRoute(route...)
+	if cfg.RevJitter > 0 {
+		net.SetReverseJitter(cfg.RevJitter, seedRNG.Uint64())
+	}
+
+	spread := func(i, n int) float64 {
+		if cfg.RTTSpread <= 0 || n <= 1 {
+			return 1
+		}
+		return 1 + cfg.RTTSpread*float64(i)/float64(n-1)
+	}
+
+	tfrcCfg := tfrc.DefaultConfig()
+	tfrcCfg.Window = cfg.L
+	tfrcCfg.Comprehensive = cfg.Comprehensive
+
+	flowID := 0
+	tfrcSenders := make([]*tfrc.Sender, 0, cfg.NTFRC)
+	baseRTTs := make([]float64, 0, cfg.NTFRC)
+	for i := 0; i < cfg.NTFRC; i++ {
+		c := tfrcCfg
+		c.Seed = seedRNG.Uint64()
+		k := spread(i, cfg.NTFRC)
+		snd, _ := tfrc.NewFlow(&sched, net, flowID, c, cfg.AccessDelay*k, cfg.RevDelay*k)
+		tfrcSenders = append(tfrcSenders, snd)
+		baseRTTs = append(baseRTTs, net.BaseRTT(flowID))
+		staggeredStart(&sched, seedRNG, cfg.Warmup, snd.Start)
+		flowID++
+	}
+	tcpSenders := make([]*tcp.Sender, 0, cfg.NTCP)
+	for i := 0; i < cfg.NTCP; i++ {
+		k := spread(i, cfg.NTCP)
+		snd, _ := tcp.NewFlow(&sched, net, flowID, tcp.DefaultConfig(), cfg.AccessDelay*k, cfg.RevDelay*k)
+		tcpSenders = append(tcpSenders, snd)
+		staggeredStart(&sched, seedRNG, cfg.Warmup, snd.Start)
+		flowID++
+	}
+	crossSenders := make([]*tcp.Sender, 0, cfg.Hops*cfg.CrossPerHop)
+	for h := 0; h < cfg.Hops; h++ {
+		for i := 0; i < cfg.CrossPerHop; i++ {
+			net.SetRoute(flowID, route[h])
+			snd, _ := tcp.NewFlow(&sched, net, flowID, tcp.DefaultConfig(), 0, cfg.CrossRevDelay)
+			crossSenders = append(crossSenders, snd)
+			staggeredStart(&sched, seedRNG, cfg.Warmup, snd.Start)
+			flowID++
+		}
+	}
+
+	sched.RunUntil(cfg.Warmup)
+	resetStats(tfrcSenders)
+	resetStats(tcpSenders)
+	resetStats(crossSenders)
+	sched.RunUntil(cfg.Warmup + cfg.Duration)
+
+	var res TopoSimResult
+	res.TFRCPerFlow = tfrcStats(tfrcSenders)
+	res.TCPPerFlow = tcpStats(tcpSenders)
+	res.TFRC = aggregateTFRC(res.TFRCPerFlow, cfg.L)
+	res.TCP = aggregateTCP(res.TCPPerFlow)
+	res.Cross = aggregateTCP(tcpStats(crossSenders))
+	res.BaseRTT = baseRTTs
+	res.EventsFired = sched.Fired()
+	if LeakCheck {
+		if err := net.CheckLeaks(); err != nil {
+			panic(err)
+		}
+	}
+	return res
+}
+
+// parkingLotBase is the shared sizing of the multi-hop scenarios: per
+// hop a 10 Mb/s DropTail bottleneck (the lab testbed rate), 10 ms per
+// hop, with the long flows' terminal delays completing a 40 ms
+// single-hop base RTT (10 + 5 + 25 ms, queueing and transmission
+// excluded); each extra hop adds its 10 ms.
+func parkingLotBase(sz Sizing) TopoSimConfig {
+	cfg := TopoSimConfig{
+		Hops:          1,
+		Capacity:      1.25e6,
+		Buffer:        64,
+		HopDelay:      0.01,
+		AccessDelay:   0.005,
+		RevDelay:      0.025,
+		NTFRC:         2,
+		NTCP:          2,
+		CrossPerHop:   0,
+		CrossRevDelay: 0.02,
+		L:             8,
+		Comprehensive: true,
+		Duration:      300,
+		Warmup:        50,
+		RevJitter:     0.2,
+	}
+	if sz.SimFactor > 0 && sz.SimFactor < 1 {
+		cfg.Duration *= sz.SimFactor
+		cfg.Warmup *= sz.SimFactor
+	}
+	return cfg
+}
+
+// topoCell pairs one multi-hop run with the sweep metadata its table
+// rows need.
+type topoCell struct {
+	name    string
+	cfg     TopoSimConfig
+	hops, L int
+}
+
+// topoJob wraps one multi-hop run as a runner job.
+func topoJob(name string, cfg TopoSimConfig) runner.Job {
+	return runner.Job{
+		Name: name,
+		Seed: cfg.Seed,
+		Run:  func(context.Context) any { return RunTopoSim(cfg) },
+	}
+}
+
+// topoGridPlan instantiates gridPlan for multi-hop sweeps.
+func topoGridPlan(t *Table, cells []topoCell,
+	rows func(c topoCell, res TopoSimResult) [][]float64) ([]runner.Job, FoldFunc) {
+	return gridPlan(t, cells, func(c topoCell) runner.Job { return topoJob(c.name, c.cfg) }, rows)
+}
+
+// planParkingLot sweeps the number of bottlenecks and the crossing load
+// on a parking-lot chain: long TFRC and TCP flows over every hop
+// against short TCP flows crossing one hop each. The long flows' loss
+// and throughput degrade with each added congested hop; the ratio
+// column tracks whether TFRC stays TCP-friendly while it happens.
+func planParkingLot(sz Sizing) ([]runner.Job, FoldFunc) {
+	t := &Table{
+		Name: "parkinglot",
+		Note: "parking lot: long TFRC/TCP over k bottlenecks vs short crossing TCP",
+		Columns: []string{"hops", "cross_per_hop", "p_tfrc", "p_tcp",
+			"x_tfrc", "x_tcp", "ratio", "x_cross"},
+	}
+	var cells []topoCell
+	seed := uint64(2040)
+	for _, hops := range []int{1, 2, 3} {
+		for _, cross := range []int{1, 2} {
+			seed++
+			cfg := parkingLotBase(sz)
+			cfg.Hops = hops
+			cfg.CrossPerHop = cross
+			cfg.Seed = seed
+			cells = append(cells, topoCell{
+				name: fmt.Sprintf("parkinglot hops=%d cross=%d", hops, cross),
+				cfg:  cfg, hops: hops, L: cfg.L,
+			})
+		}
+	}
+	return topoGridPlan(t, cells, func(c topoCell, res TopoSimResult) [][]float64 {
+		if res.TCP.Throughput <= 0 {
+			return nil
+		}
+		return [][]float64{{float64(c.hops), float64(c.cfg.CrossPerHop),
+			res.TFRC.LossEventRate, res.TCP.LossEventRate,
+			res.TFRC.Throughput, res.TCP.Throughput,
+			res.TFRC.Throughput / res.TCP.Throughput,
+			res.Cross.Throughput}}
+	})
+}
+
+// planHetRTT runs matched TFRC/TCP populations whose terminal delays
+// spread the base RTT by up to 4x on a shared bottleneck: per flow
+// index, the throughputs and their ratio — the heterogeneous-RTT
+// competition the dumbbell sweeps never exercised.
+func planHetRTT(sz Sizing) ([]runner.Job, FoldFunc) {
+	t := &Table{
+		Name:    "hetrtt",
+		Note:    "heterogeneous-RTT competition: matched TFRC/TCP per RTT class",
+		Columns: []string{"flow", "base_rtt_ms", "x_tfrc", "x_tcp", "ratio"},
+	}
+	cfg := parkingLotBase(sz)
+	cfg.NTFRC = 4
+	cfg.NTCP = 4
+	cfg.CrossPerHop = 0
+	cfg.RTTSpread = 3 // flow 3 gets 4x the terminal delays of flow 0
+	cfg.Seed = 2140
+	cells := []topoCell{{name: "hetrtt", cfg: cfg, hops: 1, L: cfg.L}}
+	return topoGridPlan(t, cells, func(c topoCell, res TopoSimResult) [][]float64 {
+		var rows [][]float64
+		for i, st := range res.TFRCPerFlow {
+			if i >= len(res.TCPPerFlow) {
+				break
+			}
+			ct := res.TCPPerFlow[i]
+			ratio := 0.0
+			if ct.Throughput > 0 {
+				ratio = st.Throughput / ct.Throughput
+			}
+			rows = append(rows, []float64{float64(i), res.BaseRTT[i] * 1000,
+				st.Throughput, ct.Throughput, ratio})
+		}
+		return rows
+	})
+}
+
+// planMultiBneck is the multi-bottleneck conservativeness sweep: a lone
+// long TFRC flow crosses k hops, each congested by short TCP flows, and
+// its normalized throughput x̄/f(p, r) is evaluated at its own measured
+// loss-event rate and RTT — Claim 1's check in the setting the paper
+// never simulated.
+func planMultiBneck(sz Sizing) ([]runner.Job, FoldFunc) {
+	t := &Table{
+		Name:    "multibneck",
+		Note:    "conservativeness over k congested hops: x̄/f(p,r) of a long TFRC flow",
+		Columns: []string{"hops", "L", "p", "normalized", "covnorm"},
+	}
+	var cells []topoCell
+	seed := uint64(2240)
+	for _, hops := range []int{1, 2, 3} {
+		for _, L := range []int{2, 8} {
+			seed++
+			cfg := parkingLotBase(sz)
+			cfg.Hops = hops
+			cfg.NTFRC = 1
+			cfg.NTCP = 0
+			cfg.CrossPerHop = 2
+			cfg.L = L
+			cfg.Seed = seed
+			cells = append(cells, topoCell{
+				name: fmt.Sprintf("multibneck hops=%d L=%d", hops, L),
+				cfg:  cfg, hops: hops, L: L,
+			})
+		}
+	}
+	return topoGridPlan(t, cells, func(c topoCell, res TopoSimResult) [][]float64 {
+		cls := res.TFRC
+		if cls.Events == 0 || cls.MeanRTT <= 0 {
+			return nil
+		}
+		f := formula.NewPFTKStandard(formula.ParamsForRTT(cls.MeanRTT))
+		norm := cls.Throughput / f.Rate(math.Max(cls.LossEventRate, 1e-9))
+		return [][]float64{{float64(c.hops), float64(c.L),
+			cls.LossEventRate, norm, cls.CovNorm}}
+	})
+}
+
+func init() {
+	register(&Scenario{Name: "parkinglot",
+		Note: "parking-lot chain: long flows over 1-3 bottlenecks vs crossing TCP",
+		Plan: planParkingLot})
+	register(&Scenario{Name: "hetrtt",
+		Note: "heterogeneous-RTT competition on a shared bottleneck (1x-4x RTT spread)",
+		Plan: planHetRTT})
+	register(&Scenario{Name: "multibneck",
+		Note: "multi-bottleneck conservativeness sweep: x̄/f(p,r) over k congested hops",
+		Plan: planMultiBneck})
+}
+
+// ParkingLot, HetRTT and MultiBneck are the serial convenience wrappers
+// of the multi-hop scenario family.
+func ParkingLot(sz Sizing) *Table { return runPlan(planParkingLot, sz)[0] }
+
+// HetRTT reproduces the heterogeneous-RTT competition table.
+func HetRTT(sz Sizing) *Table { return runPlan(planHetRTT, sz)[0] }
+
+// MultiBneck reproduces the multi-bottleneck conservativeness sweep.
+func MultiBneck(sz Sizing) *Table { return runPlan(planMultiBneck, sz)[0] }

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain arms the packet-freelist leak invariant for every
+// packet-level run the experiments tests perform: RunSim and RunTopoSim
+// panic if a packet issued by the network's freelist is neither
+// returned nor demonstrably inside the network at the end of a run.
+func TestMain(m *testing.M) {
+	LeakCheck = true
+	os.Exit(m.Run())
+}
+
+func quickTopo(mut func(*TopoSimConfig)) TopoSimResult {
+	cfg := parkingLotBase(Sizing{SimFactor: 0.2})
+	cfg.Seed = 99
+	if mut != nil {
+		mut(&cfg)
+	}
+	return RunTopoSim(cfg)
+}
+
+func TestTopoSimDegeneratesToDumbbell(t *testing.T) {
+	t.Parallel()
+	// One hop, no cross traffic: the long flows share a single
+	// bottleneck and must fill most of it (1250 pkt/s capacity).
+	res := quickTopo(nil)
+	total := res.TFRC.Throughput*float64(res.TFRC.Flows) +
+		res.TCP.Throughput*float64(res.TCP.Flows)
+	if total < 900 || total > 1400 {
+		t.Fatalf("aggregate long-flow throughput = %v pkts/s, want near 1250", total)
+	}
+	if res.TFRC.Events == 0 || res.TCP.Events == 0 {
+		t.Fatal("no loss events on a saturated bottleneck")
+	}
+}
+
+func TestTopoSimMoreHopsMoreLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hop packet-level sweep skipped in -short mode")
+	}
+	t.Parallel()
+	// A long flow crossing three congested hops must see a loss-event
+	// rate at least as large as across one congested hop, and less
+	// throughput: each extra bottleneck adds an independent drop point.
+	one := quickTopo(func(c *TopoSimConfig) { c.Hops = 1; c.CrossPerHop = 2; c.Seed = 7 })
+	three := quickTopo(func(c *TopoSimConfig) { c.Hops = 3; c.CrossPerHop = 2; c.Seed = 7 })
+	if three.TFRC.Throughput >= one.TFRC.Throughput {
+		t.Fatalf("long-flow throughput did not degrade with hops: 1-hop %v vs 3-hop %v",
+			one.TFRC.Throughput, three.TFRC.Throughput)
+	}
+	if three.Cross.Flows != 6 || one.Cross.Flows != 2 {
+		t.Fatalf("cross flow counts: %d and %d", one.Cross.Flows, three.Cross.Flows)
+	}
+}
+
+func TestTopoSimHeterogeneousRTTOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heterogeneous-RTT packet-level run skipped in -short mode")
+	}
+	t.Parallel()
+	res := quickTopo(func(c *TopoSimConfig) {
+		c.NTFRC = 3
+		c.NTCP = 3
+		c.RTTSpread = 3
+		c.Duration *= 3
+	})
+	if len(res.BaseRTT) != 3 {
+		t.Fatalf("base RTTs = %v", res.BaseRTT)
+	}
+	if !(res.BaseRTT[0] < res.BaseRTT[1] && res.BaseRTT[1] < res.BaseRTT[2]) {
+		t.Fatalf("base RTTs not spread: %v", res.BaseRTT)
+	}
+	// The shortest-RTT TFRC flow should out-throughput the longest-RTT
+	// one (both protocols are RTT-biased).
+	if res.TFRCPerFlow[0].Throughput <= res.TFRCPerFlow[2].Throughput {
+		t.Fatalf("short-RTT TFRC flow (%v) below long-RTT flow (%v)",
+			res.TFRCPerFlow[0].Throughput, res.TFRCPerFlow[2].Throughput)
+	}
+}
+
+func TestTopoSimDeterministicInSeed(t *testing.T) {
+	t.Parallel()
+	a := quickTopo(func(c *TopoSimConfig) { c.Hops = 2; c.CrossPerHop = 1 })
+	b := quickTopo(func(c *TopoSimConfig) { c.Hops = 2; c.CrossPerHop = 1 })
+	if a.TFRC != b.TFRC || a.TCP != b.TCP || a.Cross != b.Cross ||
+		a.EventsFired != b.EventsFired {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a.TFRC, b.TFRC)
+	}
+}
+
+func TestTopoSimPanics(t *testing.T) {
+	t.Parallel()
+	cases := []func(*TopoSimConfig){
+		func(c *TopoSimConfig) { c.Hops = 0 },
+		func(c *TopoSimConfig) { c.Capacity = 0 },
+		func(c *TopoSimConfig) { c.Buffer = 0 },
+		func(c *TopoSimConfig) { c.Duration = 0 },
+		func(c *TopoSimConfig) { c.L = 0 },
+		func(c *TopoSimConfig) { c.NTFRC, c.NTCP = 0, 0 },
+	}
+	for i, mut := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			quickTopo(mut)
+		}()
+	}
+}

@@ -10,11 +10,12 @@ import (
 // (heavy-tailed, the standard model for web-like cross traffic) and
 // whose off periods are exponential. During an on period it emits
 // packets back to back at PeakRate. Packets carry a flow id that is not
-// attached to any receiver, so they vanish after the bottleneck —
+// attached to any receiver, so they vanish at the end of their route
+// (the bottleneck on a dumbbell, or wherever the topology sinks them) —
 // exactly the role of cross traffic in the paper's wide-area paths.
 type CrossTraffic struct {
 	sched *des.Scheduler
-	net   *Dumbbell
+	net   Network
 	// Flow is the (unattached) flow id used for the packets.
 	Flow int
 	// PeakRate is the on-period send rate in bytes/second.
@@ -42,8 +43,8 @@ type CrossTraffic struct {
 	burstStepFn  des.Event
 }
 
-// NewCrossTraffic builds a cross-traffic source on the dumbbell.
-func NewCrossTraffic(sched *des.Scheduler, net *Dumbbell, flow int, peakRate, meanBurst, paretoShape, meanOff float64, packetSize int, seed uint64) *CrossTraffic {
+// NewCrossTraffic builds a cross-traffic source on the network.
+func NewCrossTraffic(sched *des.Scheduler, net Network, flow int, peakRate, meanBurst, paretoShape, meanOff float64, packetSize int, seed uint64) *CrossTraffic {
 	if sched == nil || net == nil {
 		panic("netsim: nil scheduler or network")
 	}

@@ -1,16 +1,16 @@
-// Package netsim is a packet-level network simulator built on the
-// discrete-event engine (package des). It stands in for ns-2 and for the
-// authors' lab testbed in this reproduction: links with finite rate and
-// propagation delay, DropTail and RED queues, a dumbbell topology with a
-// shared bottleneck, per-flow delivery and an uncongested reverse path
-// for acknowledgments.
+// Package netsim provides the packet-level primitives of the network
+// simulator built on the discrete-event engine (package des): links with
+// finite rate and propagation delay, DropTail and RED queues, endpoints,
+// loss-event accounting and unresponsive cross-traffic sources. Package
+// topology assembles these primitives into network graphs (the paper's
+// dumbbell is the two-node special case).
 //
 // Conventions: sizes are in bytes, rates in bytes/second, times in
 // seconds. Queues are FIFO, so a same-path packet stream is never
 // reordered; protocols may treat sequence gaps as losses immediately.
 //
-// Packet memory is recycled: sources draw packets from the dumbbell's
-// freelist (Dumbbell.GetPacket) and the simulator returns them after the
+// Packet memory is recycled: sources draw packets from the network's
+// freelist (Network.GetPacket) and the simulator returns them after the
 // destination endpoint's Receive returns, or at the drop point for
 // packets rejected by a queue. Endpoints must therefore copy out any
 // field they need and never retain a *Packet past Receive.
@@ -60,6 +60,34 @@ type Packet struct {
 	// RTTEst carries the sender's current round-trip-time estimate on
 	// data packets, so the TFRC receiver can group losses into events.
 	RTTEst float64
+	// Hop is the index of the route hop the packet is currently
+	// traversing. It is routing state owned by the topology layer;
+	// sources and endpoints never touch it.
+	Hop int32
+}
+
+// Network is the interface protocols (tfrc, tcp, cbr, cross traffic)
+// program against: a packet pool, forward-path injection, an uncongested
+// reverse path, and flow attachment. Package topology provides the
+// implementations — the general network graph and the dumbbell as its
+// two-node special case.
+type Network interface {
+	// GetPacket returns a zeroed packet from the freelist.
+	GetPacket() *Packet
+	// PutPacket returns a packet to the freelist. The network recycles
+	// packets itself after delivery and on drops; only sources that
+	// abandon a packet before sending need this.
+	PutPacket(p *Packet)
+	// SendForward injects a forward-path packet at the first hop of its
+	// flow's route.
+	SendForward(p *Packet)
+	// SendReverse carries a packet from the receiver back to the sender
+	// over the uncongested reverse path.
+	SendReverse(p *Packet)
+	// AttachFlow registers a flow's endpoints and path delays: fwdExtra
+	// is the one-way delay from the last routed link's egress to the
+	// receiver; revDelay is the full uncongested return delay.
+	AttachFlow(flow int, sender, receiver Endpoint, fwdExtra, revDelay float64)
 }
 
 // Queue buffers packets in front of a link and decides drops.
@@ -345,6 +373,17 @@ func NewLink(sched *des.Scheduler, rate, delay float64, queue Queue) *Link {
 // Queue exposes the link's queue (for inspection in tests/experiments).
 func (l *Link) Queue() Queue { return l.queue }
 
+// InFlight returns the number of packets currently held by the link:
+// queued, being serialized, or propagating. Together with pending
+// deliveries this is the denominator of the freelist leak invariant.
+func (l *Link) InFlight() int {
+	n := l.queue.Len() + l.propLen
+	if l.txPkt != nil {
+		n++
+	}
+	return n
+}
+
 // Send offers a packet to the link. Dropped packets disappear silently
 // (the queue records them; Release recycles them when set).
 func (l *Link) Send(p *Packet) {
@@ -425,180 +464,6 @@ type EndpointFunc func(p *Packet)
 
 // Receive implements Endpoint.
 func (f EndpointFunc) Receive(p *Packet) { f(p) }
-
-// delivery is one pending hand-off of a packet to an endpoint after a
-// pure delay (per-flow forward extra or reverse path). Deliveries are
-// recycled through the dumbbell's freelist; the bound run callback is
-// allocated once per delivery object, not per packet.
-type delivery struct {
-	d   *Dumbbell
-	to  Endpoint
-	p   *Packet
-	run des.Event
-}
-
-func (dv *delivery) deliver() {
-	to, p := dv.to, dv.p
-	dv.to, dv.p = nil, nil
-	dv.d.dpool = append(dv.d.dpool, dv)
-	to.Receive(p)
-	dv.d.PutPacket(p)
-}
-
-// Dumbbell is the canonical topology of the paper's experiments: every
-// forward-path packet traverses the shared bottleneck link and is then
-// demultiplexed by flow id to its receiver after a per-flow extra
-// one-way delay; the reverse path is uncongested and modeled as a pure
-// per-flow delay.
-//
-// The dumbbell owns the packet freelist: sources obtain packets with
-// GetPacket and the dumbbell returns each packet to the pool after final
-// delivery or at its drop point, so a steady-state simulation recycles a
-// small working set of packets instead of allocating one per send.
-type Dumbbell struct {
-	Sched      *des.Scheduler
-	Bottleneck *Link
-	fwdExtra   map[int]float64
-	revDelay   map[int]float64
-	receivers  map[int]Endpoint
-	senders    map[int]Endpoint
-	// ReverseJitter, when positive, scales each reverse-path delivery
-	// delay by a uniform factor in [1-ReverseJitter, 1+ReverseJitter].
-	// Real acknowledgment streams jitter at least this much; a perfectly
-	// periodic ack clock in a deterministic simulator otherwise slots
-	// arrivals into queue vacancies with unrealistic precision.
-	ReverseJitter float64
-	jitterRNG     *rng.RNG
-
-	pool  []*Packet
-	dpool []*delivery
-}
-
-// SetReverseJitter enables reverse-path delay jitter with the given
-// fraction (0 <= j < 1) and seed.
-func (d *Dumbbell) SetReverseJitter(j float64, seed uint64) {
-	if j < 0 || j >= 1 {
-		panic("netsim: reverse jitter outside [0,1)")
-	}
-	d.ReverseJitter = j
-	d.jitterRNG = rng.New(seed)
-}
-
-// NewDumbbell wires a dumbbell around the given bottleneck link.
-func NewDumbbell(sched *des.Scheduler, bottleneck *Link) *Dumbbell {
-	if sched == nil || bottleneck == nil {
-		panic("netsim: dumbbell needs a scheduler and a bottleneck")
-	}
-	d := &Dumbbell{
-		Sched:      sched,
-		Bottleneck: bottleneck,
-		fwdExtra:   map[int]float64{},
-		revDelay:   map[int]float64{},
-		receivers:  map[int]Endpoint{},
-		senders:    map[int]Endpoint{},
-	}
-	bottleneck.Deliver = d.deliverForward
-	bottleneck.Release = d.PutPacket
-	return d
-}
-
-// GetPacket returns a zeroed packet from the freelist (allocating only
-// when the pool is empty). The simulator reclaims it after delivery.
-func (d *Dumbbell) GetPacket() *Packet {
-	if n := len(d.pool); n > 0 {
-		p := d.pool[n-1]
-		d.pool = d.pool[:n-1]
-		*p = Packet{}
-		return p
-	}
-	return &Packet{}
-}
-
-// PutPacket returns a packet to the freelist. Callers normally never
-// need this — the dumbbell releases packets itself after delivery and on
-// drops — but sources that abandon a packet before sending may.
-func (d *Dumbbell) PutPacket(p *Packet) {
-	if p == nil {
-		return
-	}
-	d.pool = append(d.pool, p)
-}
-
-func (d *Dumbbell) getDelivery(to Endpoint, p *Packet) *delivery {
-	var dv *delivery
-	if n := len(d.dpool); n > 0 {
-		dv = d.dpool[n-1]
-		d.dpool = d.dpool[:n-1]
-	} else {
-		dv = &delivery{d: d}
-		dv.run = dv.deliver
-	}
-	dv.to = to
-	dv.p = p
-	return dv
-}
-
-// AttachFlow registers a flow's endpoints and path delays: fwdExtra is
-// the one-way delay from bottleneck egress to the receiver; revDelay is
-// the full uncongested return delay from receiver to sender.
-func (d *Dumbbell) AttachFlow(flow int, sender, receiver Endpoint, fwdExtra, revDelay float64) {
-	if sender == nil || receiver == nil {
-		panic("netsim: nil endpoint")
-	}
-	if fwdExtra < 0 || revDelay < 0 {
-		panic("netsim: negative delay")
-	}
-	if _, dup := d.receivers[flow]; dup {
-		panic(fmt.Sprintf("netsim: duplicate flow id %d", flow))
-	}
-	d.fwdExtra[flow] = fwdExtra
-	d.revDelay[flow] = revDelay
-	d.receivers[flow] = receiver
-	d.senders[flow] = sender
-}
-
-// SendForward injects a forward-path packet at the bottleneck.
-func (d *Dumbbell) SendForward(p *Packet) { d.Bottleneck.Send(p) }
-
-// SendReverse carries a packet from the receiver back to the sender over
-// the uncongested reverse path.
-func (d *Dumbbell) SendReverse(p *Packet) {
-	sender, ok := d.senders[p.Flow]
-	if !ok {
-		panic(fmt.Sprintf("netsim: reverse packet for unknown flow %d", p.Flow))
-	}
-	delay := d.revDelay[p.Flow]
-	if d.ReverseJitter > 0 {
-		delay *= 1 + d.ReverseJitter*(2*d.jitterRNG.Float64()-1)
-	}
-	dv := d.getDelivery(sender, p)
-	d.Sched.After(delay, dv.run)
-}
-
-func (d *Dumbbell) deliverForward(p *Packet) {
-	receiver, ok := d.receivers[p.Flow]
-	if !ok {
-		// Unattached flow (e.g. background traffic that terminates at
-		// the bottleneck): recycle silently.
-		d.PutPacket(p)
-		return
-	}
-	extra := d.fwdExtra[p.Flow]
-	if extra == 0 {
-		receiver.Receive(p)
-		d.PutPacket(p)
-		return
-	}
-	dv := d.getDelivery(receiver, p)
-	d.Sched.After(extra, dv.run)
-}
-
-// BaseRTT returns the no-queueing round-trip time for the flow: the
-// bottleneck propagation, the flow's extra forward delay and the return
-// delay (transmission times excluded).
-func (d *Dumbbell) BaseRTT(flow int) float64 {
-	return d.Bottleneck.Delay + d.fwdExtra[flow] + d.revDelay[flow]
-}
 
 // LossEventCounter groups packet losses into loss events the TFRC way:
 // losses within one RTT of the first loss of an event belong to that

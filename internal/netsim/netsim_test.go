@@ -176,49 +176,6 @@ func TestLinkThroughputCap(t *testing.T) {
 	}
 }
 
-func TestDumbbellForwardAndReverse(t *testing.T) {
-	var s des.Scheduler
-	link := NewLink(&s, 1e6, 0.02, NewDropTail(100))
-	d := NewDumbbell(&s, link)
-	var got []string
-	recv := EndpointFunc(func(p *Packet) {
-		got = append(got, "recv")
-		d.SendReverse(&Packet{Flow: p.Flow, Kind: Ack})
-	})
-	send := EndpointFunc(func(p *Packet) { got = append(got, "ack") })
-	d.AttachFlow(1, send, recv, 0.005, 0.025)
-	d.SendForward(&Packet{Flow: 1, Size: 1000})
-	s.Run()
-	if len(got) != 2 || got[0] != "recv" || got[1] != "ack" {
-		t.Fatalf("sequence = %v", got)
-	}
-	// Base RTT: 0.02 + 0.005 + 0.025 = 0.05.
-	if math.Abs(d.BaseRTT(1)-0.05) > 1e-12 {
-		t.Fatalf("base rtt = %v", d.BaseRTT(1))
-	}
-}
-
-func TestDumbbellUnknownFlowDropped(t *testing.T) {
-	var s des.Scheduler
-	link := NewLink(&s, 1e6, 0.001, NewDropTail(10))
-	NewDumbbell(&s, link)
-	link.Send(&Packet{Flow: 42, Size: 100})
-	s.Run() // must not panic
-}
-
-func TestDumbbellDuplicateFlowPanics(t *testing.T) {
-	var s des.Scheduler
-	d := NewDumbbell(&s, NewLink(&s, 1e6, 0.001, NewDropTail(10)))
-	e := EndpointFunc(func(*Packet) {})
-	d.AttachFlow(1, e, e, 0, 0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on duplicate flow")
-		}
-	}()
-	d.AttachFlow(1, e, e, 0, 0)
-}
-
 func TestLossEventCounterGroupsWithinRTT(t *testing.T) {
 	c := NewLossEventCounter(func() float64 { return 0.1 })
 	if !c.OnLoss(1.0, 100) {
@@ -258,20 +215,10 @@ func TestPanics(t *testing.T) {
 		func() { NewLink(&s, 0, 0, NewDropTail(1)) },
 		func() { NewLink(&s, 1, -1, NewDropTail(1)) },
 		func() { NewLink(&s, 1, 0, nil) },
-		func() { NewDumbbell(nil, nil) },
 		func() { NewLossEventCounter(nil) },
 		func() {
 			l := NewLink(&s, 1, 0, NewDropTail(1))
 			l.Send(&Packet{Size: 1}) // no Deliver sink
-		},
-		func() {
-			d := NewDumbbell(&s, NewLink(&s, 1e6, 0, NewDropTail(1)))
-			d.SendReverse(&Packet{Flow: 9})
-		},
-		func() {
-			d := NewDumbbell(&s, NewLink(&s, 1e6, 0, NewDropTail(1)))
-			e := EndpointFunc(func(*Packet) {})
-			d.AttachFlow(1, e, e, -1, 0)
 		},
 	}
 	for i, fn := range cases {
@@ -351,6 +298,68 @@ func BenchmarkLinkForward(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		link.Send(pkt)
 		s.Run()
+	}
+}
+
+func TestREDConfigValidate(t *testing.T) {
+	base := REDConfig{Capacity: 100, MinTh: 10, MaxTh: 50, MaxP: 0.1, Wq: 0.002}
+	cases := []struct {
+		name string
+		mut  func(*REDConfig)
+		ok   bool
+	}{
+		{"valid baseline", func(*REDConfig) {}, true},
+		{"zero capacity", func(c *REDConfig) { c.Capacity = 0 }, false},
+		{"negative capacity", func(c *REDConfig) { c.Capacity = -5 }, false},
+		{"capacity of one", func(c *REDConfig) { c.Capacity = 1 }, true},
+		{"zero minth", func(c *REDConfig) { c.MinTh = 0 }, false},
+		{"negative minth", func(c *REDConfig) { c.MinTh = -1 }, false},
+		{"maxth equals minth", func(c *REDConfig) { c.MaxTh = c.MinTh }, false},
+		{"maxth below minth", func(c *REDConfig) { c.MaxTh = c.MinTh - 1 }, false},
+		{"maxth just above minth", func(c *REDConfig) { c.MaxTh = c.MinTh + 1e-9 }, true},
+		{"zero maxp", func(c *REDConfig) { c.MaxP = 0 }, false},
+		{"maxp of one", func(c *REDConfig) { c.MaxP = 1 }, true},
+		{"maxp above one", func(c *REDConfig) { c.MaxP = 1.0001 }, false},
+		{"zero wq", func(c *REDConfig) { c.Wq = 0 }, false},
+		{"wq of one", func(c *REDConfig) { c.Wq = 1 }, true},
+		{"wq above one", func(c *REDConfig) { c.Wq = 1.5 }, false},
+		{"gentle flag irrelevant", func(c *REDConfig) { c.Gentle = true }, true},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: config %+v should be rejected", tc.name, cfg)
+		}
+	}
+}
+
+func TestLossEventCounterOpenInterval(t *testing.T) {
+	cases := []struct {
+		name   string
+		losses []int64 // sequence numbers fed as losses, 1 s apart
+		high   int64
+		want   float64
+	}{
+		{"no events yet", nil, 100, 0},
+		{"highest at event seq", []int64{50}, 50, 0},
+		{"highest below event seq", []int64{50}, 10, 0},
+		{"open interval counts from last event", []int64{50}, 73, 23},
+		{"second event resets the origin", []int64{50, 80}, 95, 15},
+		{"highest just past event", []int64{50, 80}, 81, 1},
+	}
+	for _, tc := range cases {
+		c := NewLossEventCounter(func() float64 { return 0.1 })
+		for i, seq := range tc.losses {
+			c.OnLoss(float64(i+1), seq)
+		}
+		if got := c.OpenInterval(tc.high); got != tc.want {
+			t.Errorf("%s: OpenInterval(%d) = %v, want %v", tc.name, tc.high, got, tc.want)
+		}
 	}
 }
 

@@ -85,3 +85,45 @@ func DumbbellSteadyState(b *testing.B) {
 		b.ReportMetric(float64(events), "events/run")
 	}
 }
+
+// ParkingLotSteadyState measures whole-simulation throughput on the
+// multi-hop topology path: 4 long TFRC + 4 long TCP flows across a
+// three-bottleneck parking-lot chain with 2 crossing TCP flows per hop,
+// 30 simulated seconds. Against DumbbellSteadyState it isolates the
+// cost of multi-hop forwarding (per-hop queueing, route lookups, three
+// links' transmission pipelines) on the same zero-allocation
+// primitives. Reports events/sec and events/run like the dumbbell
+// benchmark.
+func ParkingLotSteadyState(b *testing.B) {
+	cfg := experiments.TopoSimConfig{
+		Hops:          3,
+		Capacity:      1.25e6,
+		Buffer:        64,
+		HopDelay:      0.01,
+		AccessDelay:   0.005,
+		RevDelay:      0.025,
+		NTFRC:         4,
+		NTCP:          4,
+		CrossPerHop:   2,
+		CrossRevDelay: 0.02,
+		L:             8,
+		Comprehensive: true,
+		Duration:      25,
+		Warmup:        5,
+		Seed:          17,
+		RevJitter:     0.2,
+	}
+	var events uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTopoSim(cfg)
+		events = res.EventsFired
+	}
+	b.StopTimer()
+	if events > 0 {
+		secPerOp := b.Elapsed().Seconds() / float64(b.N)
+		b.ReportMetric(float64(events)/secPerOp, "events/sec")
+		b.ReportMetric(float64(events), "events/run")
+	}
+}

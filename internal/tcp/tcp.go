@@ -1,5 +1,6 @@
 // Package tcp implements a NewReno-style TCP sender and receiver over
-// the netsim dumbbell: slow start, AIMD congestion avoidance with
+// any netsim.Network (the topology dumbbell or a multi-hop graph):
+// slow start, AIMD congestion avoidance with
 // delayed ACKs (b = 2), fast retransmit/recovery with NewReno partial
 // acks, and a retransmission timer with Jacobson/Karels estimation and
 // exponential backoff.
@@ -83,7 +84,7 @@ type Stats struct {
 type Sender struct {
 	cfg   Config
 	sched *des.Scheduler
-	net   *netsim.Dumbbell
+	net   netsim.Network
 	flow  int
 
 	cwnd     float64
@@ -113,7 +114,7 @@ type Sender struct {
 }
 
 // NewSender builds a TCP sender for the given dumbbell flow id.
-func NewSender(sched *des.Scheduler, net *netsim.Dumbbell, flow int, cfg Config) *Sender {
+func NewSender(sched *des.Scheduler, net netsim.Network, flow int, cfg Config) *Sender {
 	cfg.validate()
 	if sched == nil || net == nil {
 		panic("tcp: nil scheduler or network")
@@ -307,7 +308,7 @@ func (s *Sender) onTimeout() {
 type Receiver struct {
 	cfg      Config
 	sched    *des.Scheduler
-	net      *netsim.Dumbbell
+	net      netsim.Network
 	flow     int
 	expected int64
 	ooo      map[int64]bool
@@ -317,7 +318,7 @@ type Receiver struct {
 }
 
 // NewReceiver builds the receiving endpoint for a flow.
-func NewReceiver(sched *des.Scheduler, net *netsim.Dumbbell, flow int, cfg Config) *Receiver {
+func NewReceiver(sched *des.Scheduler, net netsim.Network, flow int, cfg Config) *Receiver {
 	cfg.validate()
 	if sched == nil || net == nil {
 		panic("tcp: nil scheduler or network")
@@ -361,7 +362,7 @@ func (r *Receiver) Receive(p *netsim.Packet) {
 // NewFlow wires a TCP sender/receiver pair onto the dumbbell with the
 // given one-way extra forward delay and reverse-path delay, and returns
 // both endpoints. Call sender.Start to begin.
-func NewFlow(sched *des.Scheduler, net *netsim.Dumbbell, flow int, cfg Config, fwdExtra, revDelay float64) (*Sender, *Receiver) {
+func NewFlow(sched *des.Scheduler, net netsim.Network, flow int, cfg Config, fwdExtra, revDelay float64) (*Sender, *Receiver) {
 	snd := NewSender(sched, net, flow, cfg)
 	rcv := NewReceiver(sched, net, flow, cfg)
 	net.AttachFlow(flow, snd, rcv, fwdExtra, revDelay)

@@ -6,13 +6,14 @@ import (
 	"repro/internal/des"
 	"repro/internal/netsim"
 	"repro/internal/rng"
+	"repro/internal/topology"
 )
 
 // buildDumbbell returns a dumbbell with a DropTail bottleneck of the
 // given rate (bytes/s), one-way propagation delay, and buffer packets.
-func buildDumbbell(s *des.Scheduler, rate, delay float64, buffer int) *netsim.Dumbbell {
+func buildDumbbell(s *des.Scheduler, rate, delay float64, buffer int) *topology.Dumbbell {
 	link := netsim.NewLink(s, rate, delay, netsim.NewDropTail(buffer))
-	return netsim.NewDumbbell(s, link)
+	return topology.NewDumbbell(s, link)
 }
 
 func TestSingleFlowFillsLink(t *testing.T) {
@@ -190,7 +191,7 @@ func TestStatsWindowing(t *testing.T) {
 func TestReceiverDelayedAcks(t *testing.T) {
 	var s des.Scheduler
 	link := netsim.NewLink(&s, 1e9, 0.0, netsim.NewDropTail(100))
-	net := netsim.NewDumbbell(&s, link)
+	net := topology.NewDumbbell(&s, link)
 	acks := 0
 	snd := netsim.EndpointFunc(func(p *netsim.Packet) { acks++ })
 	rcv := NewReceiver(&s, net, 1, DefaultConfig())

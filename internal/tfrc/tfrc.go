@@ -1,7 +1,7 @@
 // Package tfrc implements a TFRC (TCP-Friendly Rate Control, RFC 3448
-// style) sender and receiver over the netsim dumbbell — the protocol
-// whose long-run behavior the paper analyzes as the "comprehensive
-// control".
+// style) sender and receiver over any netsim.Network — the topology
+// dumbbell or a multi-hop graph — the protocol whose long-run behavior
+// the paper analyzes as the "comprehensive control".
 //
 // The receiver detects losses from sequence gaps (the simulator's FIFO
 // paths never reorder), groups losses within one round-trip time into
@@ -138,7 +138,7 @@ type Stats struct {
 type Sender struct {
 	cfg   Config
 	sched *des.Scheduler
-	net   *netsim.Dumbbell
+	net   netsim.Network
 	flow  int
 
 	rate      float64 // bytes/second
@@ -168,7 +168,7 @@ type Sender struct {
 type Receiver struct {
 	cfg   Config
 	sched *des.Scheduler
-	net   *netsim.Dumbbell
+	net   netsim.Network
 	flow  int
 
 	expected   int64
@@ -194,7 +194,7 @@ type Receiver struct {
 
 // NewFlow wires a TFRC sender/receiver pair onto the dumbbell flow and
 // returns both. Call sender.Start to begin.
-func NewFlow(sched *des.Scheduler, net *netsim.Dumbbell, flow int, cfg Config, fwdExtra, revDelay float64) (*Sender, *Receiver) {
+func NewFlow(sched *des.Scheduler, net netsim.Network, flow int, cfg Config, fwdExtra, revDelay float64) (*Sender, *Receiver) {
 	cfg.validate()
 	if sched == nil || net == nil {
 		panic("tfrc: nil scheduler or network")

@@ -9,19 +9,20 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/rng"
 	"repro/internal/tcp"
+	"repro/internal/topology"
 )
 
 func paramsForRTT(rtt float64) formula.Params { return formula.ParamsForRTT(rtt) }
 
-func buildDumbbell(s *des.Scheduler, rate, delay float64, buffer int) *netsim.Dumbbell {
+func buildDumbbell(s *des.Scheduler, rate, delay float64, buffer int) *topology.Dumbbell {
 	link := netsim.NewLink(s, rate, delay, netsim.NewDropTail(buffer))
-	return netsim.NewDumbbell(s, link)
+	return topology.NewDumbbell(s, link)
 }
 
-func buildREDDumbbell(s *des.Scheduler, rate, delay float64, bdpPkts float64, seed uint64) *netsim.Dumbbell {
+func buildREDDumbbell(s *des.Scheduler, rate, delay float64, bdpPkts float64, seed uint64) *topology.Dumbbell {
 	q := netsim.NewRED(netsim.PaperRED(bdpPkts), rate, rng.New(seed))
 	link := netsim.NewLink(s, rate, delay, q)
-	return netsim.NewDumbbell(s, link)
+	return topology.NewDumbbell(s, link)
 }
 
 func TestSingleFlowFillsLink(t *testing.T) {

@@ -1,0 +1,31 @@
+package topology
+
+import (
+	"repro/internal/des"
+	"repro/internal/netsim"
+)
+
+// Dumbbell is the canonical topology of the paper's experiments,
+// expressed as a two-node, one-link instance of the general network
+// graph: every forward-path packet traverses the shared bottleneck link
+// and is then demultiplexed by flow id to its receiver after a per-flow
+// extra one-way delay; the reverse path is uncongested and modeled as a
+// pure per-flow delay. Flows attach with the plain netsim.Network
+// AttachFlow — the bottleneck is the default route.
+type Dumbbell struct {
+	*Network
+	Bottleneck *netsim.Link
+}
+
+// NewDumbbell wires a dumbbell around the given bottleneck link.
+func NewDumbbell(sched *des.Scheduler, bottleneck *netsim.Link) *Dumbbell {
+	if sched == nil || bottleneck == nil {
+		panic("topology: dumbbell needs a scheduler and a bottleneck")
+	}
+	n := New(sched)
+	ingress := n.AddNode("ingress")
+	egress := n.AddNode("egress")
+	id := n.AdoptLink(bottleneck, ingress, egress)
+	n.SetDefaultRoute(id)
+	return &Dumbbell{Network: n, Bottleneck: bottleneck}
+}

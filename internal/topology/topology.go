@@ -1,0 +1,405 @@
+// Package topology assembles the netsim primitives (links, queues,
+// endpoints) into packet-level network graphs: nodes connected by
+// directed links, per-flow static source routes across any number of
+// congested hops, a shared packet freelist, and per-flow round-trip
+// accounting. The paper's dumbbell is the two-node special case
+// (NewDumbbell); parking-lot chains, multi-bottleneck paths and
+// heterogeneous-RTT meshes are built from the same pieces.
+//
+// Forwarding model: a flow's forward route is an ordered chain of link
+// IDs. SendForward injects the packet at the first hop; each link egress
+// hands the packet to the network, which either forwards it into the
+// next link's queue or — past the last hop — delivers it to the flow's
+// receiver after the flow's extra forward delay. The reverse path is
+// uncongested and modeled as a pure per-flow delay (with optional
+// jitter), as in the paper's experiments. Flows without a receiver sink
+// their packets at route end (cross traffic).
+//
+// The network owns the packet freelist and tracks issue/return counts,
+// so tests can assert the leak invariant: every packet the freelist
+// issued is either back in the pool or demonstrably inside the network
+// (queued, serializing, propagating, or pending delivery).
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+)
+
+// NodeID identifies a node in the graph.
+type NodeID int
+
+// LinkID identifies a directed link in the graph.
+type LinkID int
+
+// flowState is the per-flow routing entry: the forward route, the
+// terminal delays, and the endpoints.
+type flowState struct {
+	route     []*netsim.Link
+	fwdExtra  float64
+	revDelay  float64
+	sender    netsim.Endpoint
+	receiver  netsim.Endpoint
+	delivered int64
+}
+
+// delivery is one pending hand-off of a packet to an endpoint after a
+// pure delay (per-flow forward extra or reverse path). Deliveries are
+// recycled through the network's pool; the bound run callback is
+// allocated once per delivery object, not per packet.
+type delivery struct {
+	n   *Network
+	to  netsim.Endpoint
+	p   *netsim.Packet
+	run des.Event
+}
+
+func (dv *delivery) deliver() {
+	to, p := dv.to, dv.p
+	dv.to, dv.p = nil, nil
+	dv.n.dpool = append(dv.n.dpool, dv)
+	dv.n.pendingDeliveries--
+	to.Receive(p)
+	dv.n.PutPacket(p)
+}
+
+// Network is a packet-level network graph implementing netsim.Network.
+// Build it with New, AddNode and AddLink (or AdoptLink for an
+// externally constructed link), declare per-flow routes with SetRoute
+// or a default route with SetDefaultRoute, then attach protocol
+// endpoints with AttachFlow.
+type Network struct {
+	Sched *des.Scheduler
+
+	nodes    []string
+	links    []*netsim.Link
+	linkFrom []NodeID
+	linkTo   []NodeID
+
+	flows        map[int]*flowState
+	routes       map[int][]LinkID
+	defaultRoute []LinkID
+	// defaultLink receives forward packets of flows with no attached
+	// route (a dumbbell's cross traffic terminating at the bottleneck).
+	defaultLink *netsim.Link
+
+	// ReverseJitter, when positive, scales each reverse-path delivery
+	// delay by a uniform factor in [1-ReverseJitter, 1+ReverseJitter].
+	// Real acknowledgment streams jitter at least this much; a perfectly
+	// periodic ack clock in a deterministic simulator otherwise slots
+	// arrivals into queue vacancies with unrealistic precision.
+	ReverseJitter float64
+	jitterRNG     *rng.RNG
+
+	pool  []*netsim.Packet
+	dpool []*delivery
+
+	issued            int64
+	returned          int64
+	pendingDeliveries int
+
+	arriveFn func(*netsim.Packet)
+}
+
+var _ netsim.Network = (*Network)(nil)
+
+// New returns an empty network graph on the scheduler.
+func New(sched *des.Scheduler) *Network {
+	if sched == nil {
+		panic("topology: nil scheduler")
+	}
+	n := &Network{
+		Sched:  sched,
+		flows:  map[int]*flowState{},
+		routes: map[int][]LinkID{},
+	}
+	n.arriveFn = n.arrive
+	return n
+}
+
+// AddNode adds a named node and returns its id. Nodes only anchor link
+// endpoints (for route validation and diagnostics); they hold no state.
+func (n *Network) AddNode(name string) NodeID {
+	n.nodes = append(n.nodes, name)
+	return NodeID(len(n.nodes) - 1)
+}
+
+// Nodes returns the number of nodes.
+func (n *Network) Nodes() int { return len(n.nodes) }
+
+// NodeName returns the name given to AddNode.
+func (n *Network) NodeName(id NodeID) string { return n.nodes[id] }
+
+// AddLink creates a directed link from one node to another with the
+// given rate (bytes/second), propagation delay and queue, and wires its
+// delivery and drop sinks into the network.
+func (n *Network) AddLink(from, to NodeID, rate, delay float64, queue netsim.Queue) LinkID {
+	return n.AdoptLink(netsim.NewLink(n.Sched, rate, delay, queue), from, to)
+}
+
+// AdoptLink wires an externally constructed link into the graph as a
+// directed edge. The network takes over the link's Deliver and Release
+// sinks.
+func (n *Network) AdoptLink(l *netsim.Link, from, to NodeID) LinkID {
+	if l == nil {
+		panic("topology: nil link")
+	}
+	if int(from) >= len(n.nodes) || int(to) >= len(n.nodes) || from < 0 || to < 0 {
+		panic("topology: link endpoint node out of range")
+	}
+	l.Deliver = n.arriveFn
+	l.Release = n.PutPacket
+	n.links = append(n.links, l)
+	n.linkFrom = append(n.linkFrom, from)
+	n.linkTo = append(n.linkTo, to)
+	return LinkID(len(n.links) - 1)
+}
+
+// Link returns the link behind an id (for inspection in tests and
+// experiments).
+func (n *Network) Link(id LinkID) *netsim.Link { return n.links[id] }
+
+// Links returns the number of links.
+func (n *Network) Links() int { return len(n.links) }
+
+// checkRoute validates that hops form a contiguous directed path.
+func (n *Network) checkRoute(hops []LinkID) {
+	if len(hops) == 0 {
+		panic("topology: empty route")
+	}
+	for i, h := range hops {
+		if int(h) >= len(n.links) || h < 0 {
+			panic(fmt.Sprintf("topology: route hop %d: unknown link %d", i, h))
+		}
+		if i > 0 && n.linkFrom[h] != n.linkTo[hops[i-1]] {
+			panic(fmt.Sprintf("topology: route hop %d: link %d does not start where link %d ends",
+				i, h, hops[i-1]))
+		}
+	}
+}
+
+// SetRoute declares the static source route for a flow id, to be used
+// by a later AttachFlow for the same id.
+func (n *Network) SetRoute(flow int, hops ...LinkID) {
+	n.checkRoute(hops)
+	n.routes[flow] = append([]LinkID(nil), hops...)
+}
+
+// SetDefaultRoute declares the route used by AttachFlow for flows with
+// no per-flow SetRoute entry, and makes the route's first link the sink
+// for forward packets of entirely unattached flows (cross traffic).
+func (n *Network) SetDefaultRoute(hops ...LinkID) {
+	n.checkRoute(hops)
+	n.defaultRoute = append([]LinkID(nil), hops...)
+	n.defaultLink = n.links[hops[0]]
+}
+
+// SetReverseJitter enables reverse-path delay jitter with the given
+// fraction (0 <= j < 1) and seed.
+func (n *Network) SetReverseJitter(j float64, seed uint64) {
+	if j < 0 || j >= 1 {
+		panic("topology: reverse jitter outside [0,1)")
+	}
+	n.ReverseJitter = j
+	n.jitterRNG = rng.New(seed)
+}
+
+// AttachFlow implements netsim.Network: it registers a flow's endpoints
+// and path delays on the flow's declared route (SetRoute), falling back
+// to the default route. fwdExtra is the one-way delay from the last
+// routed link's egress to the receiver; revDelay is the full uncongested
+// return delay from receiver to sender.
+func (n *Network) AttachFlow(flow int, sender, receiver netsim.Endpoint, fwdExtra, revDelay float64) {
+	hops, ok := n.routes[flow]
+	if !ok {
+		hops = n.defaultRoute
+	}
+	if len(hops) == 0 {
+		panic(fmt.Sprintf("topology: no route for flow %d (SetRoute or SetDefaultRoute first)", flow))
+	}
+	if sender == nil || receiver == nil {
+		panic("topology: nil endpoint")
+	}
+	n.attach(flow, sender, receiver, hops, fwdExtra, revDelay)
+}
+
+// AttachSink registers a receiver-less flow over a route: its packets
+// are recycled at route end. This is how cross traffic is carried over
+// a chosen sub-path of a multi-hop graph.
+func (n *Network) AttachSink(flow int, hops ...LinkID) {
+	n.attach(flow, nil, nil, hops, 0, 0)
+}
+
+func (n *Network) attach(flow int, sender, receiver netsim.Endpoint, hops []LinkID, fwdExtra, revDelay float64) {
+	if fwdExtra < 0 || revDelay < 0 {
+		panic("topology: negative delay")
+	}
+	if _, dup := n.flows[flow]; dup {
+		panic(fmt.Sprintf("topology: duplicate flow id %d", flow))
+	}
+	n.checkRoute(hops)
+	route := make([]*netsim.Link, len(hops))
+	for i, h := range hops {
+		route[i] = n.links[h]
+	}
+	n.flows[flow] = &flowState{
+		route:    route,
+		fwdExtra: fwdExtra,
+		revDelay: revDelay,
+		sender:   sender,
+		receiver: receiver,
+	}
+}
+
+// GetPacket returns a zeroed packet from the freelist (allocating only
+// when the pool is empty). The simulator reclaims it after delivery.
+func (n *Network) GetPacket() *netsim.Packet {
+	n.issued++
+	if m := len(n.pool); m > 0 {
+		p := n.pool[m-1]
+		n.pool = n.pool[:m-1]
+		*p = netsim.Packet{}
+		return p
+	}
+	return &netsim.Packet{}
+}
+
+// PutPacket returns a packet to the freelist. Callers normally never
+// need this — the network releases packets itself after delivery and on
+// drops — but sources that abandon a packet before sending may.
+func (n *Network) PutPacket(p *netsim.Packet) {
+	if p == nil {
+		return
+	}
+	n.returned++
+	n.pool = append(n.pool, p)
+}
+
+func (n *Network) getDelivery(to netsim.Endpoint, p *netsim.Packet) *delivery {
+	var dv *delivery
+	if m := len(n.dpool); m > 0 {
+		dv = n.dpool[m-1]
+		n.dpool = n.dpool[:m-1]
+	} else {
+		dv = &delivery{n: n}
+		dv.run = dv.deliver
+	}
+	dv.to = to
+	dv.p = p
+	n.pendingDeliveries++
+	return dv
+}
+
+// SendForward implements netsim.Network: the packet enters the first
+// link of its flow's route. Packets of unattached flows go to the
+// default route's first link (and are recycled at its egress).
+func (n *Network) SendForward(p *netsim.Packet) {
+	if fs, ok := n.flows[p.Flow]; ok {
+		p.Hop = 0
+		fs.route[0].Send(p)
+		return
+	}
+	if n.defaultLink == nil {
+		panic(fmt.Sprintf("topology: forward packet for unrouted flow %d and no default route", p.Flow))
+	}
+	p.Hop = 0
+	n.defaultLink.Send(p)
+}
+
+// SendReverse implements netsim.Network: the packet reaches the flow's
+// sender after the flow's reverse delay (jittered when enabled).
+func (n *Network) SendReverse(p *netsim.Packet) {
+	fs, ok := n.flows[p.Flow]
+	if !ok || fs.sender == nil {
+		panic(fmt.Sprintf("topology: reverse packet for unknown flow %d", p.Flow))
+	}
+	delay := fs.revDelay
+	if n.ReverseJitter > 0 {
+		delay *= 1 + n.ReverseJitter*(2*n.jitterRNG.Float64()-1)
+	}
+	dv := n.getDelivery(fs.sender, p)
+	n.Sched.After(delay, dv.run)
+}
+
+// arrive handles a packet exiting a link: forward it into the next hop
+// of its route, or deliver it past the last hop.
+func (n *Network) arrive(p *netsim.Packet) {
+	fs, ok := n.flows[p.Flow]
+	if !ok {
+		// Unattached flow (e.g. background traffic that terminates at
+		// the default link): recycle silently.
+		n.PutPacket(p)
+		return
+	}
+	if next := int(p.Hop) + 1; next < len(fs.route) {
+		p.Hop = int32(next)
+		fs.route[next].Send(p)
+		return
+	}
+	fs.delivered++
+	if fs.receiver == nil {
+		// Sink flow: the route end is the destination.
+		n.PutPacket(p)
+		return
+	}
+	if fs.fwdExtra == 0 {
+		fs.receiver.Receive(p)
+		n.PutPacket(p)
+		return
+	}
+	dv := n.getDelivery(fs.receiver, p)
+	n.Sched.After(fs.fwdExtra, dv.run)
+}
+
+// BaseRTT returns the no-queueing round-trip time for the flow: the sum
+// of its routed links' propagation delays, the extra forward delay and
+// the return delay (transmission times excluded).
+func (n *Network) BaseRTT(flow int) float64 {
+	fs, ok := n.flows[flow]
+	if !ok {
+		return 0
+	}
+	rtt := fs.fwdExtra + fs.revDelay
+	for _, l := range fs.route {
+		rtt += l.Delay
+	}
+	return rtt
+}
+
+// Delivered returns the number of packets a flow's route has carried to
+// its end (whether consumed by a receiver or sunk).
+func (n *Network) Delivered(flow int) int64 {
+	if fs, ok := n.flows[flow]; ok {
+		return fs.delivered
+	}
+	return 0
+}
+
+// Outstanding returns issued-minus-returned freelist packets: the
+// number the pool believes are alive inside the network.
+func (n *Network) Outstanding() int64 { return n.issued - n.returned }
+
+// InNetwork counts the packets demonstrably inside the simulator:
+// queued, serializing or propagating on some link, or waiting in a
+// pending delivery.
+func (n *Network) InNetwork() int {
+	total := n.pendingDeliveries
+	for _, l := range n.links {
+		total += l.InFlight()
+	}
+	return total
+}
+
+// CheckLeaks verifies the freelist leak invariant: every packet the
+// pool issued is either returned or physically inside the network. It
+// holds at any inter-event instant provided all sources draw from
+// GetPacket and no endpoint retains or double-returns a packet.
+func (n *Network) CheckLeaks() error {
+	if out, in := n.Outstanding(), int64(n.InNetwork()); out != in {
+		return fmt.Errorf("topology: packet leak: %d outstanding from the freelist but %d in the network", out, in)
+	}
+	return nil
+}
