@@ -82,6 +82,7 @@ func runBenchSuite(id int, outPath string, stdout, stderr io.Writer) int {
 	record("SchedulerDeepQueue", perfbench.SchedulerDeepQueue)
 	record("DumbbellSteadyState", perfbench.DumbbellSteadyState)
 	record("ParkingLotSteadyState", perfbench.ParkingLotSteadyState)
+	record("ReversePathSteadyState", perfbench.ReversePathSteadyState)
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// runBenchCmp compares a new BENCH_*.json report against a baseline and
+// returns 1 when a tracked benchmark regressed: events/sec fell by more
+// than tol (fraction), or allocs/op increased at all. Benchmarks are
+// matched by name; entries present in only one report are listed but
+// never gate, so adding a benchmark does not break the comparison
+// against older baselines. This is the gate the CI bench job runs —
+// the perf trajectory is compared, not just recorded.
+func runBenchCmp(oldPath, newPath string, tol float64, stdout, stderr io.Writer) int {
+	if tol <= 0 || tol >= 1 {
+		fmt.Fprintf(stderr, "ebrc: -benchtol must be in (0,1), got %v\n", tol)
+		return 2
+	}
+	oldRep, err := loadBenchReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "ebrc: %v\n", err)
+		return 1
+	}
+	newRep, err := loadBenchReport(newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "ebrc: %v\n", err)
+		return 1
+	}
+	oldBy := make(map[string]benchEntry, len(oldRep.Benchmarks))
+	for _, e := range oldRep.Benchmarks {
+		oldBy[e.Name] = e
+	}
+
+	failures := 0
+	compared := 0
+	for _, n := range newRep.Benchmarks {
+		o, ok := oldBy[n.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-24s new benchmark, not gated (%.0f events/sec, %d allocs/op)\n",
+				n.Name, n.EventsPerSec, n.AllocsPerOp)
+			continue
+		}
+		delete(oldBy, n.Name)
+		compared++
+		var reasons []string
+		if o.EventsPerSec > 0 && n.EventsPerSec < o.EventsPerSec*(1-tol) {
+			reasons = append(reasons, fmt.Sprintf("events/sec fell >%d%%", int(tol*100)))
+		}
+		if n.AllocsPerOp > o.AllocsPerOp {
+			reasons = append(reasons, fmt.Sprintf("allocs/op rose %d -> %d", o.AllocsPerOp, n.AllocsPerOp))
+		}
+		status := "ok"
+		if len(reasons) > 0 {
+			status = "FAIL: " + strings.Join(reasons, "; ")
+			failures++
+		}
+		ratio := 0.0
+		if o.EventsPerSec > 0 {
+			ratio = n.EventsPerSec / o.EventsPerSec
+		}
+		fmt.Fprintf(stdout, "%-24s %12.0f -> %12.0f events/sec (%.2fx)  %6d -> %6d allocs/op  %s\n",
+			n.Name, o.EventsPerSec, n.EventsPerSec, ratio, o.AllocsPerOp, n.AllocsPerOp, status)
+	}
+	missing := make([]string, 0, len(oldBy))
+	for name := range oldBy {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(stdout, "%-24s missing from %s, not gated\n", name, newPath)
+	}
+	if compared == 0 {
+		fmt.Fprintf(stderr, "ebrc: no benchmarks in common between %s and %s\n", oldPath, newPath)
+		return 1
+	}
+	if failures > 0 {
+		fmt.Fprintf(stderr, "ebrc: %d benchmark regression(s) vs %s\n", failures, oldPath)
+		return 1
+	}
+	fmt.Fprintf(stdout, "no regressions: %d benchmarks within %.0f%% of %s\n",
+		compared, tol*100, oldPath)
+	return 0
+}
+
+func loadBenchReport(path string) (benchReport, error) {
+	var rep benchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return rep, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return rep, nil
+}

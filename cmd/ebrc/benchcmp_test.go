@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBenchFile(t *testing.T, dir, name string, entries []benchEntry) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(benchReport{GoVersion: "test", Benchmarks: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// The benchcmp gate: pass within tolerance, fail on a >tol events/sec
+// drop or any allocs/op increase, and ignore benchmarks present in only
+// one report.
+func TestBenchCmp(t *testing.T) {
+	dir := t.TempDir()
+	base := []benchEntry{
+		{Name: "DumbbellSteadyState", EventsPerSec: 6e6, AllocsPerOp: 2800},
+		{Name: "SchedulerFire", EventsPerSec: 7e7, AllocsPerOp: 0},
+		{Name: "RetiredBench", EventsPerSec: 1e6, AllocsPerOp: 0},
+	}
+	old := writeBenchFile(t, dir, "old.json", base)
+
+	cases := []struct {
+		name    string
+		entries []benchEntry
+		want    int
+		output  string
+	}{
+		{"within tolerance", []benchEntry{
+			{Name: "DumbbellSteadyState", EventsPerSec: 4.5e6, AllocsPerOp: 2800},
+			{Name: "SchedulerFire", EventsPerSec: 7e7, AllocsPerOp: 0},
+		}, 0, "no regressions"},
+		{"events per sec regression", []benchEntry{
+			{Name: "DumbbellSteadyState", EventsPerSec: 3e6, AllocsPerOp: 2800},
+			{Name: "SchedulerFire", EventsPerSec: 7e7, AllocsPerOp: 0},
+		}, 1, "events/sec fell"},
+		{"allocs increase", []benchEntry{
+			{Name: "DumbbellSteadyState", EventsPerSec: 6e6, AllocsPerOp: 2801},
+			{Name: "SchedulerFire", EventsPerSec: 7e7, AllocsPerOp: 0},
+		}, 1, "allocs/op rose"},
+		{"new benchmark not gated", []benchEntry{
+			{Name: "DumbbellSteadyState", EventsPerSec: 6e6, AllocsPerOp: 2800},
+			{Name: "BrandNewBench", EventsPerSec: 1, AllocsPerOp: 999999},
+		}, 0, "new benchmark"},
+		{"both gates on one benchmark", []benchEntry{
+			{Name: "DumbbellSteadyState", EventsPerSec: 3e6, AllocsPerOp: 2900},
+			{Name: "SchedulerFire", EventsPerSec: 7e7, AllocsPerOp: 0},
+		}, 1, "events/sec fell >30%; allocs/op rose 2800 -> 2900"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nu := writeBenchFile(t, dir, strings.ReplaceAll(tc.name, " ", "_")+".json", tc.entries)
+			var out, errb bytes.Buffer
+			code := run([]string{"-benchcmp", old, nu}, &out, &errb)
+			if code != tc.want {
+				t.Fatalf("exit %d, want %d\nstdout: %s\nstderr: %s",
+					code, tc.want, out.String(), errb.String())
+			}
+			if !strings.Contains(out.String(), tc.output) {
+				t.Fatalf("output missing %q:\n%s", tc.output, out.String())
+			}
+		})
+	}
+}
+
+func TestBenchCmpErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := writeBenchFile(t, dir, "good.json", []benchEntry{{Name: "A", EventsPerSec: 1}})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-benchcmp", good}, &out, &errb); code != 2 {
+		t.Fatalf("one arg: exit %d", code)
+	}
+	if code := run([]string{"-benchcmp", filepath.Join(dir, "missing.json"), good}, &out, &errb); code != 1 {
+		t.Fatalf("missing baseline: exit %d", code)
+	}
+	disjoint := writeBenchFile(t, dir, "disjoint.json", []benchEntry{{Name: "B", EventsPerSec: 1}})
+	if code := run([]string{"-benchcmp", disjoint, good}, &out, &errb); code != 1 {
+		t.Fatalf("no common benchmarks: exit %d", code)
+	}
+	if code := run([]string{"-benchcmp", "-benchtol", "2", good, good}, &out, &errb); code != 2 {
+		t.Fatalf("bad tolerance: exit %d", code)
+	}
+}

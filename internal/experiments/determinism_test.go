@@ -62,16 +62,16 @@ func TestSimScenarioParallelDeterminism(t *testing.T) {
 	}
 }
 
-// The same property for the multi-hop topology scenarios: the
-// parking-lot and multi-bottleneck sweeps must fold byte-identically
-// from a worker pool.
+// The same property for the multi-hop topology and routed-reverse
+// scenarios: the parking-lot, multi-bottleneck and reverse-path sweeps
+// must fold byte-identically from a worker pool.
 func TestTopoScenarioParallelDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("packet-level determinism check skipped in -short mode")
 	}
 	t.Parallel()
 	sz := Sizing{Events: 2000, SimFactor: 0.04, Pairs: []int{1}, PairsCap: 1}
-	for _, name := range []string{"multibneck", "parkinglot", "hetrtt"} {
+	for _, name := range []string{"multibneck", "parkinglot", "hetrtt", "revcross", "ackshare", "asymrev"} {
 		serial := renderAll(t, name, sz, runner.Serial{})
 		if len(serial) == 0 {
 			t.Fatalf("%s: empty serial output", name)
@@ -109,7 +109,7 @@ func TestRegistryExpansion(t *testing.T) {
 			}
 		}
 	}
-	if len(Scenarios()) < 22 {
-		t.Fatalf("registry has %d scenarios, want >= 22", len(Scenarios()))
+	if len(Scenarios()) < 25 {
+		t.Fatalf("registry has %d scenarios, want >= 25", len(Scenarios()))
 	}
 }

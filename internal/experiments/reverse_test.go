@@ -1,0 +1,118 @@
+package experiments
+
+import "testing"
+
+func quickRev(mut func(*RevSimConfig)) RevSimResult {
+	cfg := reverseBase(Sizing{SimFactor: 0.2})
+	cfg.Seed = 77
+	if mut != nil {
+		mut(&cfg)
+	}
+	return RunRevSim(cfg)
+}
+
+// With an uncongested routed reverse path the bidirectional dumbbell
+// behaves like the plain one: the primary flows fill the forward
+// bottleneck and no reverse packet is ever dropped.
+func TestRevSimUncongestedReverseMatchesDumbbell(t *testing.T) {
+	t.Parallel()
+	res := quickRev(nil)
+	total := res.TFRC.Throughput*float64(res.TFRC.Flows) +
+		res.TCP.Throughput*float64(res.TCP.Flows)
+	if total < 900 || total > 1400 {
+		t.Fatalf("aggregate primary throughput = %v pkts/s, want near 1250", total)
+	}
+	if res.RevDrops != 0 {
+		t.Fatalf("uncongested reverse path dropped %d packets", res.RevDrops)
+	}
+	if res.AcksPerPacket < 0.4 || res.AcksPerPacket > 0.6 {
+		t.Fatalf("acks per packet = %v, want near 1/b = 0.5", res.AcksPerPacket)
+	}
+	// Base RTT: 10 (fwd) + 5 (access) + 5 (rev hop) + 20 (rev extra) ms.
+	if res.BaseRTT < 0.0399 || res.BaseRTT > 0.0401 {
+		t.Fatalf("base rtt = %v, want 0.040", res.BaseRTT)
+	}
+}
+
+// Saturating a tight reverse bottleneck with cross traffic must drop
+// feedback and ACKs; TCP's ack clock degrades with them.
+func TestRevSimReverseCongestionDropsFeedback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-level reverse congestion run skipped in -short mode")
+	}
+	t.Parallel()
+	narrow := func(c *RevSimConfig) { c.RevCapacities = []float64{c.Capacity / 20} }
+	clean := quickRev(narrow)
+	loaded := quickRev(func(c *RevSimConfig) {
+		narrow(c)
+		c.RevCrossLoad = 1.2
+	})
+	if loaded.RevDrops == 0 {
+		t.Fatal("saturated reverse bottleneck dropped nothing")
+	}
+	if loaded.RevDropRate <= clean.RevDropRate {
+		t.Fatalf("reverse drop rate did not rise: %v vs %v",
+			loaded.RevDropRate, clean.RevDropRate)
+	}
+	if loaded.AcksPerPacket >= clean.AcksPerPacket {
+		t.Fatalf("ack loss not visible: %v acks/pkt loaded vs %v clean",
+			loaded.AcksPerPacket, clean.AcksPerPacket)
+	}
+}
+
+// Opposing-direction data must congest the shared reverse queue: the
+// reverse path starts dropping and the back class carries real load.
+func TestRevSimBackTrafficCongestsAckPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-level two-way traffic run skipped in -short mode")
+	}
+	t.Parallel()
+	res := quickRev(func(c *RevSimConfig) { c.BackTCP = 4 })
+	if res.Back.Flows != 4 || res.Back.Throughput <= 0 {
+		t.Fatalf("back class missing: %+v", res.Back)
+	}
+	if res.RevDrops == 0 {
+		t.Fatal("4 back TCP flows left the reverse queue uncongested")
+	}
+}
+
+func TestRevSimDeterministicInSeed(t *testing.T) {
+	t.Parallel()
+	mut := func(c *RevSimConfig) {
+		c.BackTCP = 1
+		c.RevCrossLoad = 0.5
+		c.RevCapacities = []float64{c.Capacity / 10, c.Capacity / 4}
+	}
+	a := quickRev(mut)
+	b := quickRev(mut)
+	if a.TFRC != b.TFRC || a.TCP != b.TCP || a.Back != b.Back ||
+		a.RevDrops != b.RevDrops || a.EventsFired != b.EventsFired {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRevSimPanics(t *testing.T) {
+	t.Parallel()
+	cases := []func(*RevSimConfig){
+		func(c *RevSimConfig) { c.Capacity = 0 },
+		func(c *RevSimConfig) { c.Buffer = 0 },
+		func(c *RevSimConfig) { c.RevBuffer = 0 },
+		func(c *RevSimConfig) { c.RevCapacities = nil },
+		func(c *RevSimConfig) { c.RevCapacities = []float64{0} },
+		func(c *RevSimConfig) { c.Duration = 0 },
+		func(c *RevSimConfig) { c.L = 0 },
+		func(c *RevSimConfig) { c.NTFRC, c.NTCP = 0, 0 },
+		func(c *RevSimConfig) { c.BackTCP = -1 },
+		func(c *RevSimConfig) { c.RevCrossLoad = -0.1 },
+	}
+	for i, mut := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			quickRev(mut)
+		}()
+	}
+}

@@ -64,13 +64,21 @@ type Packet struct {
 	// traversing. It is routing state owned by the topology layer;
 	// sources and endpoints never touch it.
 	Hop int32
+	// Rev marks a packet traversing its flow's routed reverse path
+	// (feedback and acknowledgments crossing real queues). Like Hop it
+	// is routing state owned by the topology layer; sources and
+	// endpoints never touch it.
+	Rev bool
 }
 
 // Network is the interface protocols (tfrc, tcp, cbr, cross traffic)
-// program against: a packet pool, forward-path injection, an uncongested
-// reverse path, and flow attachment. Package topology provides the
+// program against: a packet pool, forward-path injection, a reverse
+// path, and flow attachment. Package topology provides the
 // implementations — the general network graph and the dumbbell as its
-// two-node special case.
+// two-node special case. The reverse path is a pure per-flow delay by
+// default; a topology may route it through real links and queues
+// (SetReverseRoute), in which case feedback and acknowledgments are
+// queued, delayed, and dropped like any other traffic.
 type Network interface {
 	// GetPacket returns a zeroed packet from the freelist.
 	GetPacket() *Packet
@@ -81,8 +89,10 @@ type Network interface {
 	// SendForward injects a forward-path packet at the first hop of its
 	// flow's route.
 	SendForward(p *Packet)
-	// SendReverse carries a packet from the receiver back to the sender
-	// over the uncongested reverse path.
+	// SendReverse carries a packet from the receiver back to the
+	// sender: over the flow's routed reverse path (hop by hop through
+	// real queues, so the packet may be dropped) when one is declared,
+	// otherwise over the uncongested pure-delay reverse path.
 	SendReverse(p *Packet)
 	// AttachFlow registers a flow's endpoints and path delays: fwdExtra
 	// is the one-way delay from the last routed link's egress to the
@@ -125,6 +135,15 @@ func (r *pktRing) pop() *Packet {
 	return p
 }
 
+// grow doubles the ring's capacity, preserving FIFO order.
+func (r *pktRing) grow() {
+	nb := make([]*Packet, 2*len(r.buf))
+	for i := 0; i < r.count; i++ {
+		nb[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf, r.head = nb, 0
+}
+
 // DropTail is a FIFO queue with a fixed capacity in packets.
 type DropTail struct {
 	ring pktRing
@@ -160,6 +179,37 @@ func (q *DropTail) Dequeue(_ float64) *Packet {
 
 // Len implements Queue.
 func (q *DropTail) Len() int { return q.ring.count }
+
+// Unbounded is a FIFO queue that never drops: the ring grows on demand.
+// It models an ideal infinite-buffer hop — a link that imposes
+// serialization and propagation but no loss — such as the default queue
+// of a mirrored reverse path.
+type Unbounded struct {
+	ring pktRing
+}
+
+// NewUnbounded returns an empty unbounded FIFO queue.
+func NewUnbounded() *Unbounded { return &Unbounded{ring: newPktRing(64)} }
+
+// Enqueue implements Queue; it never rejects a packet.
+func (q *Unbounded) Enqueue(p *Packet, _ float64) bool {
+	if q.ring.count == len(q.ring.buf) {
+		q.ring.grow()
+	}
+	q.ring.push(p)
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *Unbounded) Dequeue(_ float64) *Packet {
+	if q.ring.count == 0 {
+		return nil
+	}
+	return q.ring.pop()
+}
+
+// Len implements Queue.
+func (q *Unbounded) Len() int { return q.ring.count }
 
 // REDConfig holds the RED active-queue-management parameters, mirroring
 // the knobs the paper sets in its ns-2 and lab experiments.

@@ -33,6 +33,37 @@ func TestDropTailFIFO(t *testing.T) {
 	}
 }
 
+// An Unbounded queue must accept every packet, growing past its initial
+// ring while preserving FIFO order — including across a wrapped head.
+func TestUnboundedGrowsFIFO(t *testing.T) {
+	q := NewUnbounded()
+	// Wrap the ring head before forcing growth.
+	for i := 0; i < 10; i++ {
+		q.Enqueue(&Packet{Seq: -1}, 0)
+	}
+	for i := 0; i < 10; i++ {
+		q.Dequeue(0)
+	}
+	const n = 500 // well past the initial capacity
+	for i := 0; i < n; i++ {
+		if !q.Enqueue(&Packet{Seq: int64(i)}, 0) {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	if q.Len() != n {
+		t.Fatalf("len = %d, want %d", q.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		p := q.Dequeue(0)
+		if p == nil || p.Seq != int64(i) {
+			t.Fatalf("dequeue %d = %+v", i, p)
+		}
+	}
+	if q.Dequeue(0) != nil {
+		t.Fatal("empty dequeue should be nil")
+	}
+}
+
 func TestREDAcceptsBelowMinTh(t *testing.T) {
 	cfg := REDConfig{Capacity: 100, MinTh: 10, MaxTh: 50, MaxP: 0.1, Wq: 0.2}
 	q := NewRED(cfg, 1e6, rng.New(1))

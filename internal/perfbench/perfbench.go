@@ -127,3 +127,47 @@ func ParkingLotSteadyState(b *testing.B) {
 		b.ReportMetric(float64(events), "events/run")
 	}
 }
+
+// ReversePathSteadyState measures whole-simulation throughput with a
+// routed congested reverse path: 2 TFRC + 2 TCP primary flows whose
+// feedback and ACKs cross a real reverse queue shared with 2
+// opposing-direction TCP flows and cross traffic, 25 simulated seconds.
+// Against DumbbellSteadyState it isolates the cost of reverse-path
+// routing (the Rev branch in the forwarding path, reverse queues, and
+// the doubled per-packet link traversals of two-way traffic). Reports
+// events/sec and events/run like the other whole-simulation benchmarks.
+func ReversePathSteadyState(b *testing.B) {
+	cfg := experiments.RevSimConfig{
+		Capacity:      1.25e6,
+		Buffer:        64,
+		FwdDelay:      0.01,
+		AccessDelay:   0.005,
+		RevExtra:      0.02,
+		RevCapacities: []float64{1.25e6},
+		RevBuffer:     64,
+		RevHopDelay:   0.005,
+		NTFRC:         2,
+		NTCP:          2,
+		BackTCP:       2,
+		RevCrossLoad:  0.3,
+		L:             8,
+		Comprehensive: true,
+		Duration:      20,
+		Warmup:        5,
+		Seed:          17,
+		RevJitter:     0.2,
+	}
+	var events uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunRevSim(cfg)
+		events = res.EventsFired
+	}
+	b.StopTimer()
+	if events > 0 {
+		secPerOp := b.Elapsed().Seconds() / float64(b.N)
+		b.ReportMetric(float64(events)/secPerOp, "events/sec")
+		b.ReportMetric(float64(events), "events/run")
+	}
+}

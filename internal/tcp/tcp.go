@@ -77,6 +77,12 @@ type Stats struct {
 	MeanRTT float64
 	// Throughput is the send rate in packets/second.
 	Throughput float64
+	// AcksReceived counts acknowledgment packets that reached the
+	// sender in the window. Over a routed congested reverse path this
+	// falls short of the ACKs the receiver issued (ack loss), and the
+	// survivors arrive compressed behind the reverse bottleneck's
+	// queue.
+	AcksReceived int64
 }
 
 // Sender is a long-lived bulk-transfer TCP source. Create with
@@ -108,6 +114,8 @@ type Sender struct {
 	// measurement window
 	measStart  float64
 	pktsSent   int64
+	acksSeen   int64
+	acksBase   int64
 	eventsBase int64
 	rttAcc     stats.Welford
 	intervals0 int
@@ -161,6 +169,7 @@ func (s *Sender) Cwnd() float64 { return s.cwnd }
 func (s *Sender) ResetStats() {
 	s.measStart = s.sched.Now()
 	s.pktsSent = 0
+	s.acksBase = s.acksSeen
 	s.eventsBase = s.lossEvents.Events
 	s.rttAcc = stats.Welford{}
 	s.intervals0 = len(s.lossEvents.Intervals)
@@ -170,10 +179,11 @@ func (s *Sender) ResetStats() {
 func (s *Sender) Stats() Stats {
 	dur := s.sched.Now() - s.measStart
 	st := Stats{
-		Duration:    dur,
-		PacketsSent: s.pktsSent,
-		LossEvents:  s.lossEvents.Events - s.eventsBase,
-		MeanRTT:     s.rttAcc.Mean(),
+		Duration:     dur,
+		PacketsSent:  s.pktsSent,
+		LossEvents:   s.lossEvents.Events - s.eventsBase,
+		MeanRTT:      s.rttAcc.Mean(),
+		AcksReceived: s.acksSeen - s.acksBase,
 	}
 	st.LossIntervals = append(st.LossIntervals, s.lossEvents.Intervals[s.intervals0:]...)
 	if s.pktsSent > 0 {
@@ -208,10 +218,16 @@ func (s *Sender) sendSeq(seq int64) {
 }
 
 // Receive implements netsim.Endpoint for the returning ACK stream.
+// Lost ACKs need no special handling: a later cumulative ACK covers
+// them, and a fully severed reverse path surfaces as an RTO. Ack
+// compression — back-to-back ACK arrivals released by a congested
+// reverse queue — makes cwnd growth and send bursts lumpy, which is
+// exactly the behavior the routed reverse path experiments measure.
 func (s *Sender) Receive(p *netsim.Packet) {
 	if p.Kind != netsim.Ack {
 		return
 	}
+	s.acksSeen++
 	now := s.sched.Now()
 	switch {
 	case p.AckSeq > s.highAck:

@@ -132,6 +132,14 @@ type Stats struct {
 	LossIntervals []float64
 	// PEstimate is the receiver's current loss-event rate estimate.
 	PEstimate float64
+	// FeedbackReceived counts receiver reports that reached the sender
+	// in the window. Over a routed congested reverse path this falls
+	// short of the reports the receiver issued — the rest were dropped.
+	FeedbackReceived int64
+	// NoFeedbackHalvings counts no-feedback timer expirations in the
+	// window: each one halved the send rate because a full no-feedback
+	// interval passed without a report (RFC 3448 §4.4).
+	NoFeedbackHalvings int64
 }
 
 // Sender is the TFRC data source.
@@ -162,6 +170,11 @@ type Sender struct {
 	measStart float64
 	pktsSent  int64
 	rttAcc    stats.Welford
+
+	fbSeen     int64
+	nfHalvings int64
+	fbBase     int64
+	nfBase     int64
 }
 
 // Receiver is the TFRC feedback source.
@@ -252,6 +265,8 @@ func (s *Sender) ResetStats() {
 	s.measStart = s.sched.Now()
 	s.pktsSent = 0
 	s.rttAcc = stats.Welford{}
+	s.fbBase = s.fbSeen
+	s.nfBase = s.nfHalvings
 	s.receiver.eventsBase = s.receiver.events.Events
 	s.receiver.intervals0 = len(s.receiver.events.Intervals)
 }
@@ -261,11 +276,13 @@ func (s *Sender) Stats() Stats {
 	dur := s.sched.Now() - s.measStart
 	r := s.receiver
 	st := Stats{
-		Duration:    dur,
-		PacketsSent: s.pktsSent,
-		MeanRTT:     s.rttAcc.Mean(),
-		LossEvents:  r.events.Events - r.eventsBase,
-		PEstimate:   r.LossEventRateEstimate(),
+		Duration:           dur,
+		PacketsSent:        s.pktsSent,
+		MeanRTT:            s.rttAcc.Mean(),
+		LossEvents:         r.events.Events - r.eventsBase,
+		PEstimate:          r.LossEventRateEstimate(),
+		FeedbackReceived:   s.fbSeen - s.fbBase,
+		NoFeedbackHalvings: s.nfHalvings - s.nfBase,
 	}
 	st.LossIntervals = append(st.LossIntervals, r.events.Intervals[r.intervals0:]...)
 	if s.pktsSent > 0 {
@@ -301,6 +318,7 @@ func (s *Sender) Receive(p *netsim.Packet) {
 	if p.Kind != netsim.Feedback {
 		return
 	}
+	s.fbSeen++
 	now := s.sched.Now()
 	if p.Echo > 0 && now > p.Echo {
 		sample := now - p.Echo
@@ -359,8 +377,12 @@ func (s *Sender) armNoFeedback() {
 }
 
 // onNoFeedback fires when no feedback arrived for a full no-feedback
-// interval: halve the rate and keep waiting.
+// interval — the report was lost on the reverse path, or the receiver
+// went silent: halve the rate and keep waiting. The floor of one packet
+// per 8 seconds keeps the sender probing so a recovered reverse path
+// can restart the control loop.
 func (s *Sender) onNoFeedback() {
+	s.nfHalvings++
 	s.rate = math.Max(s.rate/2, float64(s.cfg.SegSize)/8)
 	s.armNoFeedback()
 }

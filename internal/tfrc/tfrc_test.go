@@ -253,6 +253,74 @@ func TestNoFeedbackTimerHalvesRate(t *testing.T) {
 	}
 }
 
+// blackholeNet drops every reverse-path packet: the severed-feedback
+// extreme of a routed congested reverse path.
+type blackholeNet struct{ *topology.Dumbbell }
+
+func (b blackholeNet) SendReverse(p *netsim.Packet) { b.PutPacket(p) }
+
+// Table-driven check of the no-feedback halving schedule (RFC 3448
+// §4.4): with every receiver report lost, the rate halves once per
+// no-feedback interval — 2 s while no RTT sample exists — down to the
+// floor of one segment per 8 seconds, and the sender counts each
+// expiration.
+func TestNoFeedbackHalvingSchedule(t *testing.T) {
+	cfg := DefaultConfig() // InitialRate 2000 B/s, SegSize 1000
+	floor := float64(cfg.SegSize) / 8
+	cases := []struct {
+		intervals int
+		wantRate  float64
+	}{
+		{1, 1000},
+		{2, 500},
+		{3, 250},
+		{4, floor}, // 125 = the floor exactly
+		{6, floor}, // pinned at the floor, halvings keep counting
+	}
+	for _, tc := range cases {
+		var s des.Scheduler
+		net := blackholeNet{buildDumbbell(&s, 1.25e6, 0.01, 64)}
+		snd, _ := NewFlow(&s, net, 1, cfg, 0, 0.015)
+		snd.Start()
+		// Expirations land at exactly 2, 4, 6, ... seconds; sample just
+		// after the tc.intervals-th one.
+		s.RunUntil(2*float64(tc.intervals) + 0.5)
+		if got := snd.Rate(); math.Abs(got-tc.wantRate) > 1e-9 {
+			t.Errorf("after %d lost intervals: rate = %v, want %v",
+				tc.intervals, got, tc.wantRate)
+		}
+		st := snd.Stats()
+		if st.NoFeedbackHalvings != int64(tc.intervals) {
+			t.Errorf("after %d lost intervals: halvings = %d", tc.intervals, st.NoFeedbackHalvings)
+		}
+		if st.FeedbackReceived != 0 {
+			t.Errorf("blackholed reverse path delivered %d reports", st.FeedbackReceived)
+		}
+	}
+}
+
+// Feedback that resumes after a silent stretch restarts the control
+// loop: the sender leaves the floor and the stats count the report.
+func TestNoFeedbackRecovery(t *testing.T) {
+	var s des.Scheduler
+	d := buildDumbbell(&s, 1.25e6, 0.01, 64)
+	snd, _ := NewFlow(&s, blackholeNet{d}, 1, DefaultConfig(), 0, 0.015)
+	snd.Start()
+	s.RunUntil(9)
+	if snd.Stats().NoFeedbackHalvings < 4 {
+		t.Fatalf("halvings = %d before recovery", snd.Stats().NoFeedbackHalvings)
+	}
+	starved := snd.Rate()
+	// Hand-deliver one report, as if the reverse path healed.
+	snd.Receive(&netsim.Packet{Kind: netsim.Feedback, RecvRate: 5e4, Echo: 8.9})
+	if snd.Rate() <= starved {
+		t.Fatalf("rate %v did not recover from %v after feedback resumed", snd.Rate(), starved)
+	}
+	if snd.Stats().FeedbackReceived != 1 {
+		t.Fatalf("feedback count = %d", snd.Stats().FeedbackReceived)
+	}
+}
+
 func TestStatsWindowing(t *testing.T) {
 	var s des.Scheduler
 	net := buildDumbbell(&s, 1.25e6, 0.01, 64)

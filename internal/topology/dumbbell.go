@@ -9,9 +9,12 @@ import (
 // expressed as a two-node, one-link instance of the general network
 // graph: every forward-path packet traverses the shared bottleneck link
 // and is then demultiplexed by flow id to its receiver after a per-flow
-// extra one-way delay; the reverse path is uncongested and modeled as a
-// pure per-flow delay. Flows attach with the plain netsim.Network
-// AttachFlow — the bottleneck is the default route.
+// extra one-way delay; the reverse path defaults to an uncongested pure
+// per-flow delay (equivalently: a single delay link with an infinite
+// queue). Flows attach with the plain netsim.Network AttachFlow — the
+// bottleneck is the default route. A congested return path is one
+// MirrorReverse + SetDefaultReverseRoute away, with feedback and acks
+// then crossing a real queue.
 type Dumbbell struct {
 	*Network
 	Bottleneck *netsim.Link

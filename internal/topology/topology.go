@@ -10,10 +10,20 @@
 // IDs. SendForward injects the packet at the first hop; each link egress
 // hands the packet to the network, which either forwards it into the
 // next link's queue or — past the last hop — delivers it to the flow's
-// receiver after the flow's extra forward delay. The reverse path is
-// uncongested and modeled as a pure per-flow delay (with optional
-// jitter), as in the paper's experiments. Flows without a receiver sink
-// their packets at route end (cross traffic).
+// receiver after the flow's extra forward delay. Flows without a
+// receiver sink their packets at route end (cross traffic).
+//
+// Reverse model: by default the reverse path is uncongested and modeled
+// as a pure per-flow delay (with optional jitter), as in the paper's
+// experiments. A flow may instead carry a routed reverse path
+// (SetReverseRoute, or SetDefaultReverseRoute for every flow at once):
+// feedback and acknowledgment packets are then forwarded hop by hop
+// through real links and queues — they can be queued behind competing
+// traffic, delayed by serialization, and dropped — before the flow's
+// remaining reverse delay returns them to the sender. MirrorReverse
+// builds the routed counterpart of a forward route (one reverse link
+// per forward hop, same rate and delay) so the mirrored-reverse default
+// is one declaration.
 //
 // The network owns the packet freelist and tracks issue/return counts,
 // so tests can assert the leak invariant: every packet the freelist
@@ -36,9 +46,14 @@ type NodeID int
 type LinkID int
 
 // flowState is the per-flow routing entry: the forward route, the
-// terminal delays, and the endpoints.
+// optional routed reverse path, the terminal delays, and the endpoints.
 type flowState struct {
-	route     []*netsim.Link
+	route []*netsim.Link
+	// revRoute, when non-nil, carries the flow's reverse packets hop by
+	// hop through real queues; revDelay then becomes the remaining pure
+	// delay after the last reverse hop. Nil keeps the pure-delay
+	// reverse path.
+	revRoute  []*netsim.Link
 	fwdExtra  float64
 	revDelay  float64
 	sender    netsim.Endpoint
@@ -85,6 +100,14 @@ type Network struct {
 	// defaultLink receives forward packets of flows with no attached
 	// route (a dumbbell's cross traffic terminating at the bottleneck).
 	defaultLink *netsim.Link
+
+	// revRoutes and defaultRevRoute are the routed reverse counterparts
+	// of routes and defaultRoute. A flow with neither keeps the
+	// pure-delay reverse path. revRoutes is allocated lazily on the
+	// first SetReverseRoute so purely-forward networks pay nothing for
+	// the reverse subsystem (nil map reads are legal).
+	revRoutes       map[int][]LinkID
+	defaultRevRoute []LinkID
 
 	// ReverseJitter, when positive, scales each reverse-path delivery
 	// delay by a uniform factor in [1-ReverseJitter, 1+ReverseJitter].
@@ -197,6 +220,69 @@ func (n *Network) SetDefaultRoute(hops ...LinkID) {
 	n.defaultLink = n.links[hops[0]]
 }
 
+// SetReverseRoute declares the routed reverse path for a flow id, to be
+// used by a later AttachFlow for the same id: the flow's reverse
+// packets traverse these links hop by hop — queued, delayed, and
+// possibly dropped — before the flow's remaining reverse delay returns
+// them to the sender. The route must run from the forward route's last
+// node back to its first (checked at attach time).
+func (n *Network) SetReverseRoute(flow int, hops ...LinkID) {
+	n.checkRoute(hops)
+	if n.revRoutes == nil {
+		n.revRoutes = map[int][]LinkID{}
+	}
+	n.revRoutes[flow] = append([]LinkID(nil), hops...)
+}
+
+// SetDefaultReverseRoute declares the routed reverse path used by
+// AttachFlow for flows with no per-flow SetReverseRoute entry. Without
+// it (the default), such flows keep the uncongested pure-delay reverse
+// path.
+func (n *Network) SetDefaultReverseRoute(hops ...LinkID) {
+	n.checkRoute(hops)
+	n.defaultRevRoute = append([]LinkID(nil), hops...)
+}
+
+// MirrorReverse builds the routed reverse counterpart of a forward
+// route: for each forward hop, in reverse order, a new link from the
+// hop's head node back to its tail, copying the forward twin's rate and
+// propagation delay. queue selects the queue of reverse hop i (counting
+// from the receiver side); a nil queue func — or a nil result — gives
+// that hop an unbounded lossless FIFO, i.e. the pure-delay reverse path
+// plus serialization. The returned hops are ready for SetReverseRoute
+// or SetDefaultReverseRoute.
+func (n *Network) MirrorReverse(fwd []LinkID, queue func(hop int) netsim.Queue) []LinkID {
+	n.checkRoute(fwd)
+	rev := make([]LinkID, 0, len(fwd))
+	for i := len(fwd) - 1; i >= 0; i-- {
+		h := fwd[i]
+		var q netsim.Queue
+		if queue != nil {
+			q = queue(len(rev))
+		}
+		if q == nil {
+			q = netsim.NewUnbounded()
+		}
+		l := n.links[h]
+		rev = append(rev, n.AddLink(n.linkTo[h], n.linkFrom[h], l.Rate, l.Delay, q))
+	}
+	return rev
+}
+
+// checkReverse validates that a reverse route connects the forward
+// route's end node back to its start node.
+func (n *Network) checkReverse(fwd, rev []LinkID) {
+	n.checkRoute(rev)
+	if n.linkFrom[rev[0]] != n.linkTo[fwd[len(fwd)-1]] {
+		panic(fmt.Sprintf("topology: reverse route starts at node %d, want the forward route's last node %d",
+			n.linkFrom[rev[0]], n.linkTo[fwd[len(fwd)-1]]))
+	}
+	if n.linkTo[rev[len(rev)-1]] != n.linkFrom[fwd[0]] {
+		panic(fmt.Sprintf("topology: reverse route ends at node %d, want the forward route's first node %d",
+			n.linkTo[rev[len(rev)-1]], n.linkFrom[fwd[0]]))
+	}
+}
+
 // SetReverseJitter enables reverse-path delay jitter with the given
 // fraction (0 <= j < 1) and seed.
 func (n *Network) SetReverseJitter(j float64, seed uint64) {
@@ -210,8 +296,10 @@ func (n *Network) SetReverseJitter(j float64, seed uint64) {
 // AttachFlow implements netsim.Network: it registers a flow's endpoints
 // and path delays on the flow's declared route (SetRoute), falling back
 // to the default route. fwdExtra is the one-way delay from the last
-// routed link's egress to the receiver; revDelay is the full uncongested
-// return delay from receiver to sender.
+// routed link's egress to the receiver. revDelay is the full uncongested
+// return delay from receiver to sender — unless the flow has a routed
+// reverse path (SetReverseRoute or SetDefaultReverseRoute), in which
+// case revDelay is the remaining delay after the last reverse hop.
 func (n *Network) AttachFlow(flow int, sender, receiver netsim.Endpoint, fwdExtra, revDelay float64) {
 	hops, ok := n.routes[flow]
 	if !ok {
@@ -228,7 +316,8 @@ func (n *Network) AttachFlow(flow int, sender, receiver netsim.Endpoint, fwdExtr
 
 // AttachSink registers a receiver-less flow over a route: its packets
 // are recycled at route end. This is how cross traffic is carried over
-// a chosen sub-path of a multi-hop graph.
+// a chosen sub-path of a multi-hop graph. A sink flow has no sender to
+// return packets to, so declaring a reverse route for it is rejected.
 func (n *Network) AttachSink(flow int, hops ...LinkID) {
 	n.attach(flow, nil, nil, hops, 0, 0)
 }
@@ -241,12 +330,32 @@ func (n *Network) attach(flow int, sender, receiver netsim.Endpoint, hops []Link
 		panic(fmt.Sprintf("topology: duplicate flow id %d", flow))
 	}
 	n.checkRoute(hops)
+	revHops, explicit := n.revRoutes[flow]
+	if explicit && sender == nil {
+		panic(fmt.Sprintf("topology: reverse route for sink flow %d (no sender to return packets to)", flow))
+	}
+	if !explicit && sender != nil {
+		// The default reverse route covers endpoint flows only: sink
+		// flows terminate at route end and never send reverse packets.
+		revHops = n.defaultRevRoute
+	}
+	if len(revHops) > 0 {
+		n.checkReverse(hops, revHops)
+	}
 	route := make([]*netsim.Link, len(hops))
 	for i, h := range hops {
 		route[i] = n.links[h]
 	}
+	var revRoute []*netsim.Link
+	if len(revHops) > 0 {
+		revRoute = make([]*netsim.Link, len(revHops))
+		for i, h := range revHops {
+			revRoute[i] = n.links[h]
+		}
+	}
 	n.flows[flow] = &flowState{
 		route:    route,
+		revRoute: revRoute,
 		fwdExtra: fwdExtra,
 		revDelay: revDelay,
 		sender:   sender,
@@ -309,19 +418,47 @@ func (n *Network) SendForward(p *netsim.Packet) {
 	n.defaultLink.Send(p)
 }
 
-// SendReverse implements netsim.Network: the packet reaches the flow's
-// sender after the flow's reverse delay (jittered when enabled).
+// SendReverse implements netsim.Network: the packet enters the first
+// link of the flow's routed reverse path when one is declared (it may
+// be queued, delayed, and dropped on the way), otherwise it reaches the
+// flow's sender after the flow's reverse delay (jittered when enabled).
 func (n *Network) SendReverse(p *netsim.Packet) {
 	fs, ok := n.flows[p.Flow]
 	if !ok || fs.sender == nil {
 		panic(fmt.Sprintf("topology: reverse packet for unknown flow %d", p.Flow))
 	}
+	if len(fs.revRoute) > 0 {
+		p.Rev = true
+		p.Hop = 0
+		fs.revRoute[0].Send(p)
+		return
+	}
+	n.returnToSender(fs, p)
+}
+
+// returnToSender schedules the packet's final hand-off to the flow's
+// sender after the flow's remaining reverse delay (jittered when
+// enabled) — the shared tail of the pure-delay and routed reverse
+// paths.
+func (n *Network) returnToSender(fs *flowState, p *netsim.Packet) {
 	delay := fs.revDelay
 	if n.ReverseJitter > 0 {
 		delay *= 1 + n.ReverseJitter*(2*n.jitterRNG.Float64()-1)
 	}
 	dv := n.getDelivery(fs.sender, p)
 	n.Sched.After(delay, dv.run)
+}
+
+// arriveReverse handles a reverse-path packet exiting a link: forward
+// it into the next hop of the flow's reverse route, or return it to the
+// sender past the last hop after the flow's remaining reverse delay.
+func (n *Network) arriveReverse(fs *flowState, p *netsim.Packet) {
+	if next := int(p.Hop) + 1; next < len(fs.revRoute) {
+		p.Hop = int32(next)
+		fs.revRoute[next].Send(p)
+		return
+	}
+	n.returnToSender(fs, p)
 }
 
 // arrive handles a packet exiting a link: forward it into the next hop
@@ -332,6 +469,10 @@ func (n *Network) arrive(p *netsim.Packet) {
 		// Unattached flow (e.g. background traffic that terminates at
 		// the default link): recycle silently.
 		n.PutPacket(p)
+		return
+	}
+	if p.Rev {
+		n.arriveReverse(fs, p)
 		return
 	}
 	if next := int(p.Hop) + 1; next < len(fs.route) {
@@ -355,8 +496,9 @@ func (n *Network) arrive(p *netsim.Packet) {
 }
 
 // BaseRTT returns the no-queueing round-trip time for the flow: the sum
-// of its routed links' propagation delays, the extra forward delay and
-// the return delay (transmission times excluded).
+// of its routed links' propagation delays — forward and, when the
+// reverse path is routed, reverse — the extra forward delay and the
+// return delay (transmission times excluded).
 func (n *Network) BaseRTT(flow int) float64 {
 	fs, ok := n.flows[flow]
 	if !ok {
@@ -364,6 +506,9 @@ func (n *Network) BaseRTT(flow int) float64 {
 	}
 	rtt := fs.fwdExtra + fs.revDelay
 	for _, l := range fs.route {
+		rtt += l.Delay
+	}
+	for _, l := range fs.revRoute {
 		rtt += l.Delay
 	}
 	return rtt
@@ -383,8 +528,9 @@ func (n *Network) Delivered(flow int) int64 {
 func (n *Network) Outstanding() int64 { return n.issued - n.returned }
 
 // InNetwork counts the packets demonstrably inside the simulator:
-// queued, serializing or propagating on some link, or waiting in a
-// pending delivery.
+// queued, serializing or propagating on some link — forward and routed
+// reverse alike, since reverse links are ordinary graph links — or
+// waiting in a pending delivery.
 func (n *Network) InNetwork() int {
 	total := n.pendingDeliveries
 	for _, l := range n.links {
