@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -33,13 +34,81 @@ type benchReport struct {
 	Benchmarks  []benchEntry `json:"benchmarks"`
 }
 
+// benchSuite lists the canonical benchmarks in recording order.
+var benchSuite = []struct {
+	name string
+	fn   func(*testing.B)
+}{
+	{"SchedulerFire", perfbench.SchedulerFire},
+	{"SchedulerTimerChurn", perfbench.SchedulerTimerChurn},
+	{"SchedulerDeepQueue", perfbench.SchedulerDeepQueue},
+	{"SchedulerDeepQueue8K", perfbench.SchedulerDeepQueue8K},
+	{"DumbbellSteadyState", perfbench.DumbbellSteadyState},
+	{"ParkingLotSteadyState", perfbench.ParkingLotSteadyState},
+	{"ReversePathSteadyState", perfbench.ReversePathSteadyState},
+	{"DeepChainSteadyState", perfbench.DeepChainSteadyState},
+}
+
+// selectBenchmarks resolves the -benchrun filter: an empty filter keeps
+// the whole suite, otherwise the comma-separated names (whitespace
+// tolerated, like -run) select a subset in suite order. Unknown names
+// are an error so a typo cannot silently record an empty report.
+func selectBenchmarks(filter string) ([]int, error) {
+	if strings.TrimSpace(filter) == "" {
+		sel := make([]int, len(benchSuite))
+		for i := range sel {
+			sel[i] = i
+		}
+		return sel, nil
+	}
+	index := make(map[string]int, len(benchSuite))
+	for i, b := range benchSuite {
+		index[b.name] = i
+	}
+	picked := make(map[int]bool)
+	for _, raw := range strings.Split(filter, ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		i, ok := index[name]
+		if !ok {
+			known := make([]string, len(benchSuite))
+			for j, b := range benchSuite {
+				known[j] = b.name
+			}
+			return nil, fmt.Errorf("unknown benchmark %q (have: %s)",
+				name, strings.Join(known, ", "))
+		}
+		picked[i] = true
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("empty -benchrun filter")
+	}
+	sel := make([]int, 0, len(picked))
+	for i := range benchSuite {
+		if picked[i] {
+			sel = append(sel, i)
+		}
+	}
+	return sel, nil
+}
+
 // runBenchSuite executes the canonical hot-path benchmark bodies from
 // internal/perfbench via testing.Benchmark — the same bodies `go test
 // -bench` runs — and writes the report to outPath. id == 0 (the
 // default) writes the scratch file BENCH_local.json so a bare `ebrc
 // -bench` never overwrites a committed BENCH_<n>.json baseline; pass
-// -benchid explicitly when recording a PR's numbers.
-func runBenchSuite(id int, outPath string, stdout, stderr io.Writer) int {
+// -benchid explicitly when recording a PR's numbers. filter, when
+// non-empty, is a comma-separated benchmark-name list (like -run) that
+// restricts the suite — handy for CI shards and local iteration on one
+// hot path.
+func runBenchSuite(id int, outPath, filter string, stdout, stderr io.Writer) int {
+	selected, err := selectBenchmarks(filter)
+	if err != nil {
+		fmt.Fprintf(stderr, "ebrc: %v\n", err)
+		return 2
+	}
 	if outPath == "" {
 		if id > 0 {
 			outPath = fmt.Sprintf("BENCH_%d.json", id)
@@ -77,12 +146,9 @@ func runBenchSuite(id int, outPath string, stdout, stderr io.Writer) int {
 			e.Name, e.NsPerOp, e.AllocsPerOp, e.EventsPerSec)
 	}
 
-	record("SchedulerFire", perfbench.SchedulerFire)
-	record("SchedulerTimerChurn", perfbench.SchedulerTimerChurn)
-	record("SchedulerDeepQueue", perfbench.SchedulerDeepQueue)
-	record("DumbbellSteadyState", perfbench.DumbbellSteadyState)
-	record("ParkingLotSteadyState", perfbench.ParkingLotSteadyState)
-	record("ReversePathSteadyState", perfbench.ReversePathSteadyState)
+	for _, i := range selected {
+		record(benchSuite[i].name, benchSuite[i].fn)
+	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

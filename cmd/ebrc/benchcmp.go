@@ -4,21 +4,47 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strings"
 )
 
+// byteSlack is the absolute bytes/op growth the -benchcmp gate always
+// tolerates on top of the relative band. Near-zero baselines (e.g. a
+// warmed-up scheduler bench whose one-time bucket growth amortizes to a
+// few bytes/op) scale inversely with the machine-dependent iteration
+// count testing.Benchmark picks, so a purely relative band would flag
+// noise; any real leak grows past this floor immediately.
+const byteSlack = 512
+
 // runBenchCmp compares a new BENCH_*.json report against a baseline and
 // returns 1 when a tracked benchmark regressed: events/sec fell by more
-// than tol (fraction), or allocs/op increased at all. Benchmarks are
-// matched by name; entries present in only one report are listed but
-// never gate, so adding a benchmark does not break the comparison
-// against older baselines. This is the gate the CI bench job runs —
-// the perf trajectory is compared, not just recorded.
-func runBenchCmp(oldPath, newPath string, tol float64, stdout, stderr io.Writer) int {
+// than tol (fraction), allocs/op grew by more than atol (fraction), or
+// bytes/op grew beyond both btol (fraction) and the absolute byteSlack
+// floor. The allocation gates are narrow bands rather than zero
+// tolerance because the run-arena pooling makes a whole-simulation
+// benchmark's allocs/op weakly machine-dependent: per-op cost is
+// per-run residual plus amortized pool build-up divided by the
+// iteration count testing.Benchmark picks, and a GC can drain the
+// sync.Pool mid-run. A zero-allocs baseline stays zero-tolerance —
+// `0*(1+atol)` is 0 — so the hot-path zero-allocation guarantee is
+// still machine-independent and hard. Benchmarks are matched by name;
+// entries present in only one report are listed but never gate, so
+// adding a benchmark does not break the comparison against older
+// baselines. This is the gate the CI bench job runs — the perf
+// trajectory is compared, not just recorded.
+func runBenchCmp(oldPath, newPath string, tol, atol, btol float64, stdout, stderr io.Writer) int {
 	if tol <= 0 || tol >= 1 {
 		fmt.Fprintf(stderr, "ebrc: -benchtol must be in (0,1), got %v\n", tol)
+		return 2
+	}
+	if atol < 0 || atol >= 1 {
+		fmt.Fprintf(stderr, "ebrc: -benchalloctol must be in [0,1), got %v\n", atol)
+		return 2
+	}
+	if btol < 0 || btol >= 1 {
+		fmt.Fprintf(stderr, "ebrc: -benchbytetol must be in [0,1), got %v\n", btol)
 		return 2
 	}
 	oldRep, err := loadBenchReport(oldPath)
@@ -51,8 +77,13 @@ func runBenchCmp(oldPath, newPath string, tol float64, stdout, stderr io.Writer)
 		if o.EventsPerSec > 0 && n.EventsPerSec < o.EventsPerSec*(1-tol) {
 			reasons = append(reasons, fmt.Sprintf("events/sec fell >%d%%", int(tol*100)))
 		}
-		if n.AllocsPerOp > o.AllocsPerOp {
+		if float64(n.AllocsPerOp) > float64(o.AllocsPerOp)*(1+atol) {
 			reasons = append(reasons, fmt.Sprintf("allocs/op rose %d -> %d", o.AllocsPerOp, n.AllocsPerOp))
+		}
+		if allowed := math.Max(float64(o.BytesPerOp)*(1+btol),
+			float64(o.BytesPerOp+byteSlack)); float64(n.BytesPerOp) > allowed {
+			reasons = append(reasons, fmt.Sprintf("bytes/op rose >%d%% (%d -> %d)",
+				int(btol*100), o.BytesPerOp, n.BytesPerOp))
 		}
 		status := "ok"
 		if len(reasons) > 0 {

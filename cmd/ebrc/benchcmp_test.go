@@ -28,7 +28,7 @@ func writeBenchFile(t *testing.T, dir, name string, entries []benchEntry) string
 func TestBenchCmp(t *testing.T) {
 	dir := t.TempDir()
 	base := []benchEntry{
-		{Name: "DumbbellSteadyState", EventsPerSec: 6e6, AllocsPerOp: 2800},
+		{Name: "DumbbellSteadyState", EventsPerSec: 6e6, AllocsPerOp: 2800, BytesPerOp: 150000},
 		{Name: "SchedulerFire", EventsPerSec: 7e7, AllocsPerOp: 0},
 		{Name: "RetiredBench", EventsPerSec: 1e6, AllocsPerOp: 0},
 	}
@@ -41,25 +41,50 @@ func TestBenchCmp(t *testing.T) {
 		output  string
 	}{
 		{"within tolerance", []benchEntry{
-			{Name: "DumbbellSteadyState", EventsPerSec: 4.5e6, AllocsPerOp: 2800},
+			{Name: "DumbbellSteadyState", EventsPerSec: 4.5e6, AllocsPerOp: 2800, BytesPerOp: 155000},
 			{Name: "SchedulerFire", EventsPerSec: 7e7, AllocsPerOp: 0},
 		}, 0, "no regressions"},
 		{"events per sec regression", []benchEntry{
-			{Name: "DumbbellSteadyState", EventsPerSec: 3e6, AllocsPerOp: 2800},
+			{Name: "DumbbellSteadyState", EventsPerSec: 3e6, AllocsPerOp: 2800, BytesPerOp: 150000},
 			{Name: "SchedulerFire", EventsPerSec: 7e7, AllocsPerOp: 0},
 		}, 1, "events/sec fell"},
 		{"allocs increase", []benchEntry{
-			{Name: "DumbbellSteadyState", EventsPerSec: 6e6, AllocsPerOp: 2801},
+			{Name: "DumbbellSteadyState", EventsPerSec: 6e6, AllocsPerOp: 3000, BytesPerOp: 150000},
 			{Name: "SchedulerFire", EventsPerSec: 7e7, AllocsPerOp: 0},
 		}, 1, "allocs/op rose"},
+		{"allocs within tolerance band", []benchEntry{
+			// Arena amortization wiggle: +1% stays inside the 5% band.
+			{Name: "DumbbellSteadyState", EventsPerSec: 6e6, AllocsPerOp: 2828, BytesPerOp: 150000},
+			{Name: "SchedulerFire", EventsPerSec: 7e7, AllocsPerOp: 0},
+		}, 0, "no regressions"},
+		{"allocs from zero baseline stay strict", []benchEntry{
+			{Name: "DumbbellSteadyState", EventsPerSec: 6e6, AllocsPerOp: 2800, BytesPerOp: 150000},
+			// A zero-allocs hot path gaining a single alloc/op must fail
+			// regardless of the relative band.
+			{Name: "SchedulerFire", EventsPerSec: 7e7, AllocsPerOp: 1},
+		}, 1, "allocs/op rose"},
+		{"bytes per op regression", []benchEntry{
+			{Name: "DumbbellSteadyState", EventsPerSec: 6e6, AllocsPerOp: 2800, BytesPerOp: 170000},
+			{Name: "SchedulerFire", EventsPerSec: 7e7, AllocsPerOp: 0},
+		}, 1, "bytes/op rose"},
+		{"bytes from zero baseline", []benchEntry{
+			{Name: "DumbbellSteadyState", EventsPerSec: 6e6, AllocsPerOp: 2800, BytesPerOp: 150000},
+			{Name: "SchedulerFire", EventsPerSec: 7e7, AllocsPerOp: 0, BytesPerOp: 600},
+		}, 1, "bytes/op rose"},
+		{"bytes within absolute slack", []benchEntry{
+			{Name: "DumbbellSteadyState", EventsPerSec: 6e6, AllocsPerOp: 2800, BytesPerOp: 150000},
+			// Amortized one-time growth on a tiny baseline: inside the
+			// byteSlack floor even though far beyond the relative band.
+			{Name: "SchedulerFire", EventsPerSec: 7e7, AllocsPerOp: 0, BytesPerOp: 64},
+		}, 0, "no regressions"},
 		{"new benchmark not gated", []benchEntry{
 			{Name: "DumbbellSteadyState", EventsPerSec: 6e6, AllocsPerOp: 2800},
 			{Name: "BrandNewBench", EventsPerSec: 1, AllocsPerOp: 999999},
 		}, 0, "new benchmark"},
 		{"both gates on one benchmark", []benchEntry{
-			{Name: "DumbbellSteadyState", EventsPerSec: 3e6, AllocsPerOp: 2900},
+			{Name: "DumbbellSteadyState", EventsPerSec: 3e6, AllocsPerOp: 3000},
 			{Name: "SchedulerFire", EventsPerSec: 7e7, AllocsPerOp: 0},
-		}, 1, "events/sec fell >30%; allocs/op rose 2800 -> 2900"},
+		}, 1, "events/sec fell >30%; allocs/op rose 2800 -> 3000"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -93,5 +118,11 @@ func TestBenchCmpErrors(t *testing.T) {
 	}
 	if code := run([]string{"-benchcmp", "-benchtol", "2", good, good}, &out, &errb); code != 2 {
 		t.Fatalf("bad tolerance: exit %d", code)
+	}
+	if code := run([]string{"-benchcmp", "-benchbytetol", "-0.1", good, good}, &out, &errb); code != 2 {
+		t.Fatalf("bad byte tolerance: exit %d", code)
+	}
+	if code := run([]string{"-benchcmp", "-benchalloctol", "1.5", good, good}, &out, &errb); code != 2 {
+		t.Fatalf("bad alloc tolerance: exit %d", code)
 	}
 }

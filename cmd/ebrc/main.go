@@ -10,22 +10,27 @@
 //	ebrc -list
 //	ebrc -run fig5,fig7
 //	ebrc all
-//	ebrc -bench [-benchid N] [-benchout FILE]
-//	ebrc -benchcmp [-benchtol F] OLD.json NEW.json
+//	ebrc -bench [-benchid N] [-benchout FILE] [-benchrun A,B,...]
+//	ebrc -benchcmp [-benchtol F] [-benchalloctol F] [-benchbytetol F] OLD.json NEW.json
 //
 // Scenarios: fig1 fig2 fig3 fig3c fig4 fig5 fig6 fig7 fig8 fig9 fig10
 // fig11 fig12-15 fig16 fig17 fig18-19 tableI claim3 claim4, the
-// multi-hop topology family parkinglot hetrtt multibneck, and the
-// routed-reverse-path family revcross ackshare asymrev.
+// multi-hop topology family parkinglot hetrtt multibneck, the
+// routed-reverse-path family revcross ackshare asymrev, and the
+// scale-out family scalechain.
 //
 // -bench runs the DES/packet hot-path microbenchmarks and records
 // ns/op, allocs/op and events/sec in BENCH_<n>.json, so the simulator's
-// performance trajectory is tracked across PRs. -benchcmp compares two
-// such reports and exits non-zero when a benchmark present in both
-// regressed (events/sec down more than -benchtol, default 30%, or any
-// allocs/op increase) — the gate CI runs against the committed
-// baseline. -cpuprofile and -memprofile write pprof profiles of
-// whatever work the invocation did.
+// performance trajectory is tracked across PRs; -benchrun restricts it
+// to a comma-separated subset of the suite (like -run for scenarios).
+// -benchcmp compares two such reports and exits non-zero when a
+// benchmark present in both regressed (events/sec down more than
+// -benchtol, default 30%; allocs/op up more than -benchalloctol,
+// default 5%, with zero-allocs baselines staying zero-tolerance; or
+// bytes/op up more than -benchbytetol, default 10%, plus a small
+// absolute slack) — the gate CI runs against the committed baseline.
+// -cpuprofile and -memprofile write pprof profiles of whatever work
+// the invocation did.
 package main
 
 import (
@@ -61,8 +66,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	bench := fs.Bool("bench", false, "run the hot-path microbenchmarks and write BENCH_<n>.json")
 	benchID := fs.Int("benchid", 0, "PR id for the -bench file name (0 = scratch BENCH_local.json)")
 	benchOut := fs.String("benchout", "", "explicit output path for -bench (default BENCH_<benchid>.json)")
+	benchRun := fs.String("benchrun", "", "comma-separated benchmark names for -bench (default: the whole suite)")
 	benchCmp := fs.Bool("benchcmp", false, "compare two BENCH json reports (args: OLD NEW); exit 1 on regression")
 	benchTol := fs.Float64("benchtol", 0.30, "events/sec regression fraction -benchcmp tolerates")
+	benchAllocTol := fs.Float64("benchalloctol", 0.05, "allocs/op growth fraction -benchcmp tolerates (0 baselines stay strict)")
+	benchByteTol := fs.Float64("benchbytetol", 0.10, "bytes/op growth fraction -benchcmp tolerates")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	fs.Usage = func() {
@@ -106,14 +114,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *bench {
-		return runBenchSuite(*benchID, *benchOut, stdout, stderr)
+		return runBenchSuite(*benchID, *benchOut, *benchRun, stdout, stderr)
 	}
 	if *benchCmp {
 		if fs.NArg() != 2 {
 			fmt.Fprintf(stderr, "ebrc: -benchcmp needs exactly two report paths (OLD NEW)\n")
 			return 2
 		}
-		return runBenchCmp(fs.Arg(0), fs.Arg(1), *benchTol, stdout, stderr)
+		return runBenchCmp(fs.Arg(0), fs.Arg(1), *benchTol, *benchAllocTol, *benchByteTol, stdout, stderr)
 	}
 
 	if *list || (fs.NArg() > 0 && fs.Arg(0) == "list") {

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -48,6 +51,57 @@ func TestRunScenario(t *testing.T) {
 	}
 	if pos.String() != serial.String() {
 		t.Fatal("positional comma list differs from -run")
+	}
+}
+
+// The -benchrun filter: unit coverage of the name resolution, plus an
+// end-to-end smoke run of one cheap benchmark.
+func TestSelectBenchmarks(t *testing.T) {
+	all, err := selectBenchmarks("")
+	if err != nil || len(all) != len(benchSuite) {
+		t.Fatalf("empty filter: %v, %d of %d benchmarks", err, len(all), len(benchSuite))
+	}
+	sel, err := selectBenchmarks(" SchedulerDeepQueue8K , SchedulerFire ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || benchSuite[sel[0]].name != "SchedulerFire" ||
+		benchSuite[sel[1]].name != "SchedulerDeepQueue8K" {
+		t.Fatalf("filter selected wrong set: %v", sel)
+	}
+	if _, err := selectBenchmarks("NoSuchBench"); err == nil {
+		t.Fatal("unknown benchmark name not rejected")
+	}
+	if _, err := selectBenchmarks(" , "); err == nil {
+		t.Fatal("blank filter list not rejected")
+	}
+}
+
+func TestBenchRunFilterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark smoke run skipped in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, errb bytes.Buffer
+	if code := run([]string{"-bench", "-benchrun", "SchedulerFire", "-benchout", out}, &stdout, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "SchedulerFire" {
+		t.Fatalf("filtered report holds %+v, want exactly SchedulerFire", rep.Benchmarks)
+	}
+	if code := run([]string{"-bench", "-benchrun", "NoSuchBench", "-benchout", out}, &stdout, &errb); code != 2 {
+		t.Fatalf("unknown benchmark name: exit %d", code)
+	}
+	if !strings.Contains(errb.String(), "NoSuchBench") {
+		t.Fatalf("stderr: %s", errb.String())
 	}
 }
 

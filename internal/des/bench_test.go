@@ -14,3 +14,5 @@ import (
 func BenchmarkSchedulerFire(b *testing.B)       { perfbench.SchedulerFire(b) }
 func BenchmarkSchedulerTimerChurn(b *testing.B) { perfbench.SchedulerTimerChurn(b) }
 func BenchmarkSchedulerDeepQueue(b *testing.B)  { perfbench.SchedulerDeepQueue(b) }
+
+func BenchmarkSchedulerDeepQueue8K(b *testing.B) { perfbench.SchedulerDeepQueue8K(b) }

@@ -1,21 +1,34 @@
 // Package des is a minimal discrete-event simulation engine: a scheduler
-// with a 4-ary-heap event queue and a simulated clock in float64
-// seconds. It is the substrate under the packet-level network simulator
-// (package netsim) that stands in for ns-2 in this reproduction.
+// with a hierarchical-timing-wheel event queue and a simulated clock in
+// float64 seconds. It is the substrate under the packet-level network
+// simulator (package netsim) that stands in for ns-2 in this
+// reproduction.
 //
 // The engine is single-threaded and deterministic: events scheduled for
 // the same instant fire in scheduling order (FIFO tie-break via a
 // monotonically increasing sequence number).
 //
-// # Design: inlined 4-ary heap + slot freelist
+// # Design: hierarchical timing wheel + slot freelist
 //
-// The event queue is a hand-rolled 4-ary heap of small value-type
-// entries ({time, seq, slot, generation} — no pointers), ordered by
-// (time, seq). Compared with container/heap over a slice of *item, this
-// removes the interface boxing on every Push/Pop, the per-event item
-// allocation, and all GC write barriers during sift operations, and the
-// higher branching factor roughly halves the tree depth for the deep
-// queues a loaded dumbbell sustains.
+// The event queue is a hierarchical timing wheel (a calendar-queue
+// hybrid): time is discretized into 2^-16 s ticks and pending events
+// live in multi-level wheels of pointer-free slot buckets — level 0
+// spans one tick per bucket, and each higher level spans 256x the
+// previous one, so four levels cover ~18 simulated hours. Events beyond
+// the horizon wait in an overflow level that cascades back into the
+// wheels on rollover. Insertion and deletion are O(1); firing pays a
+// small amortized cascade cost as buckets migrate toward level 0 —
+// unlike a binary or 4-ary heap, no operation degrades with the size of
+// the pending set, which is what lets many-hop, many-flow simulations
+// scale without the event queue becoming the bottleneck.
+//
+// Determinism is preserved exactly: a bucket is sorted by (time, seq)
+// when the cursor reaches it, and ticks partition the time axis
+// monotonically, so the global firing order is identical to a total
+// (time, seq) priority queue — FIFO within identical timestamps
+// included. Per-level occupancy bitmaps let the cursor jump straight to
+// the next non-empty bucket, so sparse queues do not pay for empty
+// ticks.
 //
 // Callbacks and liveness live in a separate slot table indexed by the
 // entry's slot id and recycled through a freelist, so steady-state
@@ -23,18 +36,28 @@
 // {scheduler, slot, generation}; the slot's generation is bumped when
 // the event fires or is cancelled, so a stale handle to a recycled slot
 // can never cancel (or observe as active) the slot's new occupant.
-// Cancellation is lazy — the heap entry stays behind and is discarded
-// when it surfaces — but the scheduler compacts the heap whenever dead
-// entries outnumber live ones, so cancellation-heavy workloads (TFRC
-// no-feedback timers, TCP retransmit timers re-armed on every ACK) keep
-// bounded memory.
+// Cancellation is lazy — the bucket entry stays behind and is discarded
+// when it surfaces — but the scheduler compacts the buckets whenever
+// dead entries outnumber live ones, so cancellation-heavy workloads
+// (TFRC no-feedback timers, TCP retransmit timers re-armed on every
+// ACK) keep bounded memory.
+//
+// Reset returns a scheduler to its zero state while keeping every
+// bucket's and table's capacity, so a pooled scheduler can be reused
+// across simulation runs without reallocating (see the run arena in
+// internal/experiments).
 package des
+
+import (
+	"math/bits"
+	"slices"
+)
 
 // Event is a callback scheduled to run at a simulated time.
 type Event func()
 
-// entry is one pending event in the heap: pointer-free so that sift
-// operations move plain words and never trip GC write barriers.
+// entry is one pending event in the wheel: pointer-free so that bucket
+// moves copy plain words and never trip GC write barriers.
 type entry struct {
 	at   float64
 	seq  uint64
@@ -44,7 +67,7 @@ type entry struct {
 
 // slot carries the mutable part of a scheduled event. gen increments
 // when the event fires or is cancelled, invalidating outstanding Timer
-// handles and any heap entry still carrying the old generation.
+// handles and any bucket entry still carrying the old generation.
 type slot struct {
 	fn  Event
 	gen uint32
@@ -72,6 +95,7 @@ func (t Timer) Cancel() {
 	sl.gen++
 	sl.fn = nil
 	t.s.free = append(t.s.free, t.slot)
+	t.s.live--
 	t.s.dead++
 	t.s.maybeCompact()
 }
@@ -81,16 +105,84 @@ func (t Timer) Active() bool {
 	return t.s != nil && t.s.slots[t.slot].gen == t.gen
 }
 
+// Wheel geometry. A tick is 2^-16 s (~15.3 µs); each level's bucket
+// spans 256x the previous level's, so the four levels cover 2^32 ticks
+// (~18 simulated hours) ahead of the cursor. Events beyond that wait in
+// the overflow level.
+const (
+	tickBits   = 16 // ticks per second = 1 << tickBits
+	levelBits  = 8  // buckets per level = 1 << levelBits
+	numLevels  = 4
+	levelSlots = 1 << levelBits
+	levelMask  = levelSlots - 1
+	levelWords = levelSlots / 64
+
+	ticksPerSecond = 1 << tickBits
+	// maxTick caps the tick of very distant events so the float-to-int
+	// conversion below is always in range; order among capped events is
+	// still exact because buckets sort by (at, seq).
+	maxTick = uint64(1) << 62
+)
+
+// tickOf discretizes a timestamp. It is monotone: t1 <= t2 implies
+// tickOf(t1) <= tickOf(t2), which is all correctness needs — events of
+// one tick are ordered by (at, seq) when their bucket is reached.
+func tickOf(t float64) uint64 {
+	ticks := t * ticksPerSecond
+	if ticks >= float64(maxTick) {
+		return maxTick
+	}
+	return uint64(ticks)
+}
+
+// level is one wheel: a ring of buckets with an occupancy bitmap so the
+// cursor can jump straight to the next non-empty bucket.
+type level struct {
+	bucket [levelSlots][]entry
+	bitmap [levelWords]uint64
+}
+
+// next returns the first occupied bucket index >= from, if any.
+func (l *level) next(from int) (int, bool) {
+	if from >= levelSlots {
+		return 0, false
+	}
+	w := from >> 6
+	word := l.bitmap[w] &^ (1<<(uint(from)&63) - 1)
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word), true
+		}
+		w++
+		if w >= levelWords {
+			return 0, false
+		}
+		word = l.bitmap[w]
+	}
+}
+
 // Scheduler owns the simulated clock and the pending event set.
 // The zero value is ready to use at time 0.
 type Scheduler struct {
 	now   float64
 	seq   uint64
 	fired uint64
-	heap  []entry
+
+	// cur is the working set at the wheel cursor: entries with tick <=
+	// curTick, sorted by (at, seq); cur[curIdx] is the next candidate.
+	cur    []entry
+	curIdx int
+	// curTick is the wheel cursor. All bucketed entries have tick >
+	// curTick; it trails no pending event and may run ahead of Now when
+	// RunUntil stops between events.
+	curTick  uint64
+	levels   [numLevels]level
+	overflow []entry // events beyond the wheel horizon
+
 	slots []slot
 	free  []int32 // recycled slot ids, LIFO
-	dead  int     // cancelled entries still in the heap
+	live  int     // pending non-cancelled events
+	dead  int     // cancelled entries still buffered
 }
 
 // Now returns the current simulated time in seconds.
@@ -101,7 +193,38 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 
 // Pending returns the number of live (non-cancelled) events still
 // queued.
-func (s *Scheduler) Pending() int { return len(s.heap) - s.dead }
+func (s *Scheduler) Pending() int { return s.live }
+
+// Reset returns the scheduler to its zero state — clock at 0, no
+// pending events, all Timer handles inert — while retaining the
+// capacity of every bucket, the slot table and the freelist, so a
+// pooled scheduler runs its next simulation without reallocating.
+func (s *Scheduler) Reset() {
+	s.now, s.seq, s.fired = 0, 0, 0
+	s.cur = s.cur[:0]
+	s.curIdx = 0
+	s.curTick = 0
+	s.overflow = s.overflow[:0]
+	for l := range s.levels {
+		lv := &s.levels[l]
+		for w, word := range lv.bitmap {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << uint(b)
+				j := w<<6 + b
+				lv.bucket[j] = lv.bucket[j][:0]
+			}
+			lv.bitmap[w] = 0
+		}
+	}
+	s.live, s.dead = 0, 0
+	s.free = s.free[:0]
+	for i := range s.slots {
+		s.slots[i].fn = nil
+		s.slots[i].gen++ // invalidate handles from the previous run
+		s.free = append(s.free, int32(i))
+	}
+}
 
 // At schedules fn at the absolute simulated time at, which must not be in
 // the past, and returns a cancellable handle.
@@ -122,7 +245,8 @@ func (s *Scheduler) At(at float64, fn Event) Timer {
 	}
 	sl := &s.slots[id]
 	sl.fn = fn
-	s.push(entry{at: at, seq: s.seq, gen: sl.gen, slot: id})
+	s.live++
+	s.insert(entry{at: at, seq: s.seq, gen: sl.gen, slot: id})
 	s.seq++
 	return Timer{s: s, gen: sl.gen, slot: id}
 }
@@ -144,93 +268,259 @@ func before(a, b entry) bool {
 	return a.seq < b.seq
 }
 
-func (s *Scheduler) push(e entry) {
-	h := append(s.heap, e)
-	// Sift up.
-	i := len(h) - 1
-	for i > 0 {
-		parent := (i - 1) / 4
-		if !before(e, h[parent]) {
-			break
-		}
-		h[i] = h[parent]
-		i = parent
+// cmpEntry is the slices.SortFunc order matching before.
+func cmpEntry(a, b entry) int {
+	switch {
+	case before(a, b):
+		return -1
+	case before(b, a):
+		return 1
+	default:
+		return 0
 	}
-	h[i] = e
-	s.heap = h
 }
 
-// popTop removes the minimum entry (the caller has already read it).
-func (s *Scheduler) popTop() {
-	h := s.heap
-	n := len(h) - 1
-	e := h[n]
-	s.heap = h[:n]
-	if n == 0 {
+// insert places an entry into the working set, a wheel bucket, or the
+// overflow level, keyed by its tick relative to the cursor.
+func (s *Scheduler) insert(e entry) {
+	t := tickOf(e.at)
+	if t <= s.curTick {
+		// At or behind the cursor (the cursor may run ahead of Now):
+		// merge into the sorted working set.
+		s.curInsert(e)
 		return
 	}
-	s.siftDown(0, e)
-}
-
-// siftDown places e at index i, pushing smaller children up.
-func (s *Scheduler) siftDown(i int, e entry) {
-	h := s.heap
-	n := len(h)
-	for {
-		first := 4*i + 1
-		if first >= n {
-			break
-		}
-		min := first
-		last := first + 4
-		if last > n {
-			last = n
-		}
-		for c := first + 1; c < last; c++ {
-			if before(h[c], h[min]) {
-				min = c
-			}
-		}
-		if !before(h[min], e) {
-			break
-		}
-		h[i] = h[min]
-		i = min
+	if s.live+s.dead == 1 && s.curIdx == len(s.cur) {
+		// Only event in the queue: jump the cursor straight to it and
+		// skip the wheels — the schedule-one/fire-one pattern pays no
+		// cascade this way.
+		s.curTick = t
+		s.curInsert(e)
+		return
 	}
-	h[i] = e
+	diff := t ^ s.curTick
+	lvl := (bits.Len64(diff) - 1) / levelBits
+	if lvl >= numLevels {
+		s.overflow = append(s.overflow, e)
+		return
+	}
+	shift := uint(lvl) * levelBits
+	j := int(t>>shift) & levelMask
+	lv := &s.levels[lvl]
+	lv.bucket[j] = append(lv.bucket[j], e)
+	lv.bitmap[j>>6] |= 1 << (uint(j) & 63)
 }
 
-// maybeCompact rebuilds the heap without dead entries once they
+// curInsert merges an entry into the sorted working set.
+func (s *Scheduler) curInsert(e entry) {
+	if n := len(s.cur); s.curIdx == n {
+		// Empty working set: the entry is the whole of it.
+		s.cur = append(s.cur[:0], e)
+		s.curIdx = 0
+		return
+	} else if !before(e, s.cur[n-1]) {
+		// Sorts last (the common cascade order): plain append.
+		s.cur = append(s.cur, e)
+		return
+	}
+	if s.curIdx > 0 {
+		// Drop the consumed prefix so the buffer stays bounded.
+		n := copy(s.cur, s.cur[s.curIdx:])
+		s.cur = s.cur[:n]
+		s.curIdx = 0
+	}
+	lo, hi := 0, len(s.cur)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if before(s.cur[mid], e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s.cur = append(s.cur, entry{})
+	copy(s.cur[lo+1:], s.cur[lo:])
+	s.cur[lo] = e
+}
+
+// takeBucket detaches bucket j of level lvl, clearing its occupancy
+// bit, and returns its entries. The backing array stays with the bucket
+// for reuse.
+func (s *Scheduler) takeBucket(lvl, j int) []entry {
+	lv := &s.levels[lvl]
+	b := lv.bucket[j]
+	lv.bucket[j] = b[:0]
+	lv.bitmap[j>>6] &^= 1 << (uint(j) & 63)
+	return b
+}
+
+// refill advances the cursor to the next occupied tick and loads its
+// events into the working set, cascading higher-level buckets toward
+// level 0 on the way. It reports false when nothing is pending beyond
+// the working set.
+func (s *Scheduler) refill() bool {
+	for {
+		if s.curIdx < len(s.cur) {
+			return true
+		}
+		s.cur = s.cur[:0]
+		s.curIdx = 0
+		found := false
+		for lvl := 0; lvl < numLevels; lvl++ {
+			shift := uint(lvl) * levelBits
+			idx := int(s.curTick>>shift) & levelMask
+			j, ok := s.levels[lvl].next(idx + 1)
+			if !ok {
+				continue
+			}
+			// Jump the cursor to the start of the found bucket's span.
+			below := uint64(1)<<(shift+levelBits) - 1
+			s.curTick = s.curTick&^below | uint64(j)<<shift
+			b := s.takeBucket(lvl, j)
+			if lvl == 0 {
+				// A level-0 bucket holds exactly the events of tick
+				// curTick: sort once and it becomes the working set.
+				s.cur = append(s.cur, b...)
+				if len(s.cur) > 1 {
+					sortEntries(s.cur)
+				}
+			} else {
+				// Cascade: re-keyed against the new cursor, each entry
+				// lands at a lower level (or straight in the working
+				// set when its tick is the cursor's).
+				for _, e := range b {
+					s.insert(e)
+				}
+			}
+			found = true
+			break
+		}
+		if found {
+			continue
+		}
+		if len(s.overflow) > 0 {
+			s.rollover()
+			continue
+		}
+		return false
+	}
+}
+
+// rollover runs when the wheels drain while far-future events wait in
+// the overflow level: the cursor jumps to the earliest overflow tick
+// and every overflow event within the new horizon cascades into the
+// wheels.
+func (s *Scheduler) rollover() {
+	minTick := maxTick + 1
+	for i := range s.overflow {
+		if t := tickOf(s.overflow[i].at); t < minTick {
+			minTick = t
+		}
+	}
+	s.curTick = minTick
+	keep := s.overflow[:0]
+	for _, e := range s.overflow {
+		if tickOf(e.at)^s.curTick >= uint64(1)<<(numLevels*levelBits) {
+			keep = append(keep, e)
+			continue
+		}
+		s.insert(e)
+	}
+	s.overflow = keep
+}
+
+// sortEntries orders a bucket by (at, seq): insertion sort for the
+// typical handful of events, pdqsort beyond that. Both are
+// allocation-free.
+func sortEntries(es []entry) {
+	if len(es) <= 24 {
+		for i := 1; i < len(es); i++ {
+			e := es[i]
+			j := i - 1
+			for j >= 0 && before(e, es[j]) {
+				es[j+1] = es[j]
+				j--
+			}
+			es[j+1] = e
+		}
+		return
+	}
+	slices.SortFunc(es, cmpEntry)
+}
+
+// nextLive positions cur[curIdx] on the next live event, discarding
+// cancelled entries as they surface. It reports false when the queue
+// has no live events.
+func (s *Scheduler) nextLive() bool {
+	for {
+		for s.curIdx < len(s.cur) {
+			e := s.cur[s.curIdx]
+			if s.slots[e.slot].gen == e.gen {
+				return true
+			}
+			s.curIdx++ // lazily discard a cancelled entry
+			s.dead--
+		}
+		if !s.refill() {
+			return false
+		}
+	}
+}
+
+// maybeCompact rebuilds the buckets without dead entries once they
 // outnumber the live ones, bounding memory under heavy cancellation.
 func (s *Scheduler) maybeCompact() {
-	if s.dead <= 64 || s.dead*2 <= len(s.heap) {
+	if s.dead <= 64 || s.dead <= s.live {
 		return
 	}
-	live := s.heap[:0]
-	for _, e := range s.heap {
+	liveOf := func(es []entry) []entry {
+		w := 0
+		for _, e := range es {
+			if s.slots[e.slot].gen == e.gen {
+				es[w] = e
+				w++
+			}
+		}
+		return es[:w]
+	}
+	// The working set keeps its sorted order (filtering preserves it);
+	// the consumed prefix goes too.
+	w := 0
+	for r := s.curIdx; r < len(s.cur); r++ {
+		e := s.cur[r]
 		if s.slots[e.slot].gen == e.gen {
-			live = append(live, e)
+			s.cur[w] = e
+			w++
 		}
 	}
-	s.heap = live
+	s.cur = s.cur[:w]
+	s.curIdx = 0
+	for l := range s.levels {
+		lv := &s.levels[l]
+		for wd, word := range lv.bitmap {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << uint(b)
+				j := wd<<6 + b
+				lv.bucket[j] = liveOf(lv.bucket[j])
+				if len(lv.bucket[j]) == 0 {
+					lv.bitmap[wd] &^= 1 << uint(b)
+				}
+			}
+		}
+	}
+	s.overflow = liveOf(s.overflow)
 	s.dead = 0
-	// Heapify: (at, seq) is a total order, so the pop sequence — and
-	// with it the simulation — is unchanged by the rebuild.
-	if n := len(live); n > 1 {
-		for i := (n - 2) / 4; i >= 0; i-- {
-			s.siftDown(i, live[i])
-		}
-	}
 }
 
-// fire pops the (live) minimum entry and executes it.
+// fire executes a live entry the cursor has already consumed.
 func (s *Scheduler) fire(e entry) {
 	sl := &s.slots[e.slot]
 	fn := sl.fn
 	sl.fn = nil
 	sl.gen++
 	s.free = append(s.free, e.slot)
-	s.popTop()
+	s.live--
 	s.now = e.at
 	s.fired++
 	fn()
@@ -239,17 +529,13 @@ func (s *Scheduler) fire(e entry) {
 // Step executes the next pending event, advancing the clock. It returns
 // false when the queue is empty.
 func (s *Scheduler) Step() bool {
-	for len(s.heap) > 0 {
-		e := s.heap[0]
-		if s.slots[e.slot].gen != e.gen {
-			s.popTop() // lazily discard a cancelled entry
-			s.dead--
-			continue
-		}
-		s.fire(e)
-		return true
+	if !s.nextLive() {
+		return false
 	}
-	return false
+	e := s.cur[s.curIdx]
+	s.curIdx++
+	s.fire(e)
+	return true
 }
 
 // RunUntil executes events until the clock would pass the deadline or the
@@ -258,16 +544,12 @@ func (s *Scheduler) RunUntil(deadline float64) {
 	if deadline < s.now {
 		panic("des: deadline in the past")
 	}
-	for len(s.heap) > 0 {
-		e := s.heap[0]
-		if s.slots[e.slot].gen != e.gen {
-			s.popTop()
-			s.dead--
-			continue
-		}
+	for s.nextLive() {
+		e := s.cur[s.curIdx]
 		if e.at > deadline {
 			break
 		}
+		s.curIdx++
 		s.fire(e)
 	}
 	s.now = deadline

@@ -142,17 +142,30 @@ func TestPendingCountsLiveOnly(t *testing.T) {
 	}
 }
 
+// storedEntries counts the entries physically buffered anywhere in the
+// scheduler: the working set, every wheel bucket, and the overflow
+// level.
+func storedEntries(s *Scheduler) int {
+	n := len(s.cur) - s.curIdx + len(s.overflow)
+	for l := range s.levels {
+		for j := range s.levels[l].bucket {
+			n += len(s.levels[l].bucket[j])
+		}
+	}
+	return n
+}
+
 func TestCompactionBoundsHeap(t *testing.T) {
 	var s Scheduler
 	// Cancel-heavy workload: schedule far-future timers and immediately
 	// cancel them, as a retransmit timer re-armed per ACK does. Without
-	// compaction the heap would grow by one dead entry per iteration.
+	// compaction the wheel would grow by one dead entry per iteration.
 	for i := 0; i < 100000; i++ {
 		tm := s.At(1e9+float64(i), func() {})
 		tm.Cancel()
 	}
-	if got := len(s.heap); got > 200 {
-		t.Fatalf("heap holds %d entries after cancel storm, want compacted (<= 200)", got)
+	if got := storedEntries(&s); got > 200 {
+		t.Fatalf("wheel holds %d entries after cancel storm, want compacted (<= 200)", got)
 	}
 	if s.Pending() != 0 {
 		t.Fatalf("pending = %d, want 0", s.Pending())
@@ -404,6 +417,240 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(1000, work); avg != 0 {
 		t.Fatalf("steady-state allocs per event cycle = %v, want 0", avg)
+	}
+}
+
+// refHeap is a naive binary heap ordered by (at, seq) — the reference
+// priority queue the wheel must match event for event.
+type refHeap struct {
+	es []refEvent
+}
+
+func (h *refHeap) push(e refEvent) {
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !refBefore(h.es[i], h.es[p]) {
+			break
+		}
+		h.es[i], h.es[p] = h.es[p], h.es[i]
+		i = p
+	}
+}
+
+func (h *refHeap) pop() refEvent {
+	top := h.es[0]
+	n := len(h.es) - 1
+	h.es[0] = h.es[n]
+	h.es = h.es[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && refBefore(h.es[c+1], h.es[c]) {
+			c++
+		}
+		if !refBefore(h.es[c], h.es[i]) {
+			break
+		}
+		h.es[i], h.es[c] = h.es[c], h.es[i]
+		i = c
+	}
+	return top
+}
+
+func refBefore(a, b refEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// popLive pops the earliest live reference event, if any.
+func (h *refHeap) popLive(dead map[int]bool) (refEvent, bool) {
+	for len(h.es) > 0 {
+		e := h.pop()
+		if !dead[e.id] {
+			return e, true
+		}
+	}
+	return refEvent{}, false
+}
+
+// boundaryDelay draws delays biased toward the wheel's sore spots: the
+// tick quantum, the exact spans of each cascade level, the far-future
+// horizon, and zero (same-instant FIFO ties).
+func boundaryDelay(r *rng.RNG) float64 {
+	const tick = 1.0 / ticksPerSecond
+	switch r.Uint64() % 8 {
+	case 0: // inside the current tick
+		return r.Float64() * tick / 2
+	case 1: // exactly on a tick edge
+		return float64(r.Uint64()%512) * tick
+	case 2, 3: // straddling a cascade-level span: 256^L ticks ± 1 tick
+		lvl := 1 + int(r.Uint64()%3)
+		span := float64(uint64(1)<<(uint(lvl)*levelBits)) * tick
+		return span + float64(int(r.Uint64()%3)-1)*tick
+	case 4: // beyond the wheel horizon (overflow level)
+		span := float64(uint64(1)<<(numLevels*levelBits)) * tick
+		return span * (1 + r.Float64()*2)
+	case 5: // same instant as a pending event (seq tie-break)
+		return 0
+	default:
+		return r.Float64() * 3
+	}
+}
+
+// TestWheelVsReferenceHeapChurn drives random schedule/cancel/
+// reschedule/step churn — with delays concentrated on tick edges,
+// cascade-level spans, the overflow horizon and same-timestamp ties —
+// through the wheel and a reference binary heap in lockstep, comparing
+// the full firing order.
+func TestWheelVsReferenceHeapChurn(t *testing.T) {
+	r := rng.New(777)
+	for trial := 0; trial < 150; trial++ {
+		var s Scheduler
+		ref := &refHeap{}
+		dead := map[int]bool{}
+		timers := map[int]Timer{}
+		var gotIDs, wantIDs []int
+		nextID := 0
+		schedule := func(delay float64) {
+			id := nextID
+			nextID++
+			at := s.Now() + delay
+			timers[id] = s.At(at, func() { gotIDs = append(gotIDs, id) })
+			ref.push(refEvent{at: at, seq: uint64(id), id: id})
+		}
+		stepBoth := func() {
+			fired := s.Step()
+			e, ok := ref.popLive(dead)
+			if fired != ok {
+				t.Fatalf("trial %d: wheel fired=%v, reference fired=%v", trial, fired, ok)
+			}
+			if ok {
+				wantIDs = append(wantIDs, e.id)
+			}
+		}
+		ops := int(r.Uint64()%300) + 20
+		for op := 0; op < ops; op++ {
+			switch {
+			case r.Bernoulli(0.45):
+				schedule(boundaryDelay(r))
+			case r.Bernoulli(0.3): // cancel or reschedule a live timer
+				for id, tm := range timers {
+					tm.Cancel()
+					delete(timers, id)
+					dead[id] = true
+					if r.Bernoulli(0.5) {
+						schedule(boundaryDelay(r))
+					}
+					break
+				}
+			default:
+				stepBoth()
+			}
+		}
+		for s.Pending() > 0 {
+			stepBoth()
+		}
+		if _, ok := ref.popLive(dead); ok {
+			t.Fatalf("trial %d: reference still has live events after wheel drained", trial)
+		}
+		if len(gotIDs) != len(wantIDs) {
+			t.Fatalf("trial %d: fired %d events, reference fired %d", trial, len(gotIDs), len(wantIDs))
+		}
+		for i := range gotIDs {
+			if gotIDs[i] != wantIDs[i] {
+				t.Fatalf("trial %d: firing order diverges at %d: got %v want %v",
+					trial, i, gotIDs, wantIDs)
+			}
+		}
+	}
+}
+
+// TestOverflowCascade pins the far-future path explicitly: events beyond
+// the wheel horizon must fire, in order, interleaved correctly with
+// near events scheduled later.
+func TestOverflowCascade(t *testing.T) {
+	var s Scheduler
+	horizon := float64(uint64(1)<<(numLevels*levelBits)) / ticksPerSecond
+	var got []float64
+	rec := func() { got = append(got, s.Now()) }
+	far1 := horizon * 1.5
+	far2 := horizon * 3
+	s.At(1, rec) // anchor the cursor so the far events overflow
+	s.At(far2, rec)
+	s.At(far1, rec)
+	s.At(far1, rec) // same-instant tie in the overflow level
+	if len(s.overflow) != 3 {
+		t.Fatalf("overflow holds %d entries, want 3", len(s.overflow))
+	}
+	s.Run()
+	want := []float64{1, far1, far1, far2}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire times = %v, want %v", got, want)
+		}
+	}
+	if len(s.overflow) != 0 {
+		t.Fatalf("overflow not drained: %d entries", len(s.overflow))
+	}
+}
+
+// TestReset checks that a reused scheduler is indistinguishable from a
+// fresh one: clock, counters and pending set cleared, stale handles
+// inert, and a replayed workload firing identically.
+func TestReset(t *testing.T) {
+	replay := func(s *Scheduler) []int {
+		var got []int
+		for i := 0; i < 8; i++ {
+			i := i
+			s.At(float64(8-i), func() { got = append(got, i) })
+		}
+		tm := s.At(0.5, func() { got = append(got, 99) })
+		tm.Cancel()
+		s.RunUntil(10)
+		return got
+	}
+
+	var reused Scheduler
+	stale := reused.At(3, func() { panic("must not fire after reset") })
+	reused.At(100, func() {})
+	reused.RunUntil(1) // advance the clock and cursor mid-queue
+	reused.Reset()
+	if reused.Now() != 0 || reused.Fired() != 0 || reused.Pending() != 0 {
+		t.Fatalf("after Reset: now=%v fired=%d pending=%d, want zeros",
+			reused.Now(), reused.Fired(), reused.Pending())
+	}
+	if storedEntries(&reused) != 0 {
+		t.Fatalf("after Reset: %d entries still buffered", storedEntries(&reused))
+	}
+	if stale.Active() {
+		t.Fatal("stale handle active after Reset")
+	}
+	stale.Cancel() // must not disturb the reused scheduler
+
+	var fresh Scheduler
+	want := replay(&fresh)
+	got := replay(&reused)
+	if len(got) != len(want) {
+		t.Fatalf("reused scheduler fired %d events, fresh fired %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reused scheduler order %v, fresh %v", got, want)
+		}
+	}
+	if fresh.Fired() != reused.Fired() || fresh.Now() != reused.Now() {
+		t.Fatalf("reused scheduler state (fired=%d now=%v) differs from fresh (fired=%d now=%v)",
+			reused.Fired(), reused.Now(), fresh.Fired(), fresh.Now())
 	}
 }
 

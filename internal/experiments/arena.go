@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/des"
+	"repro/internal/topology"
+)
+
+// simArena bundles the per-run simulation state that is expensive to
+// rebuild from scratch: the scheduler (wheel buckets, slot table,
+// freelist) and the network shell (packet pool, delivery pool,
+// flow-state pool). RunSim, RunTopoSim and RunRevSim draw an arena,
+// Reset it, build the run's topology in place, and return it — so a
+// replication pays for its protocol state only, not for the simulator
+// substrate. Under the runner's worker pool the arenas are recycled
+// per worker (sync.Pool is per-P), which is exactly the "rebuild in
+// place across replications" pattern the scale-out sweeps need.
+//
+// Reuse is invisible to results: the scheduler and network Resets
+// restore the exact zero-value semantics (clock 0, empty graph, fresh
+// counters), every packet is zeroed on Get, and event order depends
+// only on (time, seq) — so a run on a tenth-hand arena is byte-for-byte
+// the run it would be on a fresh one. The determinism regression tests
+// pin this.
+type simArena struct {
+	sched des.Scheduler
+	net   *topology.Network
+}
+
+var arenaPool = sync.Pool{New: func() any {
+	a := &simArena{}
+	a.net = topology.New(&a.sched)
+	return a
+}}
+
+// getArena returns a reset arena ready to host one run.
+func getArena() *simArena {
+	a := arenaPool.Get().(*simArena)
+	a.sched.Reset()
+	a.net.Reset()
+	return a
+}
+
+// putArena recycles the arena once the run's results have been copied
+// out. Nothing returned by a Run* function may alias arena memory.
+func putArena(a *simArena) { arenaPool.Put(a) }

@@ -14,3 +14,5 @@ import (
 func BenchmarkDumbbellSteadyState(b *testing.B) { perfbench.DumbbellSteadyState(b) }
 
 func BenchmarkParkingLotSteadyState(b *testing.B) { perfbench.ParkingLotSteadyState(b) }
+
+func BenchmarkDeepChainSteadyState(b *testing.B) { perfbench.DeepChainSteadyState(b) }

@@ -62,16 +62,19 @@ func TestSimScenarioParallelDeterminism(t *testing.T) {
 	}
 }
 
-// The same property for the multi-hop topology and routed-reverse
-// scenarios: the parking-lot, multi-bottleneck and reverse-path sweeps
-// must fold byte-identically from a worker pool.
+// The same property for the multi-hop topology, routed-reverse and
+// scale-out scenarios: the parking-lot, multi-bottleneck, reverse-path
+// and scale-chain sweeps must fold byte-identically from a worker pool.
+// The scale-out runs also exercise the run-arena reuse hardest — many
+// replications recycling schedulers and packet pools across workers —
+// and the TestMain leak check is armed for every one of them.
 func TestTopoScenarioParallelDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("packet-level determinism check skipped in -short mode")
 	}
 	t.Parallel()
 	sz := Sizing{Events: 2000, SimFactor: 0.04, Pairs: []int{1}, PairsCap: 1}
-	for _, name := range []string{"multibneck", "parkinglot", "hetrtt", "revcross", "ackshare", "asymrev"} {
+	for _, name := range []string{"multibneck", "parkinglot", "hetrtt", "revcross", "ackshare", "asymrev", "scalechain"} {
 		serial := renderAll(t, name, sz, runner.Serial{})
 		if len(serial) == 0 {
 			t.Fatalf("%s: empty serial output", name)

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/des"
 	"repro/internal/formula"
 	"repro/internal/netsim"
 	"repro/internal/rng"
@@ -120,10 +119,15 @@ func RunRevSim(cfg RevSimConfig) RevSimResult {
 	if cfg.BackTCP < 0 || cfg.RevCrossLoad < 0 {
 		panic("experiments: invalid reverse load")
 	}
-	var sched des.Scheduler
+	// Build the bidirectional graph inside a pooled arena (see
+	// arena.go): wheels, packet pool and flow-state records are reused
+	// across replications.
+	a := getArena()
+	defer putArena(a)
+	sched := &a.sched
 	seedRNG := rng.New(cfg.Seed)
 
-	net := topology.New(&sched)
+	net := a.net
 	src := net.AddNode("src")
 	dst := net.AddNode("dst")
 	fwd := net.AddLink(src, dst, cfg.Capacity, cfg.FwdDelay, netsim.NewDropTail(cfg.Buffer))
@@ -154,16 +158,16 @@ func RunRevSim(cfg RevSimConfig) RevSimResult {
 	for i := 0; i < cfg.NTFRC; i++ {
 		c := tfrcCfg
 		c.Seed = seedRNG.Uint64()
-		snd, _ := tfrc.NewFlow(&sched, net, flowID, c, cfg.AccessDelay, cfg.RevExtra)
+		snd, _ := tfrc.NewFlow(sched, net, flowID, c, cfg.AccessDelay, cfg.RevExtra)
 		tfrcSenders = append(tfrcSenders, snd)
-		staggeredStart(&sched, seedRNG, cfg.Warmup, snd.Start)
+		staggeredStart(sched, seedRNG, cfg.Warmup, snd.Start)
 		flowID++
 	}
 	tcpSenders := make([]*tcp.Sender, 0, cfg.NTCP)
 	for i := 0; i < cfg.NTCP; i++ {
-		snd, _ := tcp.NewFlow(&sched, net, flowID, tcp.DefaultConfig(), cfg.AccessDelay, cfg.RevExtra)
+		snd, _ := tcp.NewFlow(sched, net, flowID, tcp.DefaultConfig(), cfg.AccessDelay, cfg.RevExtra)
 		tcpSenders = append(tcpSenders, snd)
-		staggeredStart(&sched, seedRNG, cfg.Warmup, snd.Start)
+		staggeredStart(sched, seedRNG, cfg.Warmup, snd.Start)
 		flowID++
 	}
 	// Opposing-direction flows: data over the reverse chain, ACKs over
@@ -172,9 +176,9 @@ func RunRevSim(cfg RevSimConfig) RevSimResult {
 	for i := 0; i < cfg.BackTCP; i++ {
 		net.SetRoute(flowID, rev...)
 		net.SetReverseRoute(flowID, fwd)
-		snd, _ := tcp.NewFlow(&sched, net, flowID, tcp.DefaultConfig(), cfg.AccessDelay, cfg.RevExtra)
+		snd, _ := tcp.NewFlow(sched, net, flowID, tcp.DefaultConfig(), cfg.AccessDelay, cfg.RevExtra)
 		backSenders = append(backSenders, snd)
-		staggeredStart(&sched, seedRNG, cfg.Warmup, snd.Start)
+		staggeredStart(sched, seedRNG, cfg.Warmup, snd.Start)
 		flowID++
 	}
 	if cfg.RevCrossLoad > 0 {
@@ -194,7 +198,7 @@ func RunRevSim(cfg RevSimConfig) RevSimResult {
 			meanOff = 1e-3
 		}
 		net.AttachSink(flowID, rev...)
-		ct := netsim.NewCrossTraffic(&sched, net, flowID, minCap, meanBurst, 1.5,
+		ct := netsim.NewCrossTraffic(sched, net, flowID, minCap, meanBurst, 1.5,
 			meanOff, int(pktSize), seedRNG.Uint64())
 		sched.At(seedRNG.Float64(), ct.Start)
 		flowID++

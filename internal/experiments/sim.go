@@ -134,7 +134,12 @@ func RunSim(cfg SimConfig) SimResult {
 	if cfg.NTFRC < 0 || cfg.NTCP < 0 || cfg.NTFRC+cfg.NTCP == 0 {
 		panic("experiments: need at least one flow")
 	}
-	var sched des.Scheduler
+	// The run rebuilds its simulation state inside a pooled arena: the
+	// scheduler's wheels and the network's packet/flow pools carry their
+	// capacity across replications instead of being reallocated.
+	a := getArena()
+	defer putArena(a)
+	sched := &a.sched
 	seedRNG := rng.New(cfg.Seed)
 
 	var queue netsim.Queue
@@ -149,8 +154,8 @@ func RunSim(cfg SimConfig) SimResult {
 	default:
 		panic("experiments: unknown queue kind")
 	}
-	link := netsim.NewLink(&sched, cfg.Capacity, cfg.BaseDelay, queue)
-	net := topology.NewDumbbell(&sched, link)
+	link := netsim.NewLink(sched, cfg.Capacity, cfg.BaseDelay, queue)
+	net := topology.BuildDumbbell(a.net, link)
 	if cfg.RevJitter > 0 {
 		net.SetReverseJitter(cfg.RevJitter, seedRNG.Uint64())
 	}
@@ -166,22 +171,22 @@ func RunSim(cfg SimConfig) SimResult {
 	for i := 0; i < cfg.NTFRC; i++ {
 		c := tfrcCfg
 		c.Seed = seedRNG.Uint64()
-		snd, _ := tfrc.NewFlow(&sched, net, flowID, c, 0, cfg.RevDelay)
+		snd, _ := tfrc.NewFlow(sched, net, flowID, c, 0, cfg.RevDelay)
 		tfrcSenders = append(tfrcSenders, snd)
-		staggeredStart(&sched, seedRNG, cfg.Warmup, snd.Start)
+		staggeredStart(sched, seedRNG, cfg.Warmup, snd.Start)
 		flowID++
 	}
 	tcpSenders := make([]*tcp.Sender, 0, cfg.NTCP)
 	for i := 0; i < cfg.NTCP; i++ {
-		snd, _ := tcp.NewFlow(&sched, net, flowID, tcp.DefaultConfig(), 0, cfg.RevDelay)
+		snd, _ := tcp.NewFlow(sched, net, flowID, tcp.DefaultConfig(), 0, cfg.RevDelay)
 		tcpSenders = append(tcpSenders, snd)
-		staggeredStart(&sched, seedRNG, cfg.Warmup, snd.Start)
+		staggeredStart(sched, seedRNG, cfg.Warmup, snd.Start)
 		flowID++
 	}
 	var probe *probeHandle
 	if cfg.ProbeRate > 0 {
 		rttGuess := 2*cfg.BaseDelay + cfg.RevDelay
-		p := newProbe(&sched, net, flowID, cfg.ProbeRate, rttGuess, seedRNG.Uint64(), cfg.RevDelay)
+		p := newProbe(sched, net, flowID, cfg.ProbeRate, rttGuess, seedRNG.Uint64(), cfg.RevDelay)
 		probe = p
 		sched.At(seedRNG.Float64(), p.start)
 		flowID++
@@ -199,7 +204,7 @@ func RunSim(cfg SimConfig) SimResult {
 		if meanOff <= 0 {
 			meanOff = 1e-3
 		}
-		ct := netsim.NewCrossTraffic(&sched, net, flowID, peak, meanBurst, 1.5,
+		ct := netsim.NewCrossTraffic(sched, net, flowID, peak, meanBurst, 1.5,
 			meanOff, int(pktSize), seedRNG.Uint64())
 		sched.At(seedRNG.Float64(), ct.Start)
 	}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/des"
 	"repro/internal/formula"
 	"repro/internal/netsim"
 	"repro/internal/rng"
@@ -92,10 +91,14 @@ func RunTopoSim(cfg TopoSimConfig) TopoSimResult {
 	if cfg.NTFRC < 0 || cfg.NTCP < 0 || cfg.NTFRC+cfg.NTCP == 0 {
 		panic("experiments: need at least one long flow")
 	}
-	var sched des.Scheduler
+	// Build the chain inside a pooled arena (see arena.go): wheels,
+	// packet pool and flow-state records are reused across replications.
+	a := getArena()
+	defer putArena(a)
+	sched := &a.sched
 	seedRNG := rng.New(cfg.Seed)
 
-	net := topology.New(&sched)
+	net := a.net
 	nodes := make([]topology.NodeID, cfg.Hops+1)
 	for i := range nodes {
 		nodes[i] = net.AddNode(fmt.Sprintf("n%d", i))
@@ -128,27 +131,27 @@ func RunTopoSim(cfg TopoSimConfig) TopoSimResult {
 		c := tfrcCfg
 		c.Seed = seedRNG.Uint64()
 		k := spread(i, cfg.NTFRC)
-		snd, _ := tfrc.NewFlow(&sched, net, flowID, c, cfg.AccessDelay*k, cfg.RevDelay*k)
+		snd, _ := tfrc.NewFlow(sched, net, flowID, c, cfg.AccessDelay*k, cfg.RevDelay*k)
 		tfrcSenders = append(tfrcSenders, snd)
 		baseRTTs = append(baseRTTs, net.BaseRTT(flowID))
-		staggeredStart(&sched, seedRNG, cfg.Warmup, snd.Start)
+		staggeredStart(sched, seedRNG, cfg.Warmup, snd.Start)
 		flowID++
 	}
 	tcpSenders := make([]*tcp.Sender, 0, cfg.NTCP)
 	for i := 0; i < cfg.NTCP; i++ {
 		k := spread(i, cfg.NTCP)
-		snd, _ := tcp.NewFlow(&sched, net, flowID, tcp.DefaultConfig(), cfg.AccessDelay*k, cfg.RevDelay*k)
+		snd, _ := tcp.NewFlow(sched, net, flowID, tcp.DefaultConfig(), cfg.AccessDelay*k, cfg.RevDelay*k)
 		tcpSenders = append(tcpSenders, snd)
-		staggeredStart(&sched, seedRNG, cfg.Warmup, snd.Start)
+		staggeredStart(sched, seedRNG, cfg.Warmup, snd.Start)
 		flowID++
 	}
 	crossSenders := make([]*tcp.Sender, 0, cfg.Hops*cfg.CrossPerHop)
 	for h := 0; h < cfg.Hops; h++ {
 		for i := 0; i < cfg.CrossPerHop; i++ {
 			net.SetRoute(flowID, route[h])
-			snd, _ := tcp.NewFlow(&sched, net, flowID, tcp.DefaultConfig(), 0, cfg.CrossRevDelay)
+			snd, _ := tcp.NewFlow(sched, net, flowID, tcp.DefaultConfig(), 0, cfg.CrossRevDelay)
 			crossSenders = append(crossSenders, snd)
-			staggeredStart(&sched, seedRNG, cfg.Warmup, snd.Start)
+			staggeredStart(sched, seedRNG, cfg.Warmup, snd.Start)
 			flowID++
 		}
 	}

@@ -61,6 +61,25 @@ func SchedulerDeepQueue(b *testing.B) {
 	}
 }
 
+// SchedulerDeepQueue8K is the scale-out successor of SchedulerDeepQueue:
+// the same schedule-ahead/fire pattern against 8192 pending events — the
+// pending-set size a 16-hop, 512-flow chain sustains. A comparison-tree
+// queue slows by its depth between 1K and 8K pending; the timing wheel's
+// per-event cost must stay flat.
+func SchedulerDeepQueue8K(b *testing.B) {
+	var s des.Scheduler
+	fn := func() {}
+	for i := 0; i < 8192; i++ {
+		s.After(float64(i)/8+0.5, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(0.25, fn)
+		s.Step()
+	}
+}
+
 // DumbbellSteadyState measures whole-simulation throughput on a
 // mid-size run of the lab testbed profile: 8 TFRC + 8 TCP flows through
 // the 10 Mb/s DropTail-100 bottleneck for 30 simulated seconds — large
@@ -110,6 +129,49 @@ func ParkingLotSteadyState(b *testing.B) {
 		Comprehensive: true,
 		Duration:      25,
 		Warmup:        5,
+		Seed:          17,
+		RevJitter:     0.2,
+	}
+	var events uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTopoSim(cfg)
+		events = res.EventsFired
+	}
+	b.StopTimer()
+	if events > 0 {
+		secPerOp := b.Elapsed().Seconds() / float64(b.N)
+		b.ReportMetric(float64(events)/secPerOp, "events/sec")
+		b.ReportMetric(float64(events), "events/run")
+	}
+}
+
+// DeepChainSteadyState measures whole-simulation throughput in the
+// scale-out regime the scalechain scenarios sweep: 64 TFRC + 64 TCP
+// long flows across a 12-hop chain with 2 crossing TCP flows per hop
+// (152 flows total), per-hop capacity scaled so each long flow keeps
+// the standard share. The pending-event set here is an order of
+// magnitude beyond DumbbellSteadyState's, so this benchmark is the
+// end-to-end witness for the deep-queue scheduler path and the
+// run-arena reuse together. Reports events/sec and events/run like the
+// other whole-simulation benchmarks.
+func DeepChainSteadyState(b *testing.B) {
+	cfg := experiments.TopoSimConfig{
+		Hops:          12,
+		Capacity:      2.5e6,
+		Buffer:        64,
+		HopDelay:      0.005,
+		AccessDelay:   0.005,
+		RevDelay:      0.03,
+		NTFRC:         64,
+		NTCP:          64,
+		CrossPerHop:   2,
+		CrossRevDelay: 0.02,
+		L:             8,
+		Comprehensive: true,
+		Duration:      8,
+		Warmup:        2,
 		Seed:          17,
 		RevJitter:     0.2,
 	}

@@ -22,10 +22,22 @@ type Dumbbell struct {
 
 // NewDumbbell wires a dumbbell around the given bottleneck link.
 func NewDumbbell(sched *des.Scheduler, bottleneck *netsim.Link) *Dumbbell {
-	if sched == nil || bottleneck == nil {
-		panic("topology: dumbbell needs a scheduler and a bottleneck")
+	if sched == nil {
+		panic("topology: dumbbell needs a scheduler")
 	}
-	n := New(sched)
+	return BuildDumbbell(New(sched), bottleneck)
+}
+
+// BuildDumbbell declares the dumbbell inside an existing (typically
+// just-Reset, pooled) network graph: two nodes, the bottleneck as the
+// default route. The graph must be empty.
+func BuildDumbbell(n *Network, bottleneck *netsim.Link) *Dumbbell {
+	if n == nil || bottleneck == nil {
+		panic("topology: dumbbell needs a network and a bottleneck")
+	}
+	if n.Nodes() != 0 || n.Links() != 0 {
+		panic("topology: dumbbell needs an empty network graph")
+	}
 	ingress := n.AddNode("ingress")
 	egress := n.AddNode("egress")
 	id := n.AdoptLink(bottleneck, ingress, egress)

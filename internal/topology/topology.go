@@ -49,10 +49,11 @@ type LinkID int
 // optional routed reverse path, the terminal delays, and the endpoints.
 type flowState struct {
 	route []*netsim.Link
-	// revRoute, when non-nil, carries the flow's reverse packets hop by
-	// hop through real queues; revDelay then becomes the remaining pure
-	// delay after the last reverse hop. Nil keeps the pure-delay
-	// reverse path.
+	// revRoute, when non-empty, carries the flow's reverse packets hop
+	// by hop through real queues; revDelay then becomes the remaining
+	// pure delay after the last reverse hop. Empty keeps the pure-delay
+	// reverse path (length, not nil-ness, is the discriminator: pooled
+	// records recycle their slices at zero length).
 	revRoute  []*netsim.Link
 	fwdExtra  float64
 	revDelay  float64
@@ -117,8 +118,9 @@ type Network struct {
 	ReverseJitter float64
 	jitterRNG     *rng.RNG
 
-	pool  []*netsim.Packet
-	dpool []*delivery
+	pool   []*netsim.Packet
+	dpool  []*delivery
+	fsPool []*flowState
 
 	issued            int64
 	returned          int64
@@ -141,6 +143,41 @@ func New(sched *des.Scheduler) *Network {
 	}
 	n.arriveFn = n.arrive
 	return n
+}
+
+// Reset empties the graph — nodes, links, routes, flows, jitter and
+// freelist accounting — while keeping the packet pool, the delivery
+// pool and the flow-state freelist, so a pooled network rebuilds its
+// next topology in place instead of reallocating (see the run arena in
+// internal/experiments). Packets still referenced by a previous run's
+// pending events are abandoned to the garbage collector; reset the
+// scheduler alongside the network.
+func (n *Network) Reset() {
+	n.nodes = n.nodes[:0]
+	n.links = n.links[:0]
+	n.linkFrom = n.linkFrom[:0]
+	n.linkTo = n.linkTo[:0]
+	for id, fs := range n.flows {
+		fs.route = fs.route[:0]
+		fs.revRoute = fs.revRoute[:0]
+		fs.sender, fs.receiver = nil, nil
+		fs.delivered = 0
+		n.fsPool = append(n.fsPool, fs)
+		delete(n.flows, id)
+	}
+	for id := range n.routes {
+		delete(n.routes, id)
+	}
+	for id := range n.revRoutes {
+		delete(n.revRoutes, id)
+	}
+	n.defaultRoute = nil
+	n.defaultLink = nil
+	n.defaultRevRoute = nil
+	n.ReverseJitter = 0
+	n.jitterRNG = nil
+	n.issued, n.returned = 0, 0
+	n.pendingDeliveries = 0
 }
 
 // AddNode adds a named node and returns its id. Nodes only anchor link
@@ -342,25 +379,29 @@ func (n *Network) attach(flow int, sender, receiver netsim.Endpoint, hops []Link
 	if len(revHops) > 0 {
 		n.checkReverse(hops, revHops)
 	}
-	route := make([]*netsim.Link, len(hops))
-	for i, h := range hops {
-		route[i] = n.links[h]
+	fs := n.getFlowState()
+	for _, h := range hops {
+		fs.route = append(fs.route, n.links[h])
 	}
-	var revRoute []*netsim.Link
-	if len(revHops) > 0 {
-		revRoute = make([]*netsim.Link, len(revHops))
-		for i, h := range revHops {
-			revRoute[i] = n.links[h]
-		}
+	for _, h := range revHops {
+		fs.revRoute = append(fs.revRoute, n.links[h])
 	}
-	n.flows[flow] = &flowState{
-		route:    route,
-		revRoute: revRoute,
-		fwdExtra: fwdExtra,
-		revDelay: revDelay,
-		sender:   sender,
-		receiver: receiver,
+	fs.fwdExtra = fwdExtra
+	fs.revDelay = revDelay
+	fs.sender = sender
+	fs.receiver = receiver
+	n.flows[flow] = fs
+}
+
+// getFlowState recycles a flow-state record (route slices keep their
+// capacity across Reset) or allocates a fresh one.
+func (n *Network) getFlowState() *flowState {
+	if m := len(n.fsPool); m > 0 {
+		fs := n.fsPool[m-1]
+		n.fsPool = n.fsPool[:m-1]
+		return fs
 	}
+	return &flowState{}
 }
 
 // GetPacket returns a zeroed packet from the freelist (allocating only

@@ -268,3 +268,57 @@ func TestTopologyPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestNetworkResetReuse checks the arena property: a network Reset and
+// rebuilt in place must behave identically to a fresh one — same
+// deliveries, same leak accounting — with the packet and flow-state
+// pools carried across the reset.
+func TestNetworkResetReuse(t *testing.T) {
+	run := func(s *des.Scheduler, n *Network) (delivered int64, pooled int) {
+		a := n.AddNode("a")
+		b := n.AddNode("b")
+		c := n.AddNode("c")
+		l1 := n.AddLink(a, b, 1e6, 0.01, netsim.NewDropTail(4))
+		l2 := n.AddLink(b, c, 1e6, 0.01, netsim.NewDropTail(4))
+		n.SetDefaultRoute(l1, l2)
+		recv := netsim.EndpointFunc(func(*netsim.Packet) {})
+		n.AttachFlow(1, recv, recv, 0.002, 0.005)
+		for i := 0; i < 20; i++ {
+			send(n, 1, 1000)
+		}
+		s.Run()
+		if err := n.CheckLeaks(); err != nil {
+			t.Fatal(err)
+		}
+		return n.Delivered(1), len(n.pool)
+	}
+
+	var s1 des.Scheduler
+	fresh := New(&s1)
+	wantDelivered, _ := run(&s1, fresh)
+
+	var s2 des.Scheduler
+	reused := New(&s2)
+	run(&s2, reused)
+	s2.Reset()
+	reused.Reset()
+	if reused.Nodes() != 0 || reused.Links() != 0 || len(reused.flows) != 0 {
+		t.Fatalf("Reset left graph state: %d nodes, %d links, %d flows",
+			reused.Nodes(), reused.Links(), len(reused.flows))
+	}
+	if reused.Outstanding() != 0 || reused.InNetwork() != 0 {
+		t.Fatalf("Reset left freelist accounting: outstanding=%d in-network=%d",
+			reused.Outstanding(), reused.InNetwork())
+	}
+	if len(reused.pool) == 0 || len(reused.fsPool) == 0 {
+		t.Fatal("Reset discarded the packet or flow-state pool")
+	}
+	gotDelivered, pooled := run(&s2, reused)
+	if gotDelivered != wantDelivered {
+		t.Fatalf("reused network delivered %d packets, fresh delivered %d",
+			gotDelivered, wantDelivered)
+	}
+	if pooled == 0 {
+		t.Fatal("second run did not recycle packets through the carried-over pool")
+	}
+}
