@@ -26,12 +26,17 @@ type benchEntry struct {
 // benchReport is the schema of BENCH_<n>.json: one file per PR so the
 // perf trajectory of the simulator is recorded alongside the code.
 type benchReport struct {
-	ID          int          `json:"id,omitempty"`
-	GeneratedAt string       `json:"generated_at"`
-	GoVersion   string       `json:"go_version"`
-	GOOS        string       `json:"goos"`
-	GOARCH      string       `json:"goarch"`
-	Benchmarks  []benchEntry `json:"benchmarks"`
+	ID          int    `json:"id,omitempty"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	// GoMaxProcs and NumCPU record the host parallelism the numbers
+	// were taken under — without them a sharded-engine speedup (or its
+	// absence on a single-CPU recorder) cannot be interpreted later.
+	GoMaxProcs int          `json:"gomaxprocs,omitempty"`
+	NumCPU     int          `json:"num_cpu,omitempty"`
+	Benchmarks []benchEntry `json:"benchmarks"`
 }
 
 // benchSuite lists the canonical benchmarks in recording order.
@@ -47,6 +52,8 @@ var benchSuite = []struct {
 	{"ParkingLotSteadyState", perfbench.ParkingLotSteadyState},
 	{"ReversePathSteadyState", perfbench.ReversePathSteadyState},
 	{"DeepChainSteadyState", perfbench.DeepChainSteadyState},
+	{"ShardedChainBaseline", perfbench.ShardedChainBaseline},
+	{"ShardedChainSteadyState", perfbench.ShardedChainSteadyState},
 }
 
 // selectBenchmarks resolves the -benchrun filter: an empty filter keeps
@@ -122,6 +129,8 @@ func runBenchSuite(id int, outPath, filter string, stdout, stderr io.Writer) int
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 	}
 
 	record := func(name string, bench func(*testing.B)) {

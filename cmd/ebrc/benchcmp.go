@@ -57,6 +57,13 @@ func runBenchCmp(oldPath, newPath string, tol, atol, btol float64, stdout, stder
 		fmt.Fprintf(stderr, "ebrc: %v\n", err)
 		return 1
 	}
+	if os, ns := goSeries(oldRep.GoVersion), goSeries(newRep.GoVersion); os != ns {
+		// A toolchain jump moves every number (runtime, GC, codegen), so
+		// flag it — but only as a warning: the tolerance bands still
+		// gate, and failing here would block every routine Go upgrade.
+		fmt.Fprintf(stderr, "ebrc: warning: comparing across Go series (%s vs %s) — deltas include toolchain effects\n",
+			oldRep.GoVersion, newRep.GoVersion)
+	}
 	oldBy := make(map[string]benchEntry, len(oldRep.Benchmarks))
 	for _, e := range oldRep.Benchmarks {
 		oldBy[e.Name] = e
@@ -116,6 +123,22 @@ func runBenchCmp(oldPath, newPath string, tol, atol, btol float64, stdout, stder
 	fmt.Fprintf(stdout, "no regressions: %d benchmarks within %.0f%% of %s\n",
 		compared, tol*100, oldPath)
 	return 0
+}
+
+// goSeries reduces a runtime.Version() string to its minor series
+// ("go1.24.0" -> "go1.24") so patch releases compare silently while
+// series jumps trigger the toolchain warning. Unparseable strings
+// (devel builds) are returned whole and so always warn against a
+// release series.
+func goSeries(v string) string {
+	first := strings.Index(v, ".")
+	if first < 0 {
+		return v
+	}
+	if second := strings.Index(v[first+1:], "."); second >= 0 {
+		return v[:first+1+second]
+	}
+	return v
 }
 
 func loadBenchReport(path string) (benchReport, error) {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	ebrc [-quick] [-parallel] [-events N] [-simfactor F] <scenario> [...]
+//	ebrc [-quick] [-parallel] [-shards K] [-events N] [-simfactor F] <scenario> [...]
 //	ebrc -list
 //	ebrc -run fig5,fig7
 //	ebrc all
@@ -18,6 +18,12 @@
 // multi-hop topology family parkinglot hetrtt multibneck, the
 // routed-reverse-path family revcross ackshare asymrev, and the
 // scale-out family scalechain.
+//
+// -parallel distributes a scenario's independent jobs across workers;
+// -shards K instead splits each single simulation across K domains of
+// the space-parallel sharded engine (scenarios that do not support it
+// ignore the flag). The two compose, and every combination emits
+// byte-identical TSV; -list shows each scenario's executor modes.
 //
 // -bench runs the DES/packet hot-path microbenchmarks and records
 // ns/op, allocs/op and events/sec in BENCH_<n>.json, so the simulator's
@@ -60,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	simFactor := fs.Float64("simfactor", 0, "override the simulation duration factor (0..1]")
 	parallel := fs.Bool("parallel", false, "run each scenario's jobs on a worker pool")
 	workers := fs.Int("workers", 0, "worker count for -parallel (0 = NumCPU)")
+	shards := fs.Int("shards", 0, "split each simulation across K shards (scenarios with sharded mode; 0/1 = serial engine)")
 	list := fs.Bool("list", false, "list the registered scenarios and exit")
 	runNames := fs.String("run", "", "comma-separated scenarios to run")
 	progress := fs.Bool("progress", false, "report per-job progress on stderr")
@@ -126,7 +133,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *list || (fs.NArg() > 0 && fs.Arg(0) == "list") {
 		for _, s := range experiments.Scenarios() {
-			fmt.Fprintf(stdout, "%-10s %s\n", s.Name, s.Note)
+			fmt.Fprintf(stdout, "%-10s %-24s %s\n", s.Name, s.Modes(), s.Note)
 		}
 		return 0
 	}
@@ -158,6 +165,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *simFactor > 0 {
 		sz.SimFactor = *simFactor
+	}
+	if *shards > 0 {
+		sz.Shards = *shards
 	}
 
 	var ex runner.Executor = runner.Serial{}

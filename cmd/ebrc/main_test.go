@@ -20,6 +20,20 @@ func TestRunList(t *testing.T) {
 			t.Fatalf("-list output missing %q:\n%s", want, out.String())
 		}
 	}
+	// Each line carries the scenario's executor modes: the sharded
+	// families advertise all three, the dumbbell figures two.
+	for _, line := range strings.Split(out.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "scalechain"):
+			if !strings.Contains(line, "serial,parallel,sharded") {
+				t.Fatalf("scalechain should list sharded mode: %q", line)
+			}
+		case strings.HasPrefix(line, "fig1 "):
+			if !strings.Contains(line, "serial,parallel") || strings.Contains(line, "sharded") {
+				t.Fatalf("fig1 modes wrong: %q", line)
+			}
+		}
+	}
 	// The legacy positional spelling still works.
 	var out2 bytes.Buffer
 	if code := run([]string{"list"}, &out2, &errb); code != 0 || out2.String() != out.String() {
@@ -51,6 +65,25 @@ func TestRunScenario(t *testing.T) {
 	}
 	if pos.String() != serial.String() {
 		t.Fatal("positional comma list differs from -run")
+	}
+}
+
+// Smoke test: -shards routes a sharded-capable scenario through the
+// space-parallel engine with TSV byte-identical to the serial run.
+func TestRunShardsFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded smoke run skipped in -short mode")
+	}
+	args := []string{"-quick", "-events", "2000", "-simfactor", "0.04", "-run", "parkinglot"}
+	var serial, sharded, errb bytes.Buffer
+	if code := run(args, &serial, &errb); code != 0 {
+		t.Fatalf("serial exit %d, stderr: %s", code, errb.String())
+	}
+	if code := run(append([]string{"-shards", "3"}, args...), &sharded, &errb); code != 0 {
+		t.Fatalf("sharded exit %d, stderr: %s", code, errb.String())
+	}
+	if sharded.String() != serial.String() {
+		t.Fatal("-shards 3 output differs from serial")
 	}
 }
 

@@ -6,7 +6,12 @@
 //
 // The engine is single-threaded and deterministic: events scheduled for
 // the same instant fire in scheduling order (FIFO tie-break via a
-// monotonically increasing sequence number).
+// monotonically increasing sequence number). Sequence numbers are
+// namespaced per Scheduler, so a space-parallel run that gives every
+// shard its own Scheduler (see internal/shard) keeps a well-defined
+// deterministic order within each shard, and cross-shard injections
+// acquire local sequence numbers in the deterministic merge order their
+// bundles are drained in.
 //
 // # Design: hierarchical timing wheel + slot freelist
 //
@@ -22,11 +27,12 @@
 // the pending set, which is what lets many-hop, many-flow simulations
 // scale without the event queue becoming the bottleneck.
 //
-// Determinism is preserved exactly: a bucket is sorted by (time, seq)
-// when the cursor reaches it, and ticks partition the time axis
-// monotonically, so the global firing order is identical to a total
-// (time, seq) priority queue — FIFO within identical timestamps
-// included. Per-level occupancy bitmaps let the cursor jump straight to
+// Determinism is preserved exactly: a bucket is sorted by
+// (time, origin, seq) when the cursor reaches it, and ticks partition
+// the time axis monotonically, so the global firing order is identical
+// to a total (time, origin, seq) priority queue — FIFO within identical
+// timestamps included (an event's origin is its causal scheduling time;
+// see AtOrigin). Per-level occupancy bitmaps let the cursor jump straight to
 // the next non-empty bucket, so sparse queues do not pay for empty
 // ticks.
 //
@@ -58,12 +64,31 @@ type Event func()
 
 // entry is one pending event in the wheel: pointer-free so that bucket
 // moves copy plain words and never trip GC write barriers.
+//
+// key is the causal scheduling time — the instant the event was brought
+// into existence. At sets it to the scheduler's clock; AtOrigin lets a
+// caller supply the true origin of an event created elsewhere (a
+// cross-shard injection whose emission happened on another scheduler's
+// clock). Ties at the same firing time break by (key, seq): for purely
+// local scheduling key equals the clock at seq assignment, so the
+// (at, key, seq) order coincides with the classic (at, seq) FIFO order.
 type entry struct {
-	at   float64
-	seq  uint64
-	gen  uint32
-	slot int32
+	at  float64
+	key float64
+	seq uint64
+	// genslot packs the slot's generation (high 32 bits) and slot id
+	// (low 32 bits) into one word, keeping the struct at four fields —
+	// the compiler's SSA limit — so entries stay in registers on the
+	// hot scheduling path instead of bouncing through memory.
+	genslot uint64
 }
+
+func packGenSlot(gen uint32, slot int32) uint64 {
+	return uint64(gen)<<32 | uint64(uint32(slot))
+}
+
+func (e entry) gen() uint32 { return uint32(e.genslot >> 32) }
+func (e entry) slot() int32 { return int32(uint32(e.genslot)) }
 
 // slot carries the mutable part of a scheduled event. gen increments
 // when the event fires or is cancelled, invalidating outstanding Timer
@@ -120,13 +145,13 @@ const (
 	ticksPerSecond = 1 << tickBits
 	// maxTick caps the tick of very distant events so the float-to-int
 	// conversion below is always in range; order among capped events is
-	// still exact because buckets sort by (at, seq).
+	// still exact because buckets sort by (at, key, seq).
 	maxTick = uint64(1) << 62
 )
 
 // tickOf discretizes a timestamp. It is monotone: t1 <= t2 implies
 // tickOf(t1) <= tickOf(t2), which is all correctness needs — events of
-// one tick are ordered by (at, seq) when their bucket is reached.
+// one tick are ordered by (at, key, seq) when their bucket is reached.
 func tickOf(t float64) uint64 {
 	ticks := t * ticksPerSecond
 	if ticks >= float64(maxTick) {
@@ -229,6 +254,26 @@ func (s *Scheduler) Reset() {
 // At schedules fn at the absolute simulated time at, which must not be in
 // the past, and returns a cancellable handle.
 func (s *Scheduler) At(at float64, fn Event) Timer {
+	return s.schedule(at, s.now, fn)
+}
+
+// AtOrigin schedules fn at the absolute simulated time at with an
+// explicit causal origin: the simulated instant the event came into
+// existence, possibly on another scheduler's clock. Should several
+// events land on the same firing time, they fire in origin order before
+// falling back to scheduling order, so a cross-shard injection keeps
+// the position its emission time would have earned it on a serial
+// engine, even though it is scheduled late (at the window barrier,
+// after every window-local event already drew its sequence number).
+// origin must not exceed at; it may precede the local clock.
+func (s *Scheduler) AtOrigin(at, origin float64, fn Event) Timer {
+	if origin > at {
+		panic("des: origin after firing time")
+	}
+	return s.schedule(at, origin, fn)
+}
+
+func (s *Scheduler) schedule(at, key float64, fn Event) Timer {
 	if at < s.now {
 		panic("des: scheduling into the past")
 	}
@@ -246,7 +291,7 @@ func (s *Scheduler) At(at float64, fn Event) Timer {
 	sl := &s.slots[id]
 	sl.fn = fn
 	s.live++
-	s.insert(entry{at: at, seq: s.seq, gen: sl.gen, slot: id})
+	s.insert(entry{at: at, key: key, seq: s.seq, genslot: packGenSlot(sl.gen, id)})
 	s.seq++
 	return Timer{s: s, gen: sl.gen, slot: id}
 }
@@ -259,11 +304,17 @@ func (s *Scheduler) After(delay float64, fn Event) Timer {
 	return s.At(s.now+delay, fn)
 }
 
-// before reports whether entry a fires before entry b: earlier time, or
-// FIFO by sequence number at the same instant.
+// before reports whether entry a fires before entry b: earlier firing
+// time, then earlier causal origin, then FIFO by sequence number. For
+// events scheduled with At the key is the clock at seq assignment, so
+// key order and seq order agree and the net effect is the classic
+// (at, seq) FIFO; the key only decides when AtOrigin is in play.
 func before(a, b entry) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.key != b.key {
+		return a.key < b.key
 	}
 	return a.seq < b.seq
 }
@@ -429,7 +480,7 @@ func (s *Scheduler) rollover() {
 	s.overflow = keep
 }
 
-// sortEntries orders a bucket by (at, seq): insertion sort for the
+// sortEntries orders a bucket by (at, key, seq): insertion sort for the
 // typical handful of events, pdqsort beyond that. Both are
 // allocation-free.
 func sortEntries(es []entry) {
@@ -455,7 +506,7 @@ func (s *Scheduler) nextLive() bool {
 	for {
 		for s.curIdx < len(s.cur) {
 			e := s.cur[s.curIdx]
-			if s.slots[e.slot].gen == e.gen {
+			if s.slots[e.slot()].gen == e.gen() {
 				return true
 			}
 			s.curIdx++ // lazily discard a cancelled entry
@@ -476,7 +527,7 @@ func (s *Scheduler) maybeCompact() {
 	liveOf := func(es []entry) []entry {
 		w := 0
 		for _, e := range es {
-			if s.slots[e.slot].gen == e.gen {
+			if s.slots[e.slot()].gen == e.gen() {
 				es[w] = e
 				w++
 			}
@@ -488,7 +539,7 @@ func (s *Scheduler) maybeCompact() {
 	w := 0
 	for r := s.curIdx; r < len(s.cur); r++ {
 		e := s.cur[r]
-		if s.slots[e.slot].gen == e.gen {
+		if s.slots[e.slot()].gen == e.gen() {
 			s.cur[w] = e
 			w++
 		}
@@ -515,11 +566,11 @@ func (s *Scheduler) maybeCompact() {
 
 // fire executes a live entry the cursor has already consumed.
 func (s *Scheduler) fire(e entry) {
-	sl := &s.slots[e.slot]
+	sl := &s.slots[e.slot()]
 	fn := sl.fn
 	sl.fn = nil
 	sl.gen++
-	s.free = append(s.free, e.slot)
+	s.free = append(s.free, e.slot())
 	s.live--
 	s.now = e.at
 	s.fired++
@@ -553,6 +604,27 @@ func (s *Scheduler) RunUntil(deadline float64) {
 		s.fire(e)
 	}
 	s.now = deadline
+}
+
+// RunBefore executes every event strictly earlier than limit and leaves
+// the clock exactly at limit. It is the window primitive for bounded-
+// horizon (conservative lookahead) execution: a shard advances through
+// half-open windows [t, t+Δ) with RunBefore, exchanges cross-shard
+// bundles at the barrier, and finishes a phase with RunUntil so the
+// phase boundary itself (inclusive) matches the serial engine's.
+func (s *Scheduler) RunBefore(limit float64) {
+	if limit < s.now {
+		panic("des: limit in the past")
+	}
+	for s.nextLive() {
+		e := s.cur[s.curIdx]
+		if e.at >= limit {
+			break
+		}
+		s.curIdx++
+		s.fire(e)
+	}
+	s.now = limit
 }
 
 // Run executes events until the queue drains. Use RunUntil for

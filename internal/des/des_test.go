@@ -662,3 +662,167 @@ func BenchmarkScheduleAndFire(b *testing.B) {
 		s.Step()
 	}
 }
+
+// TestResetOverflowEdge pins Reset against the far-future path: after
+// scheduling events past the wheel horizon (populating the overflow
+// level and high wheel levels) and part-way consuming the queue, Reset
+// must leave no occupancy bit set, no buffered entry anywhere, and a
+// freelist covering the whole slot table — cross-checked against a
+// fresh scheduler replaying the same workload.
+func TestResetOverflowEdge(t *testing.T) {
+	horizon := float64(uint64(1)<<(numLevels*levelBits)) / ticksPerSecond
+	var s Scheduler
+	fn := func() {}
+	s.At(1, fn) // anchor the cursor near zero so far events overflow
+	for i := 0; i < 100; i++ {
+		s.At(horizon*(1.5+float64(i)), fn) // overflow level
+		s.At(horizon*0.9-float64(i), fn)   // top wheel level
+		s.At(float64(i)+2, fn)             // low levels
+	}
+	if len(s.overflow) == 0 {
+		t.Fatal("workload did not reach the overflow level")
+	}
+	s.RunUntil(50) // consume part of the queue, cursor mid-wheel
+
+	s.Reset()
+	if len(s.overflow) != 0 {
+		t.Fatalf("overflow holds %d entries after Reset", len(s.overflow))
+	}
+	for l := range s.levels {
+		lv := &s.levels[l]
+		for w, word := range lv.bitmap {
+			if word != 0 {
+				t.Fatalf("level %d bitmap word %d = %#x after Reset", l, w, word)
+			}
+		}
+		for j := range lv.bucket {
+			if len(lv.bucket[j]) != 0 {
+				t.Fatalf("level %d bucket %d holds %d entries after Reset", l, j, len(lv.bucket[j]))
+			}
+		}
+	}
+	if storedEntries(&s) != 0 {
+		t.Fatalf("%d entries still buffered after Reset", storedEntries(&s))
+	}
+	if len(s.free) != len(s.slots) {
+		t.Fatalf("freelist covers %d of %d slots after Reset", len(s.free), len(s.slots))
+	}
+	if s.live != 0 || s.dead != 0 || s.curTick != 0 {
+		t.Fatalf("live=%d dead=%d curTick=%d after Reset, want zeros", s.live, s.dead, s.curTick)
+	}
+
+	// A replayed far-future workload must fire identically to a fresh
+	// scheduler's.
+	replay := func(s *Scheduler) []float64 {
+		var got []float64
+		rec := func() { got = append(got, s.Now()) }
+		s.At(1, rec)
+		s.At(horizon*2, rec)
+		s.At(horizon*1.25, rec)
+		s.At(3, rec)
+		s.Run()
+		return got
+	}
+	var fresh Scheduler
+	want := replay(&fresh)
+	got := replay(&s)
+	if len(got) != len(want) {
+		t.Fatalf("reused fired %d events, fresh %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reused fire times %v, fresh %v", got, want)
+		}
+	}
+}
+
+// TestRunBefore pins the half-open window semantics: events strictly
+// before the limit fire, an event exactly at the limit does not, and
+// the clock lands exactly on the limit so a follow-up RunUntil of the
+// same instant fires the boundary event — together they tile a phase
+// into windows without double-firing or skipping.
+func TestRunBefore(t *testing.T) {
+	var s Scheduler
+	var got []float64
+	rec := func() { got = append(got, s.Now()) }
+	s.At(1, rec)
+	s.At(2, rec)
+	s.At(3, rec)
+	s.RunBefore(2)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("RunBefore(2) fired %v, want [1]", got)
+	}
+	if s.Now() != 2 {
+		t.Fatalf("clock = %v after RunBefore(2), want 2", s.Now())
+	}
+	s.RunUntil(2)
+	if len(got) != 2 || got[1] != 2 {
+		t.Fatalf("RunUntil(2) after RunBefore(2) fired %v, want [1 2]", got)
+	}
+	// Scheduling exactly at the window edge from outside is legal: the
+	// clock sits at the limit.
+	s.At(2, rec)
+	s.RunBefore(2.5)
+	if len(got) != 3 || got[2] != 2 {
+		t.Fatalf("edge event: fired %v, want [1 2 2]", got)
+	}
+	s.RunBefore(10)
+	if len(got) != 4 || got[3] != 3 {
+		t.Fatalf("final window fired %v, want [1 2 2 3]", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("RunBefore into the past did not panic")
+			}
+		}()
+		s.RunBefore(5)
+	}()
+}
+
+// TestAtOriginTieOrder pins the causal tie-break: events that share one
+// firing instant fire in origin order regardless of scheduling order,
+// with scheduling order (seq) deciding only among equal origins. This
+// is what lets a cross-shard injection — scheduled at a window barrier,
+// after every window-local event — reclaim the position its emission
+// time would have earned it on a serial engine.
+func TestAtOriginTieOrder(t *testing.T) {
+	var s Scheduler
+	var got []string
+	rec := func(name string) Event { return func() { got = append(got, name) } }
+
+	// Local events scheduled while the clock advances: their keys are
+	// their scheduling instants 0.0 and 0.2.
+	s.At(1.0, rec("local@0.0"))
+	s.At(0.2, func() {
+		s.At(1.0, rec("local@0.2"))
+		// Injections arriving late (higher seq) but with origins that
+		// interleave the local keys.
+		s.AtOrigin(1.0, 0.1, rec("inject@0.1"))
+		s.AtOrigin(1.0, 0.3, rec("inject@0.3"))
+		// Equal origins fall back to scheduling order.
+		s.AtOrigin(1.0, 0.1, rec("inject@0.1-second"))
+	})
+	s.RunUntil(2)
+
+	want := []string{"local@0.0", "inject@0.1", "inject@0.1-second", "local@0.2", "inject@0.3"}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order %v, want %v", got, want)
+		}
+	}
+
+	// origin may precede the clock (the emitter's clock lags the
+	// injecting shard's), but never the firing time.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("AtOrigin with origin > at did not panic")
+			}
+		}()
+		s.AtOrigin(3.0, 3.5, rec("bad"))
+	}()
+}

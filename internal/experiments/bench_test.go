@@ -16,3 +16,9 @@ func BenchmarkDumbbellSteadyState(b *testing.B) { perfbench.DumbbellSteadyState(
 func BenchmarkParkingLotSteadyState(b *testing.B) { perfbench.ParkingLotSteadyState(b) }
 
 func BenchmarkDeepChainSteadyState(b *testing.B) { perfbench.DeepChainSteadyState(b) }
+
+func BenchmarkReversePathSteadyState(b *testing.B) { perfbench.ReversePathSteadyState(b) }
+
+func BenchmarkShardedChainBaseline(b *testing.B) { perfbench.ShardedChainBaseline(b) }
+
+func BenchmarkShardedChainSteadyState(b *testing.B) { perfbench.ShardedChainSteadyState(b) }

@@ -116,3 +116,57 @@ func TestRegistryExpansion(t *testing.T) {
 		t.Fatalf("registry has %d scenarios, want >= 25", len(Scenarios()))
 	}
 }
+
+// The tentpole determinism contract of the sharded executor: the
+// multi-hop, routed-reverse and scale-out scenarios must emit
+// byte-identical TSV when every simulation is split across 2 or 4
+// shards — events column included — versus the serial engine. The
+// TestMain leak check is armed, so every sharded run also audits the
+// cross-shard freelist protocol (per-shard and global Outstanding ==
+// InNetwork, all bundles drained) at the end of the run, drops on cut
+// links included.
+func TestShardedScenarioDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-level determinism check skipped in -short mode")
+	}
+	t.Parallel()
+	sz := Sizing{Events: 2000, SimFactor: 0.04, Pairs: []int{1}, PairsCap: 1}
+	for _, name := range []string{"multibneck", "parkinglot", "hetrtt", "revcross", "ackshare", "asymrev", "scalechain"} {
+		s, ok := Lookup(name)
+		if !ok || !s.Sharded {
+			t.Fatalf("%s: not registered as sharded", name)
+		}
+		serial := renderAll(t, name, sz, runner.Serial{})
+		if len(serial) == 0 {
+			t.Fatalf("%s: empty serial output", name)
+		}
+		for _, k := range []int{2, 4} {
+			szk := sz
+			szk.Shards = k
+			got := renderAll(t, name, szk, runner.Serial{})
+			if !bytes.Equal(serial, got) {
+				t.Fatalf("%s: %d-shard TSV differs from serial\nserial:\n%s\nsharded:\n%s",
+					name, k, serial, got)
+			}
+		}
+	}
+}
+
+// The same bytes must come out of the goroutine-per-shard barrier
+// driver (the single-CPU default is the sequential window loop, so CI's
+// -race run would otherwise never cross the barrier path from the
+// experiments layer).
+func TestShardedParallelDriverDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-level determinism check skipped in -short mode")
+	}
+	sz := Sizing{Events: 2000, SimFactor: 0.04, Pairs: []int{1}, PairsCap: 1}
+	serial := renderAll(t, "scalechain", sz, runner.Serial{})
+	shardForceParallel = true
+	defer func() { shardForceParallel = false }()
+	sz.Shards = 3
+	got := renderAll(t, "scalechain", sz, runner.Serial{})
+	if !bytes.Equal(serial, got) {
+		t.Fatalf("forced-parallel 3-shard TSV differs from serial\nserial:\n%s\nsharded:\n%s", serial, got)
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/shard"
+	"repro/internal/topology"
+)
+
+// simExec is the executor seam between the multi-hop experiment
+// builders and the two engines that can host them: the serial
+// topology.Network on one scheduler, and the space-parallel
+// shard.Cluster with one scheduler per shard. The build surface (nodes,
+// links, routes, jitter, sinks) is declared identically against either;
+// the executor-specific part is where a flow's endpoints live
+// (FlowEnv/SinkEnv), how time advances (RunUntil), and how the freelist
+// invariant is audited (CheckLeaks). RunTopoSim and RunRevSim are
+// written once against this seam, so the sharded and serial runs are
+// the same build code by construction — the determinism contract then
+// only depends on the engines, which the shard package pins.
+type simExec interface {
+	AddNode(name string) topology.NodeID
+	AddLink(from, to topology.NodeID, rate, delay float64, queue netsim.Queue) topology.LinkID
+	SetRoute(flow int, hops ...topology.LinkID)
+	SetDefaultRoute(hops ...topology.LinkID)
+	SetReverseRoute(flow int, hops ...topology.LinkID)
+	SetDefaultReverseRoute(hops ...topology.LinkID)
+	SetReverseJitter(j float64, seed uint64)
+	AttachSink(flow int, hops ...topology.LinkID)
+	Link(id topology.LinkID) *netsim.Link
+	BaseRTT(flow int) float64
+
+	// Freeze ends graph declaration: the sharded executor partitions
+	// here (links materialize on their owning shards), the serial one
+	// has nothing to do. Call it after every AddLink and before the
+	// first FlowEnv.
+	Freeze()
+	// FlowEnv resolves the scheduler/network pair each of a flow's
+	// endpoints must be built on (tfrc.NewFlowOn / tcp.NewFlowOn). The
+	// flow's route must be resolvable (SetRoute or SetDefaultRoute).
+	FlowEnv(flow int) (sndSched *des.Scheduler, sndNet netsim.Network, rcvSched *des.Scheduler, rcvNet netsim.Network)
+	// SinkEnv resolves the pair a sink flow's source must run on.
+	SinkEnv(hops ...topology.LinkID) (*des.Scheduler, netsim.Network)
+	// RunUntil advances simulated time, firing every event with
+	// timestamp <= t. Between calls the engine is phase-aligned: stats
+	// may be read and reset, and CheckLeaks holds.
+	RunUntil(t float64)
+	// Fired returns total events executed (summed over shards).
+	Fired() uint64
+	CheckLeaks() error
+	// Close recycles the executor's arena. The executor must not be
+	// used afterwards, and nothing returned by the run may alias it.
+	Close()
+}
+
+// shardForceParallel routes sharded runs through the goroutine-per-
+// shard barrier driver even on a single-CPU host. Tests set it (under
+// -race) to prove the parallel driver produces the same bytes the
+// sequential window loop does.
+var shardForceParallel bool
+
+// newExec returns the executor for the requested shard count: the
+// serial engine for shards <= 1, the partitioned cluster otherwise.
+// Close must be called when the run's results have been copied out.
+func newExec(shards int) simExec {
+	if shards > 1 {
+		c := clusterPool.Get().(*shard.Cluster)
+		c.Reset()
+		c.ForceParallel = shardForceParallel
+		return &shardExec{Cluster: c, k: shards}
+	}
+	a := getArena()
+	return &serialExec{Network: a.net, a: a}
+}
+
+// serialExec adapts the pooled serial arena: one scheduler, one
+// network, both endpoints of every flow in the same place.
+type serialExec struct {
+	*topology.Network
+	a *simArena
+}
+
+func (e *serialExec) Freeze() {}
+
+func (e *serialExec) FlowEnv(int) (*des.Scheduler, netsim.Network, *des.Scheduler, netsim.Network) {
+	return &e.a.sched, e.a.net, &e.a.sched, e.a.net
+}
+
+func (e *serialExec) SinkEnv(...topology.LinkID) (*des.Scheduler, netsim.Network) {
+	return &e.a.sched, e.a.net
+}
+
+func (e *serialExec) RunUntil(t float64) { e.a.sched.RunUntil(t) }
+func (e *serialExec) Fired() uint64      { return e.a.sched.Fired() }
+func (e *serialExec) Close()             { putArena(e.a) }
+
+// shardExec adapts a pooled shard.Cluster. The embedded cluster
+// provides the declaration surface, Link/BaseRTT/Fired/CheckLeaks;
+// the methods below bridge the signature differences.
+type shardExec struct {
+	*shard.Cluster
+	k int
+}
+
+func (e *shardExec) Freeze() { e.Partition(e.k) }
+
+func (e *shardExec) FlowEnv(flow int) (*des.Scheduler, netsim.Network, *des.Scheduler, netsim.Network) {
+	snd, rcv := e.Cluster.FlowEnv(flow)
+	return snd.Sched(), snd, rcv.Sched(), rcv
+}
+
+func (e *shardExec) SinkEnv(hops ...topology.LinkID) (*des.Scheduler, netsim.Network) {
+	s := e.Cluster.SinkEnv(hops...)
+	return s.Sched(), s
+}
+
+func (e *shardExec) RunUntil(t float64) { e.Run(t) }
+func (e *shardExec) Close()             { clusterPool.Put(e.Cluster) }
+
+// clusterPool recycles clusters like arenaPool recycles serial arenas:
+// the shards' schedulers, freelists and bundle buffers survive Reset,
+// so a sharded replication rebuilds in place.
+var clusterPool = sync.Pool{New: func() any { return shard.New() }}

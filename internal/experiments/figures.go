@@ -28,6 +28,12 @@ type Sizing struct {
 	Pairs []int
 	// PairsCap truncates profile sweeps (0 = all).
 	PairsCap int
+	// Shards, when above 1, runs the scenarios that support it (the
+	// multi-hop, routed-reverse and scale-out families — Sharded in the
+	// registry) on the space-parallel sharded engine with at most that
+	// many domains per simulation. Output is byte-identical at any
+	// value; scenarios without sharded support ignore it.
+	Shards int
 }
 
 // Full is the publication-grade sizing.

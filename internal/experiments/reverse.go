@@ -65,6 +65,10 @@ type RevSimConfig struct {
 	// RevJitter randomizes the terminal reverse delays (fraction, see
 	// topology).
 	RevJitter float64
+	// Shards, when above 1, executes the run on the space-parallel
+	// sharded engine (internal/shard) with at most that many domains.
+	// The results are byte-identical to a serial run at any value.
+	Shards int
 }
 
 // RevSimResult holds per-class aggregates of one routed-reverse run
@@ -119,35 +123,35 @@ func RunRevSim(cfg RevSimConfig) RevSimResult {
 	if cfg.BackTCP < 0 || cfg.RevCrossLoad < 0 {
 		panic("experiments: invalid reverse load")
 	}
-	// Build the bidirectional graph inside a pooled arena (see
-	// arena.go): wheels, packet pool and flow-state records are reused
-	// across replications.
-	a := getArena()
-	defer putArena(a)
-	sched := &a.sched
+	// Build the bidirectional graph inside a pooled executor (see
+	// exec.go / arena.go): serial for Shards <= 1, space-parallel
+	// sharded otherwise. Either way wheels, packet pools and flow-state
+	// records are reused across replications.
+	env := newExec(cfg.Shards)
+	defer env.Close()
 	seedRNG := rng.New(cfg.Seed)
 
-	net := a.net
-	src := net.AddNode("src")
-	dst := net.AddNode("dst")
-	fwd := net.AddLink(src, dst, cfg.Capacity, cfg.FwdDelay, netsim.NewDropTail(cfg.Buffer))
+	src := env.AddNode("src")
+	dst := env.AddNode("dst")
+	fwd := env.AddLink(src, dst, cfg.Capacity, cfg.FwdDelay, netsim.NewDropTail(cfg.Buffer))
 	// Reverse chain dst → … → src, one link per configured capacity.
 	revNodes := make([]topology.NodeID, 0, len(cfg.RevCapacities)+1)
 	revNodes = append(revNodes, dst)
 	for i := 1; i < len(cfg.RevCapacities); i++ {
-		revNodes = append(revNodes, net.AddNode(fmt.Sprintf("rev%d", i)))
+		revNodes = append(revNodes, env.AddNode(fmt.Sprintf("rev%d", i)))
 	}
 	revNodes = append(revNodes, src)
 	rev := make([]topology.LinkID, len(cfg.RevCapacities))
 	for i, c := range cfg.RevCapacities {
-		rev[i] = net.AddLink(revNodes[i], revNodes[i+1], c, cfg.RevHopDelay,
+		rev[i] = env.AddLink(revNodes[i], revNodes[i+1], c, cfg.RevHopDelay,
 			netsim.NewDropTail(cfg.RevBuffer))
 	}
-	net.SetDefaultRoute(fwd)
-	net.SetDefaultReverseRoute(rev...)
+	env.SetDefaultRoute(fwd)
+	env.SetDefaultReverseRoute(rev...)
 	if cfg.RevJitter > 0 {
-		net.SetReverseJitter(cfg.RevJitter, seedRNG.Uint64())
+		env.SetReverseJitter(cfg.RevJitter, seedRNG.Uint64())
 	}
+	env.Freeze()
 
 	tfrcCfg := tfrc.DefaultConfig()
 	tfrcCfg.Window = cfg.L
@@ -158,27 +162,33 @@ func RunRevSim(cfg RevSimConfig) RevSimResult {
 	for i := 0; i < cfg.NTFRC; i++ {
 		c := tfrcCfg
 		c.Seed = seedRNG.Uint64()
-		snd, _ := tfrc.NewFlow(sched, net, flowID, c, cfg.AccessDelay, cfg.RevExtra)
+		sndSched, sndNet, rcvSched, rcvNet := env.FlowEnv(flowID)
+		snd, _ := tfrc.NewFlowOn(sndSched, sndNet, rcvSched, rcvNet, flowID, c,
+			cfg.AccessDelay, cfg.RevExtra)
 		tfrcSenders = append(tfrcSenders, snd)
-		staggeredStart(sched, seedRNG, cfg.Warmup, snd.Start)
+		staggeredStart(sndSched, seedRNG, cfg.Warmup, snd.Start)
 		flowID++
 	}
 	tcpSenders := make([]*tcp.Sender, 0, cfg.NTCP)
 	for i := 0; i < cfg.NTCP; i++ {
-		snd, _ := tcp.NewFlow(sched, net, flowID, tcp.DefaultConfig(), cfg.AccessDelay, cfg.RevExtra)
+		sndSched, sndNet, rcvSched, rcvNet := env.FlowEnv(flowID)
+		snd, _ := tcp.NewFlowOn(sndSched, sndNet, rcvSched, rcvNet, flowID, tcp.DefaultConfig(),
+			cfg.AccessDelay, cfg.RevExtra)
 		tcpSenders = append(tcpSenders, snd)
-		staggeredStart(sched, seedRNG, cfg.Warmup, snd.Start)
+		staggeredStart(sndSched, seedRNG, cfg.Warmup, snd.Start)
 		flowID++
 	}
 	// Opposing-direction flows: data over the reverse chain, ACKs over
 	// the forward bottleneck.
 	backSenders := make([]*tcp.Sender, 0, cfg.BackTCP)
 	for i := 0; i < cfg.BackTCP; i++ {
-		net.SetRoute(flowID, rev...)
-		net.SetReverseRoute(flowID, fwd)
-		snd, _ := tcp.NewFlow(sched, net, flowID, tcp.DefaultConfig(), cfg.AccessDelay, cfg.RevExtra)
+		env.SetRoute(flowID, rev...)
+		env.SetReverseRoute(flowID, fwd)
+		sndSched, sndNet, rcvSched, rcvNet := env.FlowEnv(flowID)
+		snd, _ := tcp.NewFlowOn(sndSched, sndNet, rcvSched, rcvNet, flowID, tcp.DefaultConfig(),
+			cfg.AccessDelay, cfg.RevExtra)
 		backSenders = append(backSenders, snd)
-		staggeredStart(sched, seedRNG, cfg.Warmup, snd.Start)
+		staggeredStart(sndSched, seedRNG, cfg.Warmup, snd.Start)
 		flowID++
 	}
 	if cfg.RevCrossLoad > 0 {
@@ -197,18 +207,19 @@ func RunRevSim(cfg RevSimConfig) RevSimResult {
 		if meanOff <= 0 {
 			meanOff = 1e-3
 		}
-		net.AttachSink(flowID, rev...)
-		ct := netsim.NewCrossTraffic(sched, net, flowID, minCap, meanBurst, 1.5,
+		env.AttachSink(flowID, rev...)
+		ctSched, ctNet := env.SinkEnv(rev...)
+		ct := netsim.NewCrossTraffic(ctSched, ctNet, flowID, minCap, meanBurst, 1.5,
 			meanOff, int(pktSize), seedRNG.Uint64())
-		sched.At(seedRNG.Float64(), ct.Start)
+		ctSched.At(seedRNG.Float64(), ct.Start)
 		flowID++
 	}
 
-	sched.RunUntil(cfg.Warmup)
+	env.RunUntil(cfg.Warmup)
 	resetStats(tfrcSenders)
 	resetStats(tcpSenders)
 	resetStats(backSenders)
-	sched.RunUntil(cfg.Warmup + cfg.Duration)
+	env.RunUntil(cfg.Warmup + cfg.Duration)
 
 	var res RevSimResult
 	res.TFRCPerFlow = tfrcStats(tfrcSenders)
@@ -218,14 +229,14 @@ func RunRevSim(cfg RevSimConfig) RevSimResult {
 	res.Back = aggregateTCP(tcpStats(backSenders))
 	// Flow 0 is always a primary flow and all primaries share terminal
 	// delays, so its base RTT represents the class.
-	res.BaseRTT = net.BaseRTT(0)
+	res.BaseRTT = env.BaseRTT(0)
 	for _, id := range rev {
-		res.RevDrops += net.Link(id).Queue().(*netsim.DropTail).Drops
+		res.RevDrops += env.Link(id).Queue().(*netsim.DropTail).Drops
 	}
 	// All reverse-chain traffic enters at the first hop, so the packets
 	// offered to the chain are that hop's forwards plus its own drops;
 	// drops at later hops already count among the first hop's forwards.
-	first := net.Link(rev[0])
+	first := env.Link(rev[0])
 	if offered := first.Forwarded + first.Queue().(*netsim.DropTail).Drops; offered > 0 {
 		res.RevDropRate = float64(res.RevDrops) / float64(offered)
 	}
@@ -240,9 +251,9 @@ func RunRevSim(cfg RevSimConfig) RevSimResult {
 	if pkts > 0 {
 		res.AcksPerPacket = float64(acks) / float64(pkts)
 	}
-	res.EventsFired = sched.Fired()
+	res.EventsFired = env.Fired()
 	if LeakCheck {
-		if err := net.CheckLeaks(); err != nil {
+		if err := env.CheckLeaks(); err != nil {
 			panic(err)
 		}
 	}
@@ -275,6 +286,7 @@ func reverseBase(sz Sizing) RevSimConfig {
 		cfg.Duration *= sz.SimFactor
 		cfg.Warmup *= sz.SimFactor
 	}
+	cfg.Shards = sz.Shards
 	return cfg
 }
 
@@ -419,14 +431,17 @@ func planAsymRev(sz Sizing) ([]runner.Job, FoldFunc) {
 
 func init() {
 	register(&Scenario{Name: "revcross",
-		Note: "reverse-bottleneck cross traffic: feedback loss at swept reverse loads",
-		Plan: planRevCross})
+		Note:    "reverse-bottleneck cross traffic: feedback loss at swept reverse loads",
+		Plan:    planRevCross,
+		Sharded: true})
 	register(&Scenario{Name: "ackshare",
-		Note: "shared forward/reverse bottlenecks: acks competing with opposing data",
-		Plan: planAckShare})
+		Note:    "shared forward/reverse bottlenecks: acks competing with opposing data",
+		Plan:    planAckShare,
+		Sharded: true})
 	register(&Scenario{Name: "asymrev",
-		Note: "asymmetric-capacity reverse chains: conservativeness under feedback starvation",
-		Plan: planAsymRev})
+		Note:    "asymmetric-capacity reverse chains: conservativeness under feedback starvation",
+		Plan:    planAsymRev,
+		Sharded: true})
 }
 
 // RevCross, AckShare and AsymRev are the serial convenience wrappers of

@@ -34,6 +34,7 @@ func scaleChainBase(sz Sizing) TopoSimConfig {
 		cfg.Duration *= sz.SimFactor
 		cfg.Warmup *= sz.SimFactor
 	}
+	cfg.Shards = sz.Shards
 	return cfg
 }
 
@@ -85,8 +86,9 @@ func planScaleChain(sz Sizing) ([]runner.Job, FoldFunc) {
 
 func init() {
 	register(&Scenario{Name: "scalechain",
-		Note: "scale-out chains: 8-16 hops under 64-512 long flows plus per-hop cross traffic",
-		Plan: planScaleChain})
+		Note:    "scale-out chains: 8-16 hops under 64-512 long flows plus per-hop cross traffic",
+		Plan:    planScaleChain,
+		Sharded: true})
 }
 
 // ScaleChain is the serial convenience wrapper of the scale-out sweep.

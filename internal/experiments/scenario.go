@@ -30,6 +30,21 @@ type Scenario struct {
 	Note string
 	// Plan expands the scenario into jobs and a fold.
 	Plan PlanFunc
+	// Sharded marks scenarios whose simulations honor Sizing.Shards by
+	// running on the space-parallel sharded engine (the multi-hop,
+	// routed-reverse and scale-out families). Listings report it as an
+	// available executor mode.
+	Sharded bool
+}
+
+// Modes returns the executor modes the scenario supports, for listings:
+// every scenario runs serially and on the job-level worker pool; the
+// Sharded ones additionally split each simulation across shards.
+func (s *Scenario) Modes() string {
+	if s.Sharded {
+		return "serial,parallel,sharded"
+	}
+	return "serial,parallel"
 }
 
 // Run expands the scenario under sz and executes its jobs on ex,

@@ -61,6 +61,11 @@ type TopoSimConfig struct {
 	Seed uint64
 	// RevJitter randomizes reverse-path delays (fraction, see topology).
 	RevJitter float64
+	// Shards, when above 1, executes the run on the space-parallel
+	// sharded engine (internal/shard) with at most that many domains.
+	// The results are byte-identical to a serial run — the scheduler
+	// event count included — at any value.
+	Shards int
 }
 
 // TopoSimResult holds per-class aggregates of one multi-hop run: the
@@ -91,27 +96,28 @@ func RunTopoSim(cfg TopoSimConfig) TopoSimResult {
 	if cfg.NTFRC < 0 || cfg.NTCP < 0 || cfg.NTFRC+cfg.NTCP == 0 {
 		panic("experiments: need at least one long flow")
 	}
-	// Build the chain inside a pooled arena (see arena.go): wheels,
-	// packet pool and flow-state records are reused across replications.
-	a := getArena()
-	defer putArena(a)
-	sched := &a.sched
+	// Build the chain inside a pooled executor (see exec.go / arena.go):
+	// serial for Shards <= 1, space-parallel sharded otherwise. Either
+	// way wheels, packet pools and flow-state records are reused across
+	// replications.
+	env := newExec(cfg.Shards)
+	defer env.Close()
 	seedRNG := rng.New(cfg.Seed)
 
-	net := a.net
 	nodes := make([]topology.NodeID, cfg.Hops+1)
 	for i := range nodes {
-		nodes[i] = net.AddNode(fmt.Sprintf("n%d", i))
+		nodes[i] = env.AddNode(fmt.Sprintf("n%d", i))
 	}
 	route := make([]topology.LinkID, cfg.Hops)
 	for i := 0; i < cfg.Hops; i++ {
-		route[i] = net.AddLink(nodes[i], nodes[i+1], cfg.Capacity, cfg.HopDelay,
+		route[i] = env.AddLink(nodes[i], nodes[i+1], cfg.Capacity, cfg.HopDelay,
 			netsim.NewDropTail(cfg.Buffer))
 	}
-	net.SetDefaultRoute(route...)
+	env.SetDefaultRoute(route...)
 	if cfg.RevJitter > 0 {
-		net.SetReverseJitter(cfg.RevJitter, seedRNG.Uint64())
+		env.SetReverseJitter(cfg.RevJitter, seedRNG.Uint64())
 	}
+	env.Freeze()
 
 	spread := func(i, n int) float64 {
 		if cfg.RTTSpread <= 0 || n <= 1 {
@@ -131,36 +137,42 @@ func RunTopoSim(cfg TopoSimConfig) TopoSimResult {
 		c := tfrcCfg
 		c.Seed = seedRNG.Uint64()
 		k := spread(i, cfg.NTFRC)
-		snd, _ := tfrc.NewFlow(sched, net, flowID, c, cfg.AccessDelay*k, cfg.RevDelay*k)
+		sndSched, sndNet, rcvSched, rcvNet := env.FlowEnv(flowID)
+		snd, _ := tfrc.NewFlowOn(sndSched, sndNet, rcvSched, rcvNet, flowID, c,
+			cfg.AccessDelay*k, cfg.RevDelay*k)
 		tfrcSenders = append(tfrcSenders, snd)
-		baseRTTs = append(baseRTTs, net.BaseRTT(flowID))
-		staggeredStart(sched, seedRNG, cfg.Warmup, snd.Start)
+		baseRTTs = append(baseRTTs, env.BaseRTT(flowID))
+		staggeredStart(sndSched, seedRNG, cfg.Warmup, snd.Start)
 		flowID++
 	}
 	tcpSenders := make([]*tcp.Sender, 0, cfg.NTCP)
 	for i := 0; i < cfg.NTCP; i++ {
 		k := spread(i, cfg.NTCP)
-		snd, _ := tcp.NewFlow(sched, net, flowID, tcp.DefaultConfig(), cfg.AccessDelay*k, cfg.RevDelay*k)
+		sndSched, sndNet, rcvSched, rcvNet := env.FlowEnv(flowID)
+		snd, _ := tcp.NewFlowOn(sndSched, sndNet, rcvSched, rcvNet, flowID, tcp.DefaultConfig(),
+			cfg.AccessDelay*k, cfg.RevDelay*k)
 		tcpSenders = append(tcpSenders, snd)
-		staggeredStart(sched, seedRNG, cfg.Warmup, snd.Start)
+		staggeredStart(sndSched, seedRNG, cfg.Warmup, snd.Start)
 		flowID++
 	}
 	crossSenders := make([]*tcp.Sender, 0, cfg.Hops*cfg.CrossPerHop)
 	for h := 0; h < cfg.Hops; h++ {
 		for i := 0; i < cfg.CrossPerHop; i++ {
-			net.SetRoute(flowID, route[h])
-			snd, _ := tcp.NewFlow(sched, net, flowID, tcp.DefaultConfig(), 0, cfg.CrossRevDelay)
+			env.SetRoute(flowID, route[h])
+			sndSched, sndNet, rcvSched, rcvNet := env.FlowEnv(flowID)
+			snd, _ := tcp.NewFlowOn(sndSched, sndNet, rcvSched, rcvNet, flowID, tcp.DefaultConfig(),
+				0, cfg.CrossRevDelay)
 			crossSenders = append(crossSenders, snd)
-			staggeredStart(sched, seedRNG, cfg.Warmup, snd.Start)
+			staggeredStart(sndSched, seedRNG, cfg.Warmup, snd.Start)
 			flowID++
 		}
 	}
 
-	sched.RunUntil(cfg.Warmup)
+	env.RunUntil(cfg.Warmup)
 	resetStats(tfrcSenders)
 	resetStats(tcpSenders)
 	resetStats(crossSenders)
-	sched.RunUntil(cfg.Warmup + cfg.Duration)
+	env.RunUntil(cfg.Warmup + cfg.Duration)
 
 	var res TopoSimResult
 	res.TFRCPerFlow = tfrcStats(tfrcSenders)
@@ -169,9 +181,9 @@ func RunTopoSim(cfg TopoSimConfig) TopoSimResult {
 	res.TCP = aggregateTCP(res.TCPPerFlow)
 	res.Cross = aggregateTCP(tcpStats(crossSenders))
 	res.BaseRTT = baseRTTs
-	res.EventsFired = sched.Fired()
+	res.EventsFired = env.Fired()
 	if LeakCheck {
-		if err := net.CheckLeaks(); err != nil {
+		if err := env.CheckLeaks(); err != nil {
 			panic(err)
 		}
 	}
@@ -205,6 +217,7 @@ func parkingLotBase(sz Sizing) TopoSimConfig {
 		cfg.Duration *= sz.SimFactor
 		cfg.Warmup *= sz.SimFactor
 	}
+	cfg.Shards = sz.Shards
 	return cfg
 }
 
@@ -348,14 +361,17 @@ func planMultiBneck(sz Sizing) ([]runner.Job, FoldFunc) {
 
 func init() {
 	register(&Scenario{Name: "parkinglot",
-		Note: "parking-lot chain: long flows over 1-3 bottlenecks vs crossing TCP",
-		Plan: planParkingLot})
+		Note:    "parking-lot chain: long flows over 1-3 bottlenecks vs crossing TCP",
+		Plan:    planParkingLot,
+		Sharded: true})
 	register(&Scenario{Name: "hetrtt",
-		Note: "heterogeneous-RTT competition on a shared bottleneck (1x-4x RTT spread)",
-		Plan: planHetRTT})
+		Note:    "heterogeneous-RTT competition on a shared bottleneck (1x-4x RTT spread)",
+		Plan:    planHetRTT,
+		Sharded: true})
 	register(&Scenario{Name: "multibneck",
-		Note: "multi-bottleneck conservativeness sweep: x̄/f(p,r) over k congested hops",
-		Plan: planMultiBneck})
+		Note:    "multi-bottleneck conservativeness sweep: x̄/f(p,r) over k congested hops",
+		Plan:    planMultiBneck,
+		Sharded: true})
 }
 
 // ParkingLot, HetRTT and MultiBneck are the serial convenience wrappers

@@ -394,6 +394,15 @@ type Link struct {
 	// their memory can be recycled (the dumbbell points it at its
 	// packet freelist). Unset, dropped packets are left to the GC.
 	Release func(*Packet)
+	// Handoff, when set, replaces the propagation stage: at
+	// serialization end the packet is handed off instead of entering the
+	// propagation pipeline, and no delivery event is scheduled on this
+	// link's scheduler. A space-parallel executor sets it on links whose
+	// destination lives in another shard — the receiving shard schedules
+	// the arrival (at handoff time + Delay) itself, so the propagation
+	// delay becomes the conservative lookahead across the cut. Handed-off
+	// packets count as Forwarded but never as InFlight.
+	Handoff func(*Packet)
 	// Forwarded counts packets fully transmitted.
 	Forwarded int64
 	// BytesForwarded counts bytes fully transmitted.
@@ -469,8 +478,12 @@ func (l *Link) onTxDone() {
 	p := l.txPkt
 	l.Forwarded++
 	l.BytesForwarded += int64(p.Size)
-	l.propPush(p)
-	l.sched.After(l.Delay, l.deliverOldestFn)
+	if l.Handoff != nil {
+		l.Handoff(p)
+	} else {
+		l.propPush(p)
+		l.sched.After(l.Delay, l.deliverOldestFn)
+	}
 	l.transmitNext()
 }
 

@@ -190,6 +190,78 @@ func DeepChainSteadyState(b *testing.B) {
 	}
 }
 
+// shardedChainConfig is the workload ShardedChainBaseline and
+// ShardedChainSteadyState share: the largest cell of the scalechain
+// sweep family (16 hops, 256 TFRC + 256 TCP long flows, 2 crossing TCP
+// flows per hop — 544 flows total), per-hop capacity scaled so each
+// long flow keeps the standard share. Both benchmarks run the exact
+// same simulation — the determinism contract makes their event counts
+// identical — differing only in the shard count, so their events/sec
+// ratio is the whole-simulation speedup of the space-parallel engine.
+func shardedChainConfig(shards int) experiments.TopoSimConfig {
+	return experiments.TopoSimConfig{
+		Hops:          16,
+		Capacity:      1e7,
+		Buffer:        64,
+		HopDelay:      0.005,
+		AccessDelay:   0.005,
+		RevDelay:      0.03,
+		NTFRC:         256,
+		NTCP:          256,
+		CrossPerHop:   2,
+		CrossRevDelay: 0.02,
+		L:             8,
+		Comprehensive: true,
+		Duration:      3,
+		Warmup:        1,
+		Seed:          17,
+		RevJitter:     0.2,
+		Shards:        shards,
+	}
+}
+
+// runShardedChain is the shared benchmark body for the sharded-chain
+// pair; it reports events/sec and events/run like the other
+// whole-simulation benchmarks.
+func runShardedChain(b *testing.B, shards int) {
+	cfg := shardedChainConfig(shards)
+	var events uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTopoSim(cfg)
+		events = res.EventsFired
+	}
+	b.StopTimer()
+	if events > 0 {
+		secPerOp := b.Elapsed().Seconds() / float64(b.N)
+		b.ReportMetric(float64(events)/secPerOp, "events/sec")
+		b.ReportMetric(float64(events), "events/run")
+	}
+}
+
+// ShardedChainBaseline runs the sharded-chain workload on the serial
+// engine (one scheduler, one event loop). It is the denominator of the
+// sharded speedup: ShardedChainSteadyState's events/sec divided by this
+// benchmark's is the end-to-end gain from splitting the same simulation
+// across shards.
+func ShardedChainBaseline(b *testing.B) {
+	runShardedChain(b, 1)
+}
+
+// ShardedChainSteadyState runs the identical workload split across 4
+// shards of the space-parallel engine — each shard owning a contiguous
+// slice of the chain with its own timing-wheel scheduler, synchronized
+// at the cross-shard lookahead horizon. On a multi-core host the shards
+// advance concurrently and this benchmark measures the whole-simulation
+// speedup; on a single-CPU host the sequential window driver runs and
+// the ratio to ShardedChainBaseline is the engine's coordination
+// overhead instead. The TSV output (and events/run) is byte-identical
+// to the baseline's either way.
+func ShardedChainSteadyState(b *testing.B) {
+	runShardedChain(b, 4)
+}
+
 // ReversePathSteadyState measures whole-simulation throughput with a
 // routed congested reverse path: 2 TFRC + 2 TCP primary flows whose
 // feedback and ACKs cross a real reverse queue shared with 2

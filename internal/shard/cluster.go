@@ -1,0 +1,481 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// linkSpec is a link declared before the partition exists. Links are
+// materialized at Partition time, once each one's owning shard — and
+// therefore its scheduler — is known.
+type linkSpec struct {
+	from, to    topology.NodeID
+	rate, delay float64
+	queue       netsim.Queue
+}
+
+// Cluster is a partitioned network graph: the same build surface as
+// topology.Network (the subset the experiments use), executed across K
+// shards. Declare the graph, call Partition, place endpoints with
+// FlowEnv + tfrc/tcp NewFlowOn, then drive it with Run.
+//
+// The zero Cluster is not ready; use New (or Reset a used one).
+type Cluster struct {
+	nodes []string
+	specs []linkSpec
+
+	links    []*netsim.Link
+	linkFrom []topology.NodeID
+	linkTo   []topology.NodeID
+
+	flows        map[int]*flowRec
+	routes       map[int][]topology.LinkID
+	defaultRoute []topology.LinkID
+
+	revRoutes       map[int][]topology.LinkID
+	defaultRevRoute []topology.LinkID
+
+	reverseJitter float64
+	jitterSeed    uint64
+
+	nodeShard []int
+	linkShard []int
+	shards    []*Shard
+	k         int
+
+	horizon float64
+	sealed  bool
+
+	// ForceParallel selects the goroutine-per-shard driver even on a
+	// single-CPU host (where the sequential window loop is the default).
+	// Both drivers produce bit-identical results; tests set this so the
+	// barrier path runs under -race regardless of the host.
+	ForceParallel bool
+
+	frPool []*flowRec
+}
+
+// New returns an empty cluster.
+func New() *Cluster {
+	return &Cluster{
+		flows:  map[int]*flowRec{},
+		routes: map[int][]topology.LinkID{},
+	}
+}
+
+// Reset empties the graph, partition and flow tables while keeping the
+// shards' schedulers, freelists and bundle buffers, so a pooled cluster
+// rebuilds its next simulation in place (see the run arena in
+// internal/experiments).
+func (c *Cluster) Reset() {
+	c.nodes = c.nodes[:0]
+	c.specs = c.specs[:0]
+	c.links = c.links[:0]
+	c.linkFrom = c.linkFrom[:0]
+	c.linkTo = c.linkTo[:0]
+	for id, fr := range c.flows {
+		fr.route = fr.route[:0]
+		fr.revRoute = fr.revRoute[:0]
+		fr.sender, fr.receiver = nil, nil
+		fr.delivered = 0
+		c.frPool = append(c.frPool, fr)
+		delete(c.flows, id)
+	}
+	for id := range c.routes {
+		delete(c.routes, id)
+	}
+	for id := range c.revRoutes {
+		delete(c.revRoutes, id)
+	}
+	c.defaultRoute = nil
+	c.defaultRevRoute = nil
+	c.reverseJitter = 0
+	c.jitterSeed = 0
+	c.nodeShard = c.nodeShard[:0]
+	c.linkShard = c.linkShard[:0]
+	c.k = 0
+	c.horizon = 0
+	c.sealed = false
+	c.ForceParallel = false
+	for _, s := range c.shards {
+		s.sched.Reset()
+		s.issued, s.returned = 0, 0
+		s.pendingDeliveries, s.pendingInjections = 0, 0
+		s.links = s.links[:0]
+		s.wbuf = 0
+		for parity := range s.out {
+			for d := range s.out[parity] {
+				s.out[parity][d] = s.out[parity][d][:0]
+			}
+		}
+	}
+	c.shards = c.shards[:0]
+}
+
+// AddNode adds a named node and returns its id.
+func (c *Cluster) AddNode(name string) topology.NodeID {
+	c.nodes = append(c.nodes, name)
+	return topology.NodeID(len(c.nodes) - 1)
+}
+
+// AddLink declares a directed link. Its netsim.Link is materialized at
+// Partition time on the shard that owns the source node.
+func (c *Cluster) AddLink(from, to topology.NodeID, rate, delay float64, queue netsim.Queue) topology.LinkID {
+	if c.sealed || len(c.shards) > 0 {
+		panic("shard: AddLink after Partition")
+	}
+	if int(from) >= len(c.nodes) || int(to) >= len(c.nodes) || from < 0 || to < 0 {
+		panic("shard: link endpoint node out of range")
+	}
+	if queue == nil {
+		panic("shard: nil queue")
+	}
+	if rate <= 0 || delay < 0 {
+		panic("shard: invalid link rate/delay")
+	}
+	c.specs = append(c.specs, linkSpec{from: from, to: to, rate: rate, delay: delay, queue: queue})
+	c.linkFrom = append(c.linkFrom, from)
+	c.linkTo = append(c.linkTo, to)
+	return topology.LinkID(len(c.specs) - 1)
+}
+
+// Link returns the materialized link behind an id (valid after
+// Partition).
+func (c *Cluster) Link(id topology.LinkID) *netsim.Link { return c.links[id] }
+
+// checkRoute validates that hops form a contiguous directed path.
+func (c *Cluster) checkRoute(hops []topology.LinkID) {
+	if len(hops) == 0 {
+		panic("shard: empty route")
+	}
+	for i, h := range hops {
+		if int(h) >= len(c.specs) || h < 0 {
+			panic(fmt.Sprintf("shard: route hop %d: unknown link %d", i, h))
+		}
+		if i > 0 && c.linkFrom[h] != c.linkTo[hops[i-1]] {
+			panic(fmt.Sprintf("shard: route hop %d: link %d does not start where link %d ends",
+				i, h, hops[i-1]))
+		}
+	}
+}
+
+// SetRoute declares the static source route for a flow id.
+func (c *Cluster) SetRoute(flow int, hops ...topology.LinkID) {
+	c.checkRoute(hops)
+	c.routes[flow] = append([]topology.LinkID(nil), hops...)
+}
+
+// SetDefaultRoute declares the route used for flows with no per-flow
+// SetRoute entry.
+func (c *Cluster) SetDefaultRoute(hops ...topology.LinkID) {
+	c.checkRoute(hops)
+	c.defaultRoute = append([]topology.LinkID(nil), hops...)
+}
+
+// SetReverseRoute declares the routed reverse path for a flow id.
+func (c *Cluster) SetReverseRoute(flow int, hops ...topology.LinkID) {
+	c.checkRoute(hops)
+	if c.revRoutes == nil {
+		c.revRoutes = map[int][]topology.LinkID{}
+	}
+	c.revRoutes[flow] = append([]topology.LinkID(nil), hops...)
+}
+
+// SetDefaultReverseRoute declares the routed reverse path used for
+// flows with no per-flow SetReverseRoute entry.
+func (c *Cluster) SetDefaultReverseRoute(hops ...topology.LinkID) {
+	c.checkRoute(hops)
+	c.defaultRevRoute = append([]topology.LinkID(nil), hops...)
+}
+
+// checkReverse validates that a reverse route connects the forward
+// route's end node back to its start node.
+func (c *Cluster) checkReverse(fwd, rev []topology.LinkID) {
+	c.checkRoute(rev)
+	if c.linkFrom[rev[0]] != c.linkTo[fwd[len(fwd)-1]] {
+		panic(fmt.Sprintf("shard: reverse route starts at node %d, want the forward route's last node %d",
+			c.linkFrom[rev[0]], c.linkTo[fwd[len(fwd)-1]]))
+	}
+	if c.linkTo[rev[len(rev)-1]] != c.linkFrom[fwd[0]] {
+		panic(fmt.Sprintf("shard: reverse route ends at node %d, want the forward route's first node %d",
+			c.linkTo[rev[len(rev)-1]], c.linkFrom[fwd[0]]))
+	}
+}
+
+// SetReverseJitter enables reverse-path delay jitter, fraction
+// 0 <= j < 1. Flows attached afterwards draw from per-flow streams
+// seeded by topology.FlowJitterSeed — identical to the serial engine's.
+func (c *Cluster) SetReverseJitter(j float64, seed uint64) {
+	if j < 0 || j >= 1 {
+		panic("shard: reverse jitter outside [0,1)")
+	}
+	if len(c.flows) > 0 {
+		panic("shard: SetReverseJitter after flows attached")
+	}
+	c.reverseJitter = j
+	c.jitterSeed = seed
+}
+
+// flowHops resolves a flow's forward route (per-flow or default).
+func (c *Cluster) flowHops(flow int) []topology.LinkID {
+	hops, ok := c.routes[flow]
+	if !ok {
+		hops = c.defaultRoute
+	}
+	if len(hops) == 0 {
+		panic(fmt.Sprintf("shard: no route for flow %d (SetRoute or SetDefaultRoute first)", flow))
+	}
+	return hops
+}
+
+// FlowEnv returns the scheduler/network pairs for a flow's two
+// endpoints: the sender lives on the shard of the route's first node,
+// the receiver on the shard of its last. Valid after Partition; pass
+// the pairs to tfrc.NewFlowOn / tcp.NewFlowOn.
+func (c *Cluster) FlowEnv(flow int) (snd, rcv *Shard) {
+	c.mustPartitioned()
+	hops := c.flowHops(flow)
+	snd = c.shards[c.nodeShard[c.linkFrom[hops[0]]]]
+	rcv = c.shards[c.nodeShard[c.linkTo[hops[len(hops)-1]]]]
+	return snd, rcv
+}
+
+// SinkEnv returns the shard a sink flow's source must run on: the shard
+// owning the route's first node. Valid after Partition.
+func (c *Cluster) SinkEnv(hops ...topology.LinkID) *Shard {
+	c.mustPartitioned()
+	c.checkRoute(hops)
+	return c.shards[c.nodeShard[c.linkFrom[hops[0]]]]
+}
+
+func (c *Cluster) mustPartitioned() {
+	if len(c.shards) == 0 {
+		panic("shard: Partition first")
+	}
+}
+
+// attach registers a flow's endpoints and delays, mirroring
+// topology.Network.attach plus endpoint shard placement.
+func (c *Cluster) attach(flow int, sender, receiver netsim.Endpoint, fwdExtra, revDelay float64) {
+	c.mustPartitioned()
+	if fwdExtra < 0 || revDelay < 0 {
+		panic("shard: negative delay")
+	}
+	if _, dup := c.flows[flow]; dup {
+		panic(fmt.Sprintf("shard: duplicate flow id %d", flow))
+	}
+	hops := c.flowHops(flow)
+	revHops, explicit := c.revRoutes[flow]
+	if explicit && sender == nil {
+		panic(fmt.Sprintf("shard: reverse route for sink flow %d (no sender to return packets to)", flow))
+	}
+	if !explicit && sender != nil {
+		revHops = c.defaultRevRoute
+	}
+	if len(revHops) > 0 {
+		c.checkReverse(hops, revHops)
+	}
+	fr := c.getFlowRec()
+	for _, h := range hops {
+		fr.route = append(fr.route, c.links[h])
+	}
+	for _, h := range revHops {
+		fr.revRoute = append(fr.revRoute, c.links[h])
+	}
+	fr.fwdExtra = fwdExtra
+	fr.revDelay = revDelay
+	fr.sender = sender
+	fr.receiver = receiver
+	fr.senderShard = c.nodeShard[c.linkFrom[hops[0]]]
+	fr.receiverShard = c.nodeShard[c.linkTo[hops[len(hops)-1]]]
+	if c.reverseJitter > 0 {
+		fr.jitter = *rng.New(topology.FlowJitterSeed(c.jitterSeed, flow))
+	}
+	c.flows[flow] = fr
+}
+
+func (c *Cluster) getFlowRec() *flowRec {
+	if m := len(c.frPool); m > 0 {
+		fr := c.frPool[m-1]
+		c.frPool = c.frPool[:m-1]
+		return fr
+	}
+	return &flowRec{}
+}
+
+// AttachFlow registers a flow's endpoints (cluster-level convenience;
+// normally endpoints attach through their sender shard's
+// netsim.Network surface).
+func (c *Cluster) AttachFlow(flow int, sender, receiver netsim.Endpoint, fwdExtra, revDelay float64) {
+	if sender == nil || receiver == nil {
+		panic("shard: nil endpoint")
+	}
+	c.attach(flow, sender, receiver, fwdExtra, revDelay)
+}
+
+// AttachSink registers a receiver-less flow over a route: its packets
+// are recycled at route end by whichever shard owns it.
+func (c *Cluster) AttachSink(flow int, hops ...topology.LinkID) {
+	c.checkRoute(hops)
+	c.routes[flow] = append([]topology.LinkID(nil), hops...)
+	c.attach(flow, nil, nil, 0, 0)
+}
+
+// returnToSender schedules the packet's final hand-off to the flow's
+// sender after the flow's remaining reverse delay — locally when the
+// sender shares the shard, as a cross-shard message otherwise. s is the
+// shard the call executes on (the receiver's for pure-delay paths, the
+// reverse route's terminal shard — always the sender's — for routed
+// ones).
+func (c *Cluster) returnToSender(s *Shard, fs *flowRec, p *netsim.Packet) {
+	delay := fs.revDelay
+	if c.reverseJitter > 0 {
+		delay *= 1 + c.reverseJitter*(2*fs.jitter.Float64()-1)
+	}
+	if fs.senderShard == s.id {
+		dv := s.getDelivery(fs.sender, p)
+		s.sched.After(delay, dv.run)
+		return
+	}
+	s.emit(fs.senderShard, kindToSender, p, s.sched.Now()+delay)
+}
+
+// arriveReverse mirrors topology.Network.arriveReverse on shard s.
+func (c *Cluster) arriveReverse(s *Shard, fs *flowRec, p *netsim.Packet) {
+	if next := int(p.Hop) + 1; next < len(fs.revRoute) {
+		p.Hop = int32(next)
+		fs.revRoute[next].Send(p)
+		return
+	}
+	c.returnToSender(s, fs, p)
+}
+
+// arrive mirrors topology.Network.arrive on shard s: it runs in the
+// shard of the node the packet just reached, so the next hop's link —
+// owned by that same node's shard — is always local.
+func (c *Cluster) arrive(s *Shard, p *netsim.Packet) {
+	fs, ok := c.flows[p.Flow]
+	if !ok {
+		// Unattached flows are rejected at SendForward, so nothing can
+		// arrive unrouted.
+		panic(fmt.Sprintf("shard: arrival for unknown flow %d", p.Flow))
+	}
+	if p.Rev {
+		c.arriveReverse(s, fs, p)
+		return
+	}
+	if next := int(p.Hop) + 1; next < len(fs.route) {
+		p.Hop = int32(next)
+		fs.route[next].Send(p)
+		return
+	}
+	fs.delivered++
+	if fs.receiver == nil {
+		s.PutPacket(p)
+		return
+	}
+	if fs.fwdExtra == 0 {
+		fs.receiver.Receive(p)
+		s.PutPacket(p)
+		return
+	}
+	dv := s.getDelivery(fs.receiver, p)
+	s.sched.After(fs.fwdExtra, dv.run)
+}
+
+// BaseRTT returns the no-queueing round-trip time for the flow, as
+// topology.Network.BaseRTT does.
+func (c *Cluster) BaseRTT(flow int) float64 {
+	fs, ok := c.flows[flow]
+	if !ok {
+		return 0
+	}
+	rtt := fs.fwdExtra + fs.revDelay
+	for _, l := range fs.route {
+		rtt += l.Delay
+	}
+	for _, l := range fs.revRoute {
+		rtt += l.Delay
+	}
+	return rtt
+}
+
+// Delivered returns the number of packets a flow's route carried to its
+// end.
+func (c *Cluster) Delivered(flow int) int64 {
+	if fs, ok := c.flows[flow]; ok {
+		return fs.delivered
+	}
+	return 0
+}
+
+// Shards returns the effective shard count (after Partition; the
+// partitioner may produce fewer domains than requested).
+func (c *Cluster) Shards() int { return c.k }
+
+// Horizon returns the synchronization horizon in seconds (0 before the
+// first Run, or when the partition has a single shard).
+func (c *Cluster) Horizon() float64 { return c.horizon }
+
+// Fired returns the total events executed across all shards. On
+// identical trajectories it equals the serial engine's count: every
+// serial event maps to exactly one event on exactly one shard (a cut
+// link's delivery event becomes the destination shard's injection
+// event, one for one).
+func (c *Cluster) Fired() uint64 {
+	var total uint64
+	for _, s := range c.shards {
+		total += s.sched.Fired()
+	}
+	return total
+}
+
+// Outstanding sums the shards' freelist ledgers.
+func (c *Cluster) Outstanding() int64 {
+	var total int64
+	for _, s := range c.shards {
+		total += s.Outstanding()
+	}
+	return total
+}
+
+// InNetwork sums the shards' in-simulator packet counts.
+func (c *Cluster) InNetwork() int {
+	total := 0
+	for _, s := range c.shards {
+		total += s.InNetwork()
+	}
+	return total
+}
+
+// Shard returns shard i (for per-shard assertions in tests).
+func (c *Cluster) Shard(i int) *Shard { return c.shards[i] }
+
+// CheckLeaks verifies the cross-shard freelist protocol at a barrier-
+// aligned instant (any time between Run calls): every bundle drained,
+// and Outstanding == InNetwork both per shard and globally. The
+// per-shard invariant holds because a handoff returns the packet to the
+// source shard's pool at emission and the destination issues its own
+// copy at the barrier, so a packet in flight across a cut is charged to
+// exactly one ledger — the destination's, under pendingInjections.
+func (c *Cluster) CheckLeaks() error {
+	for _, s := range c.shards {
+		for parity := range s.out {
+			for dst := range s.out[parity] {
+				if n := len(s.out[parity][dst]); n != 0 {
+					return fmt.Errorf("shard %d: %d undrained messages toward shard %d", s.id, n, dst)
+				}
+			}
+		}
+		if out, in := s.Outstanding(), int64(s.InNetwork()); out != in {
+			return fmt.Errorf("shard %d: packet leak: %d outstanding from the freelist but %d in the shard", s.id, out, in)
+		}
+	}
+	if out, in := c.Outstanding(), int64(c.InNetwork()); out != in {
+		return fmt.Errorf("shard: global packet leak: %d outstanding but %d in the network", out, in)
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netsim"
+)
+
+// Partition splits the declared node graph into at most k shards and
+// materializes every link on its owning shard's scheduler. Call it
+// after AddNode/AddLink and the route/jitter declarations, before
+// attaching flows.
+//
+// The partitioner works in two stages:
+//
+//  1. Co-location constraints. A zero-delay link provides no lookahead,
+//     so its endpoints must share a shard: union-find merges them into
+//     atoms. (Pure-delay reverse paths are constrained at seal time
+//     instead — flows attach after the partition — by requiring a
+//     positive minimum jittered reverse delay across any split.)
+//
+//  2. Contiguous greedy assignment. Atoms, ordered by their smallest
+//     node id, are packed into at most k contiguous segments of roughly
+//     equal weight, where a node weighs 1 plus its out-degree — a cheap
+//     proxy for the event load its links generate. Contiguity matches
+//     the chain/parking-lot graphs this repo sweeps (node ids follow
+//     the path), keeps every cut a genuine chain cut, and — crucial for
+//     the determinism contract — makes the partition a pure function of
+//     the declared graph and k.
+//
+// The effective shard count (Shards) can come out lower than k when the
+// graph has fewer atoms.
+func (c *Cluster) Partition(k int) {
+	if len(c.shards) > 0 {
+		panic("shard: Partition called twice")
+	}
+	if k < 1 {
+		k = 1
+	}
+	n := len(c.nodes)
+	if n == 0 {
+		panic("shard: Partition on an empty graph")
+	}
+
+	// Stage 1: union endpoints of zero-delay links.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, sp := range c.specs {
+		if sp.delay <= 0 {
+			a, b := find(int(sp.from)), find(int(sp.to))
+			if a != b {
+				if a > b {
+					a, b = b, a
+				}
+				parent[b] = a // smaller id wins: atom order stays node order
+			}
+		}
+	}
+
+	// Atoms in order of their smallest node id, with weights.
+	weight := make([]float64, n)
+	for i := range weight {
+		weight[i] = 1
+	}
+	for _, sp := range c.specs {
+		weight[sp.from]++
+	}
+	atomIndex := make(map[int]int)
+	var atomNodes [][]int
+	var atomWeight []float64
+	var total float64
+	for v := 0; v < n; v++ {
+		root := find(v)
+		ai, ok := atomIndex[root]
+		if !ok {
+			ai = len(atomNodes)
+			atomIndex[root] = ai
+			atomNodes = append(atomNodes, nil)
+			atomWeight = append(atomWeight, 0)
+		}
+		atomNodes[ai] = append(atomNodes[ai], v)
+		atomWeight[ai] += weight[v]
+		total += weight[v]
+	}
+	if k > len(atomNodes) {
+		k = len(atomNodes)
+	}
+
+	// Stage 2: pack atoms into <= k contiguous segments. A segment
+	// closes once it reaches the ideal share, but never so greedily that
+	// the remaining atoms could not fill the remaining segments.
+	c.nodeShard = append(c.nodeShard[:0], make([]int, n)...)
+	target := total / float64(k)
+	seg, segWeight := 0, 0.0
+	for ai := range atomNodes {
+		remainingAtoms := len(atomNodes) - ai
+		remainingSegs := k - seg
+		if segWeight > 0 && (segWeight >= target || remainingAtoms == remainingSegs) && seg < k-1 {
+			seg++
+			segWeight = 0
+		}
+		for _, v := range atomNodes[ai] {
+			c.nodeShard[v] = seg
+		}
+		segWeight += atomWeight[ai]
+	}
+	c.k = seg + 1
+
+	// Materialize shards and links. Each link lives on the shard of its
+	// source node; a link whose destination is elsewhere gets a Handoff
+	// that bundles the packet toward the destination shard with arrival
+	// time handoff-now + propagation delay.
+	for i := 0; i < c.k; i++ {
+		var s *Shard
+		if i < cap(c.shards) {
+			c.shards = c.shards[:i+1]
+			if c.shards[i] == nil {
+				c.shards[i] = &Shard{}
+			}
+			s = c.shards[i]
+		} else {
+			s = &Shard{}
+			c.shards = append(c.shards, s)
+		}
+		s.c = c
+		s.id = i
+		for parity := range s.out {
+			for len(s.out[parity]) < c.k {
+				s.out[parity] = append(s.out[parity], nil)
+			}
+			s.out[parity] = s.out[parity][:c.k]
+		}
+	}
+	c.linkShard = c.linkShard[:0]
+	c.links = c.links[:0]
+	for _, sp := range c.specs {
+		owner := c.nodeShard[sp.from]
+		c.linkShard = append(c.linkShard, owner)
+		src := c.shards[owner]
+		l := netsim.NewLink(&src.sched, sp.rate, sp.delay, sp.queue)
+		l.Release = src.PutPacket
+		if dst := c.nodeShard[sp.to]; dst != owner {
+			delay := sp.delay
+			dstID := dst
+			l.Deliver = func(p *netsim.Packet) {
+				panic("shard: Deliver on a cut link (Handoff owns the propagation stage)")
+			}
+			l.Handoff = func(p *netsim.Packet) {
+				src.emit(dstID, kindArrive, p, src.sched.Now()+delay)
+			}
+		} else {
+			l.Deliver = func(p *netsim.Packet) { c.arrive(src, p) }
+		}
+		src.links = append(src.links, l)
+		c.links = append(c.links, l)
+	}
+}
+
+// seal computes the synchronization horizon on the first Run, once the
+// flow population is known: the minimum latency over every cross-shard
+// channel — cut-link propagation delays and, for flows whose pure-delay
+// reverse path crosses shards, the minimum jittered reverse delay.
+func (c *Cluster) seal() {
+	if c.sealed {
+		return
+	}
+	c.mustPartitioned()
+	c.sealed = true
+	if c.k == 1 {
+		c.horizon = 0
+		return
+	}
+	h := math.Inf(1)
+	for li := range c.specs {
+		if c.nodeShard[c.specs[li].from] != c.nodeShard[c.specs[li].to] {
+			h = math.Min(h, c.specs[li].delay)
+		}
+	}
+	for flow, fs := range c.flows {
+		if len(fs.revRoute) == 0 && fs.sender != nil && fs.senderShard != fs.receiverShard {
+			h = math.Min(h, fs.revDelay*(1-c.reverseJitter))
+		}
+		_ = flow
+	}
+	if math.IsInf(h, 1) {
+		// Shards never exchange messages: each runs independently to the
+		// phase boundary. Model that as an unbounded window.
+		c.horizon = math.Inf(1)
+		return
+	}
+	if h <= 0 {
+		panic(fmt.Sprintf("shard: zero lookahead across a shard cut (horizon %v); reduce the shard count or give cross-shard channels positive delay", h))
+	}
+	c.horizon = h
+}

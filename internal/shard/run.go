@@ -1,0 +1,150 @@
+package shard
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run advances the whole cluster to the given simulated time, exactly
+// like des.Scheduler.RunUntil on a serial engine: every event with
+// timestamp <= until fires and all clocks finish at until. Between Run
+// calls the cluster is barrier-aligned — stats may be read and reset,
+// and CheckLeaks holds.
+//
+// The shards advance through lookahead windows of the horizon computed
+// at the first Run (see seal). With one effective shard, or on a
+// message-free partition, Run degenerates to plain RunUntil per shard.
+// With several shards it uses the sequential window loop on a
+// single-CPU host and a goroutine per shard behind a sense-reversing
+// barrier otherwise; both drivers execute the same windows in the same
+// per-shard order and drain bundles in the same (src-shard, seq) merge
+// order, so the results are bit-identical.
+func (c *Cluster) Run(until float64) {
+	c.seal()
+	if c.k == 1 {
+		c.shards[0].sched.RunUntil(until)
+		return
+	}
+	if math.IsInf(c.horizon, 1) {
+		for _, s := range c.shards {
+			s.sched.RunUntil(until)
+		}
+		return
+	}
+	if c.ForceParallel || runtime.GOMAXPROCS(0) > 1 {
+		c.runParallel(until)
+	} else {
+		c.runSequential(until)
+	}
+}
+
+// drain injects every bundle addressed to dst from the given parity, in
+// (src-shard, emission-seq) order — the deterministic merge order.
+// Injections acquire dst-local sequence numbers in drain order, so
+// same-instant arrivals keep this order when they fire.
+func (c *Cluster) drain(dst *Shard, parity int) {
+	for src := 0; src < c.k; src++ {
+		box := &c.shards[src].out[parity][dst.id]
+		for i := range *box {
+			dst.inject(&(*box)[i])
+		}
+		*box = (*box)[:0]
+	}
+}
+
+// runSequential drives all shards from one goroutine: each window is
+// executed shard by shard, then the bundles are exchanged. No
+// synchronization, no data races — the driver of choice when the
+// process has a single CPU anyway.
+func (c *Cluster) runSequential(until float64) {
+	b := c.shards[0].sched.Now()
+	parity := 0
+	for {
+		next := b + c.horizon
+		last := next >= until
+		for _, s := range c.shards {
+			s.wbuf = parity
+			if last {
+				s.sched.RunUntil(until)
+			} else {
+				s.sched.RunBefore(next)
+			}
+		}
+		for _, s := range c.shards {
+			c.drain(s, parity)
+		}
+		if last {
+			return
+		}
+		b = next
+		parity ^= 1
+	}
+}
+
+// barrier is a reusable sense-reversing spin barrier. Arrivals count
+// down; the last arrival flips the generation, releasing the waiters.
+// Waiters yield the processor while spinning so the barrier stays
+// livelock-free even when goroutines outnumber CPUs.
+type barrier struct {
+	n       int32
+	waiting atomic.Int32
+	gen     atomic.Uint32
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: int32(n)}
+	b.waiting.Store(int32(n))
+	return b
+}
+
+func (b *barrier) wait() {
+	gen := b.gen.Load()
+	if b.waiting.Add(-1) == 0 {
+		b.waiting.Store(b.n)
+		b.gen.Add(1) // release: publishes every pre-barrier write
+		return
+	}
+	for b.gen.Load() == gen {
+		runtime.Gosched()
+	}
+}
+
+// runParallel drives one goroutine per shard. All goroutines compute
+// the identical window sequence (pure float arithmetic from the same
+// inputs), so their barrier arrivals stay aligned. One barrier per
+// window suffices: while window w+1 runs against parity (w+1)%2, each
+// shard drains the parity-w%2 bundles addressed to it — the (src, dst)
+// bundle slots are disjoint per drainer, and the next barrier closes
+// the window before parity w%2 is written again.
+func (c *Cluster) runParallel(until float64) {
+	var wg sync.WaitGroup
+	bar := newBarrier(c.k)
+	for _, s := range c.shards {
+		wg.Add(1)
+		go func(s *Shard) {
+			defer wg.Done()
+			b := s.sched.Now()
+			parity := 0
+			for {
+				next := b + c.horizon
+				last := next >= until
+				s.wbuf = parity
+				if last {
+					s.sched.RunUntil(until)
+				} else {
+					s.sched.RunBefore(next)
+				}
+				bar.wait()
+				c.drain(s, parity)
+				if last {
+					return
+				}
+				b = next
+				parity ^= 1
+			}
+		}(s)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,297 @@
+// Package shard executes one topology-style simulation space-parallel:
+// the node graph is partitioned into K domains, each domain owns a
+// private des.Scheduler (timing wheel) and packet freelist, and the
+// domains advance in lockstep through conservative lookahead windows.
+//
+// # Partitioning rule
+//
+// Every node belongs to exactly one shard; a link belongs to the shard
+// of its source node. A link whose destination node lives in another
+// shard is a cut link: its serialization still happens on the owning
+// shard, but instead of entering the propagation pipeline the packet is
+// handed off (netsim.Link.Handoff) into an outbound bundle stamped with
+// its arrival time, handoff-now + propagation delay. Because forwarding
+// always continues in the shard of the node where a packet physically
+// is, every other Send in the system stays shard-local (see Cluster's
+// arrive). The partitioner (Partition) never cuts a zero-delay channel:
+// zero-delay links and zero-latency pure-delay reverse paths co-locate
+// their endpoints.
+//
+// # Lookahead horizon
+//
+// The synchronization horizon Δ is the minimum latency over all
+// cross-shard channels: the propagation delays of cut links, plus, for
+// flows whose pure-delay reverse path crosses shards, the minimum
+// jittered reverse delay revDelay·(1−jitter). A message emitted during
+// the window [t, t+Δ) arrives no earlier than t+Δ, so each shard can
+// execute a whole window without hearing from its peers — the classic
+// barrier-at-horizon conservative scheme.
+//
+// # Deterministic merge order
+//
+// At each barrier every shard drains the bundles addressed to it in
+// (src-shard, emission-seq) order and schedules each message at its
+// exact arrival time, carrying the source clock at emission as the
+// causal tie-break key (des.AtOrigin). Within a shard, simultaneous
+// events fire in (origin, scheduling-seq) order, so an injected arrival
+// that lands on the exact instant of a window-local event keeps the
+// position its emission time would have earned it on a serial engine —
+// such ties are systematic, not exotic, whenever link rates put
+// serialization times on a common float lattice. Events are therefore
+// totally ordered by (time, origin, src-shard, seq) — independent of
+// wall-clock interleaving — and the run is bit-identical to the serial
+// execution of the same graph, at any shard count, whether the shards
+// run on one goroutine (GOMAXPROCS=1) or K.
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+)
+
+// flowRec mirrors topology's per-flow routing entry, extended with the
+// flow's endpoint shard placement.
+type flowRec struct {
+	route     []*netsim.Link
+	revRoute  []*netsim.Link
+	fwdExtra  float64
+	revDelay  float64
+	sender    netsim.Endpoint
+	receiver  netsim.Endpoint
+	delivered int64
+	jitter    rng.RNG
+
+	// senderShard is where the sender endpoint lives (the shard of the
+	// forward route's first node); returnToSender targets it.
+	// receiverShard is the shard of the forward route's last node, where
+	// the receiver endpoint and any routed-reverse injection live.
+	senderShard   int
+	receiverShard int
+}
+
+// message is one cross-shard event in a bundle: the packet travels by
+// value so the source shard can recycle its copy at emission. origin is
+// the source shard's clock at emission; the destination schedules the
+// arrival with it as the causal tie-break key (des.AtOrigin), so an
+// injected event that shares its exact firing instant with local events
+// fires in the position its emission time would have earned it on a
+// serial engine.
+type message struct {
+	at     float64
+	origin float64
+	pkt    netsim.Packet
+	kind   uint8
+}
+
+const (
+	// kindArrive re-enters the forwarding path at the destination shard:
+	// the packet just crossed a cut link and arrives at the link's
+	// destination node.
+	kindArrive uint8 = iota
+	// kindToSender is the terminal pure-delay reverse delivery to a
+	// sender living in another shard.
+	kindToSender
+)
+
+// delivery is a pending intra-shard hand-off to an endpoint after a
+// pure delay, recycled through the shard's pool (the run callback is
+// allocated once per object, not per packet).
+type delivery struct {
+	s   *Shard
+	to  netsim.Endpoint
+	p   *netsim.Packet
+	run des.Event
+}
+
+func (dv *delivery) deliver() {
+	to, p := dv.to, dv.p
+	dv.to, dv.p = nil, nil
+	dv.s.dpool = append(dv.s.dpool, dv)
+	dv.s.pendingDeliveries--
+	to.Receive(p)
+	dv.s.PutPacket(p)
+}
+
+// injection is a pending cross-shard message arrival, recycled like
+// delivery. It holds the destination-shard copy of the packet between
+// the barrier that scheduled it and the event that consumes it.
+type injection struct {
+	s    *Shard
+	p    *netsim.Packet
+	kind uint8
+	run  des.Event
+}
+
+func (in *injection) fire() {
+	s, p, kind := in.s, in.p, in.kind
+	in.p = nil
+	s.ipool = append(s.ipool, in)
+	s.pendingInjections--
+	if kind == kindArrive {
+		s.c.arrive(s, p)
+		return
+	}
+	fs := s.c.flows[p.Flow]
+	fs.sender.Receive(p)
+	s.PutPacket(p)
+}
+
+// Shard is one domain of the partition: a private scheduler, packet
+// freelist and issue/return ledger. It implements netsim.Network, so
+// protocol endpoints constructed against it (tfrc.NewFlowOn,
+// tcp.NewFlowOn) draw packets from and send through their own shard.
+type Shard struct {
+	c     *Cluster
+	id    int
+	sched des.Scheduler
+
+	pool  []*netsim.Packet
+	dpool []*delivery
+	ipool []*injection
+
+	issued            int64
+	returned          int64
+	pendingDeliveries int
+	pendingInjections int
+
+	// out[parity][dst] is the bundle of messages emitted toward shard
+	// dst during the current window. Two parities double-buffer the
+	// bundles: while window w+1 runs (writing parity (w+1)%2), the
+	// destinations drain parity w%2 — the barrier between windows
+	// provides the happens-before edges in both directions.
+	out [2][][]message
+
+	// links owned by this shard (source node inside it), for InFlight
+	// accounting.
+	links []*netsim.Link
+
+	// wbuf is the parity the shard is currently emitting into. It is
+	// only touched by the goroutine driving this shard.
+	wbuf int
+}
+
+var _ netsim.Network = (*Shard)(nil)
+
+// Sched exposes the shard's private scheduler (for endpoint timers and
+// start events).
+func (s *Shard) Sched() *des.Scheduler { return &s.sched }
+
+// GetPacket implements netsim.Network against the shard's freelist.
+func (s *Shard) GetPacket() *netsim.Packet {
+	s.issued++
+	if m := len(s.pool); m > 0 {
+		p := s.pool[m-1]
+		s.pool = s.pool[:m-1]
+		*p = netsim.Packet{}
+		return p
+	}
+	return &netsim.Packet{}
+}
+
+// PutPacket implements netsim.Network against the shard's freelist.
+func (s *Shard) PutPacket(p *netsim.Packet) {
+	if p == nil {
+		return
+	}
+	s.returned++
+	s.pool = append(s.pool, p)
+}
+
+// SendForward implements netsim.Network: the packet enters the first
+// link of its flow's route, which the caller's shard owns (senders are
+// placed on the shard of their route's first node).
+func (s *Shard) SendForward(p *netsim.Packet) {
+	fs, ok := s.c.flows[p.Flow]
+	if !ok {
+		panic(fmt.Sprintf("shard: forward packet for unrouted flow %d (no default-link fallback under sharding)", p.Flow))
+	}
+	p.Hop = 0
+	fs.route[0].Send(p)
+}
+
+// SendReverse implements netsim.Network: routed reverse paths start at
+// the receiver's own shard (the reverse route's first link leaves the
+// forward route's last node); pure-delay reverse paths hand off to the
+// sender's shard when it differs.
+func (s *Shard) SendReverse(p *netsim.Packet) {
+	fs, ok := s.c.flows[p.Flow]
+	if !ok || fs.sender == nil {
+		panic(fmt.Sprintf("shard: reverse packet for unknown flow %d", p.Flow))
+	}
+	if len(fs.revRoute) > 0 {
+		p.Rev = true
+		p.Hop = 0
+		fs.revRoute[0].Send(p)
+		return
+	}
+	s.c.returnToSender(s, fs, p)
+}
+
+// AttachFlow implements netsim.Network by delegating to the cluster:
+// flow tables are cluster-wide, freelists per shard.
+func (s *Shard) AttachFlow(flow int, sender, receiver netsim.Endpoint, fwdExtra, revDelay float64) {
+	s.c.attach(flow, sender, receiver, fwdExtra, revDelay)
+}
+
+// Outstanding returns issued-minus-returned packets of this shard's
+// freelist.
+func (s *Shard) Outstanding() int64 { return s.issued - s.returned }
+
+// InNetwork counts packets demonstrably inside this shard: queued,
+// serializing or propagating on an owned link, waiting in a pending
+// delivery, or held by a scheduled cross-shard injection.
+func (s *Shard) InNetwork() int {
+	total := s.pendingDeliveries + s.pendingInjections
+	for _, l := range s.links {
+		total += l.InFlight()
+	}
+	return total
+}
+
+// getDelivery mirrors topology's delivery pooling.
+func (s *Shard) getDelivery(to netsim.Endpoint, p *netsim.Packet) *delivery {
+	var dv *delivery
+	if m := len(s.dpool); m > 0 {
+		dv = s.dpool[m-1]
+		s.dpool = s.dpool[:m-1]
+	} else {
+		dv = &delivery{s: s}
+		dv.run = dv.deliver
+	}
+	dv.to = to
+	dv.p = p
+	s.pendingDeliveries++
+	return dv
+}
+
+// emit appends a message to the bundle toward dst and recycles the
+// source-side packet: from here on the destination shard's copy is the
+// packet.
+func (s *Shard) emit(dst int, kind uint8, p *netsim.Packet, at float64) {
+	box := &s.out[s.wbuf][dst]
+	*box = append(*box, message{at: at, origin: s.sched.Now(), pkt: *p, kind: kind})
+	s.PutPacket(p)
+}
+
+// inject schedules one drained message at its arrival time. The
+// packet's destination-shard copy is issued here and accounted in
+// pendingInjections until the arrival event fires.
+func (s *Shard) inject(m *message) {
+	var in *injection
+	if n := len(s.ipool); n > 0 {
+		in = s.ipool[n-1]
+		s.ipool = s.ipool[:n-1]
+	} else {
+		in = &injection{s: s}
+		in.run = in.fire
+	}
+	p := s.GetPacket()
+	*p = m.pkt
+	in.p = p
+	in.kind = m.kind
+	s.pendingInjections++
+	s.sched.AtOrigin(m.at, m.origin, in.run)
+}

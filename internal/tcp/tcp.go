@@ -379,8 +379,18 @@ func (r *Receiver) Receive(p *netsim.Packet) {
 // given one-way extra forward delay and reverse-path delay, and returns
 // both endpoints. Call sender.Start to begin.
 func NewFlow(sched *des.Scheduler, net netsim.Network, flow int, cfg Config, fwdExtra, revDelay float64) (*Sender, *Receiver) {
-	snd := NewSender(sched, net, flow, cfg)
-	rcv := NewReceiver(sched, net, flow, cfg)
-	net.AttachFlow(flow, snd, rcv, fwdExtra, revDelay)
+	return NewFlowOn(sched, net, sched, net, flow, cfg, fwdExtra, revDelay)
+}
+
+// NewFlowOn is NewFlow with the two endpoints placed on separate
+// scheduler/network pairs, for executors that split one simulation
+// across several event loops (internal/shard): the sender runs its
+// timers on sndSched and sends through sndNet, the receiver on rcvSched
+// through rcvNet. The flow is attached via the sender's network. With
+// both pairs identical it is exactly NewFlow.
+func NewFlowOn(sndSched *des.Scheduler, sndNet netsim.Network, rcvSched *des.Scheduler, rcvNet netsim.Network, flow int, cfg Config, fwdExtra, revDelay float64) (*Sender, *Receiver) {
+	snd := NewSender(sndSched, sndNet, flow, cfg)
+	rcv := NewReceiver(rcvSched, rcvNet, flow, cfg)
+	sndNet.AttachFlow(flow, snd, rcv, fwdExtra, revDelay)
 	return snd, rcv
 }

@@ -41,6 +41,25 @@ const (
 	SQRT
 )
 
+// rateOf evaluates the selected formula at loss probability lossP
+// without boxing the concrete formula value into the Formula
+// interface. updateRate runs on every feedback packet, so the
+// conversion build performs would be a per-event heap allocation;
+// build stays for the cold paths that genuinely need the interface
+// (formula inversion at receiver priming).
+func (k FormulaKind) rateOf(p formula.Params, lossP float64) float64 {
+	switch k {
+	case PFTKStandard:
+		return formula.NewPFTKStandard(p).Rate(lossP)
+	case PFTKSimplified:
+		return formula.NewPFTKSimplified(p).Rate(lossP)
+	case SQRT:
+		return formula.NewSQRT(p).Rate(lossP)
+	default:
+		panic("tfrc: unknown formula kind")
+	}
+}
+
 func (k FormulaKind) build(p formula.Params) formula.Formula {
 	switch k {
 	case PFTKStandard:
@@ -208,14 +227,24 @@ type Receiver struct {
 // NewFlow wires a TFRC sender/receiver pair onto the dumbbell flow and
 // returns both. Call sender.Start to begin.
 func NewFlow(sched *des.Scheduler, net netsim.Network, flow int, cfg Config, fwdExtra, revDelay float64) (*Sender, *Receiver) {
+	return NewFlowOn(sched, net, sched, net, flow, cfg, fwdExtra, revDelay)
+}
+
+// NewFlowOn is NewFlow with the two endpoints placed on separate
+// scheduler/network pairs, for executors that split one simulation
+// across several event loops (internal/shard): the sender runs its
+// timers on sndSched and sends through sndNet, the receiver on rcvSched
+// through rcvNet. The flow is attached via the sender's network. With
+// both pairs identical it is exactly NewFlow.
+func NewFlowOn(sndSched *des.Scheduler, sndNet netsim.Network, rcvSched *des.Scheduler, rcvNet netsim.Network, flow int, cfg Config, fwdExtra, revDelay float64) (*Sender, *Receiver) {
 	cfg.validate()
-	if sched == nil || net == nil {
+	if sndSched == nil || sndNet == nil || rcvSched == nil || rcvNet == nil {
 		panic("tfrc: nil scheduler or network")
 	}
 	rcv := &Receiver{
 		cfg:   cfg,
-		sched: sched,
-		net:   net,
+		sched: rcvSched,
+		net:   rcvNet,
 		flow:  flow,
 		est:   estimator.NewLossIntervalEstimator(estimator.TFRCWeights(cfg.Window)),
 	}
@@ -228,8 +257,8 @@ func NewFlow(sched *des.Scheduler, net netsim.Network, flow int, cfg Config, fwd
 	rcv.sendFBFn = rcv.sendFeedback
 	snd := &Sender{
 		cfg:       cfg,
-		sched:     sched,
-		net:       net,
+		sched:     sndSched,
+		net:       sndNet,
 		flow:      flow,
 		rate:      cfg.InitialRate,
 		rtt:       estimator.NewRTT(cfg.RTTq),
@@ -239,7 +268,7 @@ func NewFlow(sched *des.Scheduler, net netsim.Network, flow int, cfg Config, fwd
 	}
 	snd.sendNextFn = snd.sendNext
 	snd.onNoFeedbackFn = snd.onNoFeedback
-	net.AttachFlow(flow, snd, rcv, fwdExtra, revDelay)
+	sndNet.AttachFlow(flow, snd, rcv, fwdExtra, revDelay)
 	return snd, rcv
 }
 
@@ -345,8 +374,8 @@ func (s *Sender) updateRate(p, recvRate float64) {
 	if rtt <= 0 {
 		rtt = 0.1
 	}
-	f := s.cfg.Formula.build(formula.ParamsForRTT(rtt))
-	calc := f.Rate(math.Min(p, 1)) * float64(s.cfg.SegSize) // bytes/s
+	calc := s.cfg.Formula.rateOf(formula.ParamsForRTT(rtt), math.Min(p, 1)) *
+		float64(s.cfg.SegSize) // bytes/s
 	// RFC 5348 §4.3: while the loss estimate is rising the rate is
 	// capped at the receive rate; otherwise at twice the receive rate.
 	limit := 2 * recvRate

@@ -60,6 +60,13 @@ type flowState struct {
 	sender    netsim.Endpoint
 	receiver  netsim.Endpoint
 	delivered int64
+	// jitter is the flow's private reverse-jitter stream, seeded from
+	// (network jitter seed, flow id) at attach time. Per-flow streams —
+	// rather than one network-wide RNG consumed in global event order —
+	// make each flow's jitter sequence independent of event interleaving
+	// across flows, which is what lets a space-parallel execution of the
+	// same graph (internal/shard) reproduce the serial run bit for bit.
+	jitter rng.RNG
 }
 
 // delivery is one pending hand-off of a packet to an endpoint after a
@@ -114,9 +121,11 @@ type Network struct {
 	// delay by a uniform factor in [1-ReverseJitter, 1+ReverseJitter].
 	// Real acknowledgment streams jitter at least this much; a perfectly
 	// periodic ack clock in a deterministic simulator otherwise slots
-	// arrivals into queue vacancies with unrealistic precision.
+	// arrivals into queue vacancies with unrealistic precision. Each flow
+	// draws from its own stream seeded by FlowJitterSeed(jitterSeed,
+	// flow), created when the flow attaches.
 	ReverseJitter float64
-	jitterRNG     *rng.RNG
+	jitterSeed    uint64
 
 	pool   []*netsim.Packet
 	dpool  []*delivery
@@ -175,7 +184,7 @@ func (n *Network) Reset() {
 	n.defaultLink = nil
 	n.defaultRevRoute = nil
 	n.ReverseJitter = 0
-	n.jitterRNG = nil
+	n.jitterSeed = 0
 	n.issued, n.returned = 0, 0
 	n.pendingDeliveries = 0
 }
@@ -321,13 +330,28 @@ func (n *Network) checkReverse(fwd, rev []LinkID) {
 }
 
 // SetReverseJitter enables reverse-path delay jitter with the given
-// fraction (0 <= j < 1) and seed.
+// fraction (0 <= j < 1) and seed. Each flow attached afterwards draws
+// from its own stream seeded by FlowJitterSeed(seed, flow), so a flow's
+// jitter sequence depends only on its own reverse traffic — not on how
+// its packets interleave with other flows'. Call it before attaching
+// flows.
 func (n *Network) SetReverseJitter(j float64, seed uint64) {
 	if j < 0 || j >= 1 {
 		panic("topology: reverse jitter outside [0,1)")
 	}
+	if len(n.flows) > 0 {
+		panic("topology: SetReverseJitter after flows attached")
+	}
 	n.ReverseJitter = j
-	n.jitterRNG = rng.New(seed)
+	n.jitterSeed = seed
+}
+
+// FlowJitterSeed derives the seed of a flow's private reverse-jitter
+// stream from the network-wide jitter seed. It is exported so that any
+// alternative executor of the same graph (internal/shard) derives
+// bit-identical streams.
+func FlowJitterSeed(seed uint64, flow int) uint64 {
+	return seed ^ (uint64(flow)+0x9e3779b97f4a7c15)*0xbf58476d1ce4e5b9
 }
 
 // AttachFlow implements netsim.Network: it registers a flow's endpoints
@@ -390,6 +414,9 @@ func (n *Network) attach(flow int, sender, receiver netsim.Endpoint, hops []Link
 	fs.revDelay = revDelay
 	fs.sender = sender
 	fs.receiver = receiver
+	if n.ReverseJitter > 0 {
+		fs.jitter = *rng.New(FlowJitterSeed(n.jitterSeed, flow))
+	}
 	n.flows[flow] = fs
 }
 
@@ -484,7 +511,7 @@ func (n *Network) SendReverse(p *netsim.Packet) {
 func (n *Network) returnToSender(fs *flowState, p *netsim.Packet) {
 	delay := fs.revDelay
 	if n.ReverseJitter > 0 {
-		delay *= 1 + n.ReverseJitter*(2*n.jitterRNG.Float64()-1)
+		delay *= 1 + n.ReverseJitter*(2*fs.jitter.Float64()-1)
 	}
 	dv := n.getDelivery(fs.sender, p)
 	n.Sched.After(delay, dv.run)
