@@ -54,6 +54,7 @@ var benchSuite = []struct {
 	{"DeepChainSteadyState", perfbench.DeepChainSteadyState},
 	{"ShardedChainBaseline", perfbench.ShardedChainBaseline},
 	{"ShardedChainSteadyState", perfbench.ShardedChainSteadyState},
+	{"FaultyChainSteadyState", perfbench.FaultyChainSteadyState},
 }
 
 // selectBenchmarks resolves the -benchrun filter: an empty filter keeps

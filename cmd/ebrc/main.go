@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	ebrc [-quick] [-parallel] [-shards K] [-events N] [-simfactor F] <scenario> [...]
+//	ebrc [-quick] [-parallel] [-shards K] [-events N] [-simfactor F] [-deadline D] [-seed N] <scenario> [...]
 //	ebrc -list
 //	ebrc -run fig5,fig7
 //	ebrc all
@@ -16,14 +16,23 @@
 // Scenarios: fig1 fig2 fig3 fig3c fig4 fig5 fig6 fig7 fig8 fig9 fig10
 // fig11 fig12-15 fig16 fig17 fig18-19 tableI claim3 claim4, the
 // multi-hop topology family parkinglot hetrtt multibneck, the
-// routed-reverse-path family revcross ackshare asymrev, and the
-// scale-out family scalechain.
+// routed-reverse-path family revcross ackshare asymrev, the scale-out
+// family scalechain, and the fault-injection family linkflap burstloss
+// capdrop.
 //
 // -parallel distributes a scenario's independent jobs across workers;
 // -shards K instead splits each single simulation across K domains of
 // the space-parallel sharded engine (scenarios that do not support it
 // ignore the flag). The two compose, and every combination emits
 // byte-identical TSV; -list shows each scenario's executor modes.
+//
+// -deadline D hardens the run with a per-job watchdog: a job exceeding
+// D (a Go duration, e.g. 5m) is abandoned and reported with its batch
+// index and seed, the remaining jobs keep running, and the surviving
+// rows are still printed — the exit code turns 1 and the failure
+// manifest goes to stderr. -seed N reruns only the jobs carrying that
+// deterministic seed (the number a watchdog or panic report names), so
+// a failure reproduces in isolation.
 //
 // -bench runs the DES/packet hot-path microbenchmarks and records
 // ns/op, allocs/op and events/sec in BENCH_<n>.json, so the simulator's
@@ -54,6 +63,37 @@ import (
 	"repro/internal/runner"
 )
 
+// seedFilterExec restricts a batch to the jobs carrying one seed: the
+// other slots come back nil, which every scenario fold now skips — the
+// output is exactly the filtered jobs' rows. This is the reproduction
+// path for watchdog and panic reports, which name the failing seed.
+type seedFilterExec struct {
+	inner runner.Executor
+	seed  uint64
+}
+
+func (f seedFilterExec) Execute(ctx context.Context, jobs []runner.Job) ([]any, error) {
+	var sub []runner.Job
+	var idx []int
+	for i, j := range jobs {
+		if j.Seed == f.seed {
+			sub = append(sub, j)
+			idx = append(idx, i)
+		}
+	}
+	results := make([]any, len(jobs))
+	if len(sub) == 0 {
+		return results, nil
+	}
+	res, err := f.inner.Execute(ctx, sub)
+	for k, i := range idx {
+		if k < len(res) {
+			results[i] = res[k]
+		}
+	}
+	return results, err
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -70,6 +110,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list the registered scenarios and exit")
 	runNames := fs.String("run", "", "comma-separated scenarios to run")
 	progress := fs.Bool("progress", false, "report per-job progress on stderr")
+	deadline := fs.Duration("deadline", 0, "per-job watchdog deadline (hardened mode: partial results + failure manifest; 0 = off)")
+	seedOnly := fs.Uint64("seed", 0, "run only the jobs with this deterministic seed (0 = all)")
 	bench := fs.Bool("bench", false, "run the hot-path microbenchmarks and write BENCH_<n>.json")
 	benchID := fs.Int("benchid", 0, "PR id for the -bench file name (0 = scratch BENCH_local.json)")
 	benchOut := fs.String("benchout", "", "explicit output path for -bench (default BENCH_<benchid>.json)")
@@ -170,22 +212,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sz.Shards = *shards
 	}
 
+	onProgress := func(p runner.Progress) {
+		fmt.Fprintf(stderr, "ebrc: [%d/%d] %s\n", p.Done, p.Total, p.Name)
+	}
 	var ex runner.Executor = runner.Serial{}
-	if *parallel {
-		pool := runner.NewPool(*workers)
-		if *progress {
-			pool.OnProgress = func(p runner.Progress) {
-				fmt.Fprintf(stderr, "ebrc: [%d/%d] %s\n", p.Done, p.Total, p.Name)
+	switch {
+	case *deadline > 0:
+		// The watchdog needs the pool's per-job goroutines even for a
+		// "serial" run: one worker keeps serial semantics, the deadline
+		// turns on hardened mode (partial results + failure manifest).
+		w := 1
+		if *parallel {
+			w = *workers
+			if w <= 0 {
+				w = runtime.NumCPU()
 			}
 		}
+		pool := &runner.Pool{Workers: w, JobDeadline: *deadline}
+		if *progress {
+			pool.OnProgress = onProgress
+		}
 		ex = pool
-	} else if *progress {
-		ex = runner.Serial{OnProgress: func(p runner.Progress) {
-			fmt.Fprintf(stderr, "ebrc: [%d/%d] %s\n", p.Done, p.Total, p.Name)
-		}}
+	case *parallel:
+		pool := runner.NewPool(*workers)
+		if *progress {
+			pool.OnProgress = onProgress
+		}
+		ex = pool
+	case *progress:
+		ex = runner.Serial{OnProgress: onProgress}
+	}
+	if *seedOnly != 0 {
+		ex = seedFilterExec{inner: ex, seed: *seedOnly}
 	}
 
 	ctx := context.Background()
+	exit := 0
 	for _, name := range names {
 		s, ok := experiments.Lookup(name)
 		if !ok {
@@ -194,8 +256,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		tables, err := s.Run(ctx, sz, ex)
 		if err != nil {
+			// Hardened mode folds the survivors even when jobs failed:
+			// print what completed, report the manifest, keep going so a
+			// long multi-scenario sweep salvages everything it can.
 			fmt.Fprintf(stderr, "ebrc: %v\n", err)
-			return 1
+			if tables == nil {
+				return 1
+			}
+			exit = 1
 		}
 		for _, t := range tables {
 			if err := t.WriteTSV(stdout); err != nil {
@@ -205,5 +273,5 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout)
 		}
 	}
-	return 0
+	return exit
 }

@@ -138,6 +138,63 @@ func TestBenchRunFilterSmoke(t *testing.T) {
 	}
 }
 
+// -deadline on a healthy run: the watchdog stays quiet, the output is
+// byte-identical to the plain serial run, exit 0.
+func TestDeadlineQuietOnHealthyRun(t *testing.T) {
+	var plain, hardened, errb bytes.Buffer
+	if code := run([]string{"-run", "fig1,tableI"}, &plain, &errb); code != 0 {
+		t.Fatalf("plain exit %d, stderr: %s", code, errb.String())
+	}
+	if code := run([]string{"-deadline", "10m", "-run", "fig1,tableI"}, &hardened, &errb); code != 0 {
+		t.Fatalf("hardened exit %d, stderr: %s", code, errb.String())
+	}
+	if hardened.String() != plain.String() {
+		t.Fatal("-deadline output differs from plain run")
+	}
+}
+
+// -deadline with an impossible budget: every job is abandoned, the
+// failure manifest lands on stderr with the job seeds, the table
+// headers still print (empty tables), and the exit code turns 1 —
+// partial-results mode, not a crash.
+func TestDeadlineAbandonsAndReports(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-events", "500", "-simfactor", "0.02", "-deadline", "1ns", "-run", "hetrtt"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"jobs failed", "seed", "watchdog"} {
+		if !strings.Contains(errb.String(), want) {
+			t.Fatalf("stderr missing %q:\n%s", want, errb.String())
+		}
+	}
+	if !strings.Contains(out.String(), "# hetrtt") {
+		t.Fatalf("surviving (empty) table header not printed:\n%s", out.String())
+	}
+}
+
+// -seed filters a batch to the jobs carrying that seed: claim4's jobs
+// all carry seed 7, so -seed 7 reproduces the full table and a seed no
+// job carries yields just the header.
+func TestSeedFilter(t *testing.T) {
+	var full, same, none, errb bytes.Buffer
+	if code := run([]string{"-run", "claim4"}, &full, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if code := run([]string{"-seed", "7", "-run", "claim4"}, &same, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if same.String() != full.String() {
+		t.Fatalf("-seed 7 differs from the full run:\n%s\nvs\n%s", same.String(), full.String())
+	}
+	if code := run([]string{"-seed", "424242", "-run", "claim4"}, &none, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(none.String(), "# claim4") || strings.Count(none.String(), "\n") >= strings.Count(full.String(), "\n") {
+		t.Fatalf("-seed with no matching jobs should print an empty table:\n%s", none.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-run", "no-such-figure"}, &out, &errb); code != 2 {

@@ -74,7 +74,8 @@ func TestTopoScenarioParallelDeterminism(t *testing.T) {
 	}
 	t.Parallel()
 	sz := Sizing{Events: 2000, SimFactor: 0.04, Pairs: []int{1}, PairsCap: 1}
-	for _, name := range []string{"multibneck", "parkinglot", "hetrtt", "revcross", "ackshare", "asymrev", "scalechain"} {
+	for _, name := range []string{"multibneck", "parkinglot", "hetrtt", "revcross", "ackshare", "asymrev", "scalechain",
+		"linkflap", "burstloss", "capdrop"} {
 		serial := renderAll(t, name, sz, runner.Serial{})
 		if len(serial) == 0 {
 			t.Fatalf("%s: empty serial output", name)
@@ -131,7 +132,8 @@ func TestShardedScenarioDeterminism(t *testing.T) {
 	}
 	t.Parallel()
 	sz := Sizing{Events: 2000, SimFactor: 0.04, Pairs: []int{1}, PairsCap: 1}
-	for _, name := range []string{"multibneck", "parkinglot", "hetrtt", "revcross", "ackshare", "asymrev", "scalechain"} {
+	for _, name := range []string{"multibneck", "parkinglot", "hetrtt", "revcross", "ackshare", "asymrev", "scalechain",
+		"linkflap", "burstloss", "capdrop"} {
 		s, ok := Lookup(name)
 		if !ok || !s.Sharded {
 			t.Fatalf("%s: not registered as sharded", name)
@@ -161,12 +163,16 @@ func TestShardedParallelDriverDeterminism(t *testing.T) {
 		t.Skip("packet-level determinism check skipped in -short mode")
 	}
 	sz := Sizing{Events: 2000, SimFactor: 0.04, Pairs: []int{1}, PairsCap: 1}
-	serial := renderAll(t, "scalechain", sz, runner.Serial{})
-	shardForceParallel = true
-	defer func() { shardForceParallel = false }()
-	sz.Shards = 3
-	got := renderAll(t, "scalechain", sz, runner.Serial{})
-	if !bytes.Equal(serial, got) {
-		t.Fatalf("forced-parallel 3-shard TSV differs from serial\nserial:\n%s\nsharded:\n%s", serial, got)
+	for _, name := range []string{"scalechain", "linkflap"} {
+		serial := renderAll(t, name, sz, runner.Serial{})
+		szk := sz
+		szk.Shards = 3
+		shardForceParallel = true
+		got := renderAll(t, name, szk, runner.Serial{})
+		shardForceParallel = false
+		if !bytes.Equal(serial, got) {
+			t.Fatalf("%s: forced-parallel 3-shard TSV differs from serial\nserial:\n%s\nsharded:\n%s",
+				name, serial, got)
+		}
 	}
 }

@@ -30,6 +30,14 @@ type simExec interface {
 	SetReverseJitter(j float64, seed uint64)
 	AttachSink(flow int, hops ...topology.LinkID)
 	Link(id topology.LinkID) *netsim.Link
+	// Links returns the number of declared links; together with Link and
+	// LinkSched it satisfies fault.Host, so a fault.Plan arms identically
+	// against either engine.
+	Links() int
+	// LinkSched returns the scheduler that owns the link — the engine's
+	// only scheduler on the serial executor, the owning shard's on the
+	// sharded one. Fault events for a link must fire there.
+	LinkSched(id topology.LinkID) *des.Scheduler
 	BaseRTT(flow int) float64
 
 	// Freeze ends graph declaration: the sharded executor partitions
@@ -117,7 +125,16 @@ func (e *shardExec) SinkEnv(hops ...topology.LinkID) (*des.Scheduler, netsim.Net
 }
 
 func (e *shardExec) RunUntil(t float64) { e.Run(t) }
-func (e *shardExec) Close()             { clusterPool.Put(e.Cluster) }
+
+// Close recycles the cluster — unless a stall detector tripped on it: a
+// poisoned cluster may still be referenced by an abandoned shard driver,
+// so it is leaked rather than pooled (Reset would panic on it anyway).
+func (e *shardExec) Close() {
+	if e.Poisoned() {
+		return
+	}
+	clusterPool.Put(e.Cluster)
+}
 
 // clusterPool recycles clusters like arenaPool recycles serial arenas:
 // the shards' schedulers, freelists and bundle buffers survive Reset,

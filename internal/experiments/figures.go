@@ -181,7 +181,10 @@ func planFig2Summary(Sizing) ([]runner.Job, FoldFunc) {
 			Columns: []string{"b", "ratio", "argmax_x"},
 		}
 		for i, b := range bs {
-			ra := results[i].([2]float64)
+			ra, ok := results[i].([2]float64)
+			if !ok {
+				continue // job lost under a hardened executor
+			}
 			t.AddRow(b, ra[0], ra[1])
 		}
 		return []*Table{t}
@@ -222,7 +225,8 @@ func mcGridPlan(name, note, xcol string, xs []float64, seed0 uint64,
 			for _, x := range xs {
 				row := []float64{x}
 				for range Ls {
-					row = append(row, results[i].(float64))
+					v, _ := results[i].(float64) // 0 for a lost job
+					row = append(row, v)
 					i++
 				}
 				t.AddRow(row...)
@@ -416,7 +420,7 @@ func planFig6(sz Sizing) ([]runner.Job, FoldFunc) {
 			row := []float64{p}
 			var cv2 float64
 			for range fs {
-				res := results[i].(cbr.AudioResult)
+				res, _ := results[i].(cbr.AudioResult) // zero for a lost job
 				row = append(row, res.Normalized)
 				cv2 = res.CVEstimatorSq
 				i++
@@ -652,9 +656,12 @@ func planFig17(sz Sizing) ([]runner.Job, FoldFunc) {
 			Columns: []string{"buffer", "isolation_ratio", "competing_ratio"},
 		}
 		for i, buf := range bufs {
-			tfrcAlone := results[3*i].(SimResult)
-			tcpAlone := results[3*i+1].(SimResult)
-			both := results[3*i+2].(SimResult)
+			tfrcAlone, okA := results[3*i].(SimResult)
+			tcpAlone, okB := results[3*i+1].(SimResult)
+			both, okC := results[3*i+2].(SimResult)
+			if !okA || !okB || !okC {
+				continue // a leg of the triple was lost under a hardened executor
+			}
 			iso, comp := 0.0, 0.0
 			if tfrcAlone.TFRC.LossEventRate > 0 {
 				iso = tcpAlone.TCP.LossEventRate / tfrcAlone.TFRC.LossEventRate
@@ -733,8 +740,12 @@ func planClaim4(Sizing) ([]runner.Job, FoldFunc) {
 			Columns: []string{"beta", "analytic_ratio", "fluid_ratio"},
 		}
 		for i, beta := range betas {
+			v, ok := results[i].(float64)
+			if !ok {
+				continue // job lost under a hardened executor
+			}
 			a := analytic.AIMDParams{Alpha: 1, Beta: beta}
-			t.AddRow(beta, analytic.Claim4Ratio(a), results[i].(float64))
+			t.AddRow(beta, analytic.Claim4Ratio(a), v)
 		}
 		return []*Table{t}
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -48,11 +49,19 @@ func (s *Scenario) Modes() string {
 }
 
 // Run expands the scenario under sz and executes its jobs on ex,
-// returning the assembled tables.
+// returning the assembled tables. Under a hardened executor (a
+// runner.Pool with a JobDeadline) a partial failure still folds: the
+// surviving results become tables — every fold skips nil slots — and
+// the *runner.Manifest comes back alongside them, so callers can render
+// what completed and report exactly which (index, seed) jobs died.
 func (s *Scenario) Run(ctx context.Context, sz Sizing, ex runner.Executor) ([]*Table, error) {
 	jobs, fold := s.Plan(sz)
 	results, err := ex.Execute(ctx, jobs)
 	if err != nil {
+		var m *runner.Manifest
+		if errors.As(err, &m) && results != nil {
+			return fold(results), fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
 	return fold(results), nil
@@ -142,7 +151,12 @@ func tablePlan(name string, build func(sz Sizing) *Table) PlanFunc {
 			Run:  func(context.Context) any { return build(sz) },
 		}}
 		fold := func(results []any) []*Table {
-			return []*Table{results[0].(*Table)}
+			tb, _ := results[0].(*Table)
+			if tb == nil {
+				// The single job died under a hardened executor: no table.
+				return nil
+			}
+			return []*Table{tb}
 		}
 		return jobs, fold
 	}
@@ -176,6 +190,11 @@ func gridPlan[C, R any](t *Table, cells []C, job func(c C) runner.Job,
 	}
 	fold := func(results []any) []*Table {
 		for i, r := range results {
+			if r == nil {
+				// The cell's job died under a hardened executor (see
+				// runner.Manifest): its rows are absent, the rest fold.
+				continue
+			}
 			for _, row := range rows(cells[i], r.(R)) {
 				t.AddRow(row...)
 			}

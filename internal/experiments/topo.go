@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/des"
+	"repro/internal/fault"
 	"repro/internal/formula"
 	"repro/internal/netsim"
 	"repro/internal/rng"
@@ -66,6 +68,93 @@ type TopoSimConfig struct {
 	// The results are byte-identical to a serial run — the scheduler
 	// event count included — at any value.
 	Shards int
+	// Faults, when non-nil, is the deterministic fault-injection plan
+	// armed against the chain right after the graph freezes (see
+	// internal/fault): timed link Down/Up transitions, runtime capacity
+	// renegotiation, and per-link Gilbert–Elliott bursty loss. Link IDs
+	// index the forward chain (0..Hops-1) and, under MirrorRev, the
+	// mirrored reverse chain (Hops..2·Hops-1). Propagation delays are
+	// immutable — fault.Plan has no delay operation — so the sharded
+	// engine's lookahead horizon stays valid through any plan, and the
+	// results remain byte-identical at every shard count.
+	Faults *fault.Plan
+	// Watch, when non-nil, samples every long TFRC flow's send rate
+	// around one outage window and reports per-flow recovery times in
+	// TopoSimResult.Recovery.
+	Watch *RecoveryWatch
+	// MirrorRev routes the long flows' feedback over a mirrored reverse
+	// chain (Unbounded queues, link IDs Hops..2·Hops-1) instead of the
+	// pure-delay reverse path, giving reverse-direction faults (ACK and
+	// feedback starvation) real queues to act on. RevDelay becomes the
+	// residual delay after the last reverse hop; crossing flows keep
+	// pure-delay reverse paths.
+	MirrorRev bool
+}
+
+// RecoveryWatch configures post-outage recovery measurement: each long
+// TFRC flow's send rate is sampled every Interval; the last sample at
+// or before Down fixes the flow's pre-outage rate, and the flow counts
+// as recovered at the first sample at or after Up whose rate reaches
+// Frac times that.
+type RecoveryWatch struct {
+	// Down and Up bound the outage in absolute simulation time.
+	Down, Up float64
+	// Frac is the recovery threshold as a fraction of the pre-outage
+	// rate; <= 0 means 0.5.
+	Frac float64
+	// Interval is the sampling period in seconds; <= 0 means 0.05.
+	Interval float64
+}
+
+// rateWatch samples one sender's rate on its own scheduler. The sample
+// cadence is fixed (every Interval until the run ends, recovered or
+// not), so the watcher contributes the same event count to every
+// executor mode.
+type rateWatch struct {
+	sched *des.Scheduler
+	rate  func() float64
+	w     RecoveryWatch
+	end   float64
+	fn    des.Event
+
+	preRate     float64
+	recoveredAt float64
+}
+
+func newRateWatch(sched *des.Scheduler, rate func() float64, w RecoveryWatch, end float64) *rateWatch {
+	if w.Frac <= 0 {
+		w.Frac = 0.5
+	}
+	if w.Interval <= 0 {
+		w.Interval = 0.05
+	}
+	rw := &rateWatch{sched: sched, rate: rate, w: w, end: end, recoveredAt: -1}
+	rw.fn = rw.sample
+	sched.At(sched.Now(), rw.fn)
+	return rw
+}
+
+func (rw *rateWatch) sample() {
+	now := rw.sched.Now()
+	r := rw.rate()
+	switch {
+	case now <= rw.w.Down:
+		rw.preRate = r
+	case now >= rw.w.Up && rw.recoveredAt < 0 && rw.preRate > 0 && r >= rw.w.Frac*rw.preRate:
+		rw.recoveredAt = now
+	}
+	if next := now + rw.w.Interval; next <= rw.end {
+		rw.sched.At(next, rw.fn)
+	}
+}
+
+// recovery returns seconds from the Up edge to the recovering sample,
+// or -1 if the flow never regained the threshold before the run ended.
+func (rw *rateWatch) recovery() float64 {
+	if rw.recoveredAt < 0 {
+		return -1
+	}
+	return rw.recoveredAt - rw.w.Up
 }
 
 // TopoSimResult holds per-class aggregates of one multi-hop run: the
@@ -84,6 +173,30 @@ type TopoSimResult struct {
 	BaseRTT []float64
 	// EventsFired counts the scheduler events of the whole run.
 	EventsFired uint64
+	// FaultDrops totals packets dropped by fault hooks (outages, bursty
+	// loss, flushes) over all links; FaultOffered additionally counts
+	// what the faulted links forwarded, still held, or tail-dropped, so
+	// FaultDrops/FaultOffered is the observed per-packet fault-loss
+	// probability on those links (whole run, warmup included).
+	FaultDrops, FaultOffered int64
+	// UnboundedHighWater is the deepest any Unbounded queue of the run
+	// got, in packets (0 when the chain has none).
+	UnboundedHighWater int
+	// Recovery, when cfg.Watch was set, holds per long TFRC flow the
+	// seconds after the outage's Up edge until the flow's send rate
+	// regained Watch.Frac of its pre-outage rate; -1 if it never did.
+	Recovery []float64
+}
+
+// queueDrops reads a queue discipline's drop counter, when it has one.
+func queueDrops(q netsim.Queue) int64 {
+	switch d := q.(type) {
+	case *netsim.DropTail:
+		return d.Drops
+	case *netsim.RED:
+		return d.Drops
+	}
+	return 0
 }
 
 // RunTopoSim executes the configured multi-hop simulation and returns
@@ -114,10 +227,30 @@ func RunTopoSim(cfg TopoSimConfig) TopoSimResult {
 			netsim.NewDropTail(cfg.Buffer))
 	}
 	env.SetDefaultRoute(route...)
+	// The mirrored reverse chain must be declared before Freeze (links
+	// cannot materialize after the sharded executor partitions). Its
+	// links get IDs Hops..2·Hops-1, last forward node back to the first.
+	var revRoute []topology.LinkID
+	if cfg.MirrorRev {
+		revRoute = make([]topology.LinkID, cfg.Hops)
+		for i := 0; i < cfg.Hops; i++ {
+			revRoute[i] = env.AddLink(nodes[cfg.Hops-i], nodes[cfg.Hops-i-1],
+				cfg.Capacity, cfg.HopDelay, netsim.NewUnbounded())
+		}
+	}
 	if cfg.RevJitter > 0 {
 		env.SetReverseJitter(cfg.RevJitter, seedRNG.Uint64())
 	}
 	env.Freeze()
+	// Arm the fault plan right after the freeze: every timed transition
+	// is scheduled at declaration time, in plan order, on the scheduler
+	// that owns its link — the same (time, arming-key, seq) order on the
+	// serial and sharded engines. A nil plan arms nothing and consumes
+	// no randomness, so fault-free runs are byte-identical to builds
+	// that predate the fault layer.
+	if err := fault.Arm(env, cfg.Faults); err != nil {
+		panic(fmt.Sprintf("experiments: invalid fault plan: %v", err))
+	}
 
 	spread := func(i, n int) float64 {
 		if cfg.RTTSpread <= 0 || n <= 1 {
@@ -130,24 +263,35 @@ func RunTopoSim(cfg TopoSimConfig) TopoSimResult {
 	tfrcCfg.Window = cfg.L
 	tfrcCfg.Comprehensive = cfg.Comprehensive
 
+	end := cfg.Warmup + cfg.Duration
 	flowID := 0
 	tfrcSenders := make([]*tfrc.Sender, 0, cfg.NTFRC)
+	watchers := make([]*rateWatch, 0, cfg.NTFRC)
 	baseRTTs := make([]float64, 0, cfg.NTFRC)
 	for i := 0; i < cfg.NTFRC; i++ {
 		c := tfrcCfg
 		c.Seed = seedRNG.Uint64()
 		k := spread(i, cfg.NTFRC)
+		if cfg.MirrorRev {
+			env.SetReverseRoute(flowID, revRoute...)
+		}
 		sndSched, sndNet, rcvSched, rcvNet := env.FlowEnv(flowID)
 		snd, _ := tfrc.NewFlowOn(sndSched, sndNet, rcvSched, rcvNet, flowID, c,
 			cfg.AccessDelay*k, cfg.RevDelay*k)
 		tfrcSenders = append(tfrcSenders, snd)
 		baseRTTs = append(baseRTTs, env.BaseRTT(flowID))
 		staggeredStart(sndSched, seedRNG, cfg.Warmup, snd.Start)
+		if cfg.Watch != nil {
+			watchers = append(watchers, newRateWatch(sndSched, snd.Rate, *cfg.Watch, end))
+		}
 		flowID++
 	}
 	tcpSenders := make([]*tcp.Sender, 0, cfg.NTCP)
 	for i := 0; i < cfg.NTCP; i++ {
 		k := spread(i, cfg.NTCP)
+		if cfg.MirrorRev {
+			env.SetReverseRoute(flowID, revRoute...)
+		}
 		sndSched, sndNet, rcvSched, rcvNet := env.FlowEnv(flowID)
 		snd, _ := tcp.NewFlowOn(sndSched, sndNet, rcvSched, rcvNet, flowID, tcp.DefaultConfig(),
 			cfg.AccessDelay*k, cfg.RevDelay*k)
@@ -172,7 +316,7 @@ func RunTopoSim(cfg TopoSimConfig) TopoSimResult {
 	resetStats(tfrcSenders)
 	resetStats(tcpSenders)
 	resetStats(crossSenders)
-	env.RunUntil(cfg.Warmup + cfg.Duration)
+	env.RunUntil(end)
 
 	var res TopoSimResult
 	res.TFRCPerFlow = tfrcStats(tfrcSenders)
@@ -182,6 +326,25 @@ func RunTopoSim(cfg TopoSimConfig) TopoSimResult {
 	res.Cross = aggregateTCP(tcpStats(crossSenders))
 	res.BaseRTT = baseRTTs
 	res.EventsFired = env.Fired()
+	for id := 0; id < env.Links(); id++ {
+		l := env.Link(topology.LinkID(id))
+		if l.Fault != nil || l.FaultDrops > 0 {
+			res.FaultDrops += l.FaultDrops
+			// Accepted, not InFlight: the propagation stage's accounting
+			// moves across the cut under sharding, so only the
+			// executor-invariant part of the pipeline may enter the ratio.
+			res.FaultOffered += l.FaultDrops + l.Accepted() + queueDrops(l.Queue())
+		}
+		if u, ok := l.Queue().(*netsim.Unbounded); ok && u.HighWater > res.UnboundedHighWater {
+			res.UnboundedHighWater = u.HighWater
+		}
+	}
+	if cfg.Watch != nil {
+		res.Recovery = make([]float64, len(watchers))
+		for i, rw := range watchers {
+			res.Recovery[i] = rw.recovery()
+		}
+	}
 	if LeakCheck {
 		if err := env.CheckLeaks(); err != nil {
 			panic(err)

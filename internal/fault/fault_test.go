@@ -1,0 +1,238 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// oneLinkHost is a minimal Host: one link on one scheduler.
+type oneLinkHost struct {
+	sched *des.Scheduler
+	link  *netsim.Link
+}
+
+func (h *oneLinkHost) Links() int                               { return 1 }
+func (h *oneLinkHost) Link(topology.LinkID) *netsim.Link        { return h.link }
+func (h *oneLinkHost) LinkSched(topology.LinkID) *des.Scheduler { return h.sched }
+
+func newOneLinkHost(rate, delay float64, queue netsim.Queue) *oneLinkHost {
+	sched := &des.Scheduler{}
+	return &oneLinkHost{sched: sched, link: netsim.NewLink(sched, rate, delay, queue)}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		want string
+	}{
+		{"link out of range", Plan{Events: []Event{{At: 1, Link: 9, Op: Down}}}, "out of range"},
+		{"negative time", Plan{Events: []Event{{At: -1, Link: 0, Op: Down}}}, "negative time"},
+		{"non-positive rate", Plan{Events: []Event{{At: 1, Link: 0, Op: SetRate, Rate: 0}}}, "must be positive"},
+		{"double down", Plan{Events: []Event{
+			{At: 1, Link: 0, Op: Down}, {At: 2, Link: 0, Op: Down}}}, "already down"},
+		{"up while up", Plan{Events: []Event{{At: 1, Link: 0, Op: Up}}}, "already up"},
+		{"loss link out of range", Plan{Losses: []GE{{Link: 3, MeanGood: 10, MeanBad: 10, LossBad: 0.5}}}, "out of range"},
+		{"duplicate loss process", Plan{Losses: []GE{
+			{Link: 0, MeanGood: 10, MeanBad: 10, LossBad: 0.5},
+			{Link: 0, MeanGood: 20, MeanBad: 10, LossBad: 0.5}}}, "already has a loss process"},
+		{"sub-packet sojourn", Plan{Losses: []GE{{Link: 0, MeanGood: 0.5, MeanBad: 10, LossBad: 0.5}}}, ">= 1 packet"},
+		{"loss probability out of range", Plan{Losses: []GE{{Link: 0, MeanGood: 10, MeanBad: 10, LossBad: 1.5}}}, "outside [0, 1]"},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate(2)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	ok := Plan{
+		Events: []Event{
+			{At: 2, Link: 0, Op: Down, Policy: Flush},
+			{At: 4, Link: 0, Op: Up},
+			{At: 5, Link: 0, Op: Down},
+			{At: 6, Link: 0, Op: Up},
+			{At: 1, Link: 1, Op: SetRate, Rate: 1e5},
+		},
+		Losses: []GE{{Link: 1, MeanGood: 100, MeanBad: 10, LossBad: 0.5}},
+	}
+	if err := ok.Validate(2); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+// The long-run loss rate of an armed Gilbert–Elliott process must
+// converge to the analytic stationary probability: the occupancy-
+// weighted drop rate (1-p_bad)·loss_good + p_bad·loss_bad.
+func TestGEStationaryLossConvergence(t *testing.T) {
+	grid := []GE{
+		{MeanGood: 100, MeanBad: 10, LossBad: 0.5},
+		{MeanGood: 50, MeanBad: 50, LossBad: 0.2},
+		{MeanGood: 500, MeanBad: 20, LossBad: 1.0},
+		{MeanGood: 200, MeanBad: 40, LossGood: 0.01, LossBad: 0.6},
+		{MeanGood: 1000, MeanBad: 5, LossBad: 0.9},
+		{MeanGood: 1, MeanBad: 1, LossBad: 0.3},
+	}
+	const n = 400000
+	for gi, g := range grid {
+		h := newOneLinkHost(1e6, 0.01, netsim.NewUnbounded())
+		h.link.Deliver = func(p *netsim.Packet) {}
+		plan := &Plan{Seed: 0xfa0 + uint64(gi), Losses: []GE{g}}
+		if err := Arm(h, plan); err != nil {
+			t.Fatalf("grid %d: %v", gi, err)
+		}
+		dropped := 0
+		var p netsim.Packet
+		for i := 0; i < n; i++ {
+			if h.link.Fault(&p) {
+				dropped++
+			}
+		}
+		got := float64(dropped) / n
+		want := g.StationaryLoss()
+		if math.Abs(got-want) > 0.10*want+0.002 {
+			t.Errorf("grid %d (%+v): observed loss %.5f, analytic %.5f", gi, g, got, want)
+		}
+	}
+}
+
+// A flapped link drops arrivals only while down, counts them in
+// FaultDrops, and the Drain policy lets queued packets complete.
+func TestFlapDrainSemantics(t *testing.T) {
+	h := newOneLinkHost(1000, 0.05, netsim.NewDropTail(32)) // 1 pkt of 1000B per second
+	delivered, released := 0, 0
+	h.link.Deliver = func(p *netsim.Packet) { delivered++ }
+	h.link.Release = func(p *netsim.Packet) { released++ }
+
+	plan := (&Plan{}).Flap(0, 10, 20, Drain)
+	if err := Arm(h, plan); err != nil {
+		t.Fatal(err)
+	}
+	// Four packets at t=0: 4 s of backlog, all drain before the outage.
+	for i := 0; i < 4; i++ {
+		h.sched.At(0, func() { h.link.Send(&netsim.Packet{Size: 1000}) })
+	}
+	// Two packets during the outage: dropped on arrival.
+	h.sched.At(12, func() { h.link.Send(&netsim.Packet{Size: 1000}) })
+	h.sched.At(15, func() { h.link.Send(&netsim.Packet{Size: 1000}) })
+	// One after restoration: delivered.
+	h.sched.At(25, func() { h.link.Send(&netsim.Packet{Size: 1000}) })
+	h.sched.RunUntil(40)
+
+	if delivered != 5 || released != 2 || h.link.FaultDrops != 2 {
+		t.Fatalf("delivered=%d released=%d faultDrops=%d, want 5/2/2",
+			delivered, released, h.link.FaultDrops)
+	}
+	if h.link.InFlight() != 0 {
+		t.Fatalf("in flight = %d after drain", h.link.InFlight())
+	}
+}
+
+// The Flush policy discards the backlog at Down time; only the packet
+// already serializing survives.
+func TestFlapFlushSemantics(t *testing.T) {
+	h := newOneLinkHost(1000, 0.05, netsim.NewDropTail(32))
+	delivered, released := 0, 0
+	h.link.Deliver = func(p *netsim.Packet) { delivered++ }
+	h.link.Release = func(p *netsim.Packet) { released++ }
+
+	plan := (&Plan{}).Flap(0, 0.5, 20, Flush)
+	if err := Arm(h, plan); err != nil {
+		t.Fatal(err)
+	}
+	// Four packets at t=0: the first serializes until t=1, the other
+	// three are queued when the link goes down at t=0.5 and are flushed.
+	for i := 0; i < 4; i++ {
+		h.sched.At(0, func() { h.link.Send(&netsim.Packet{Size: 1000}) })
+	}
+	h.sched.RunUntil(40)
+
+	if delivered != 1 || released != 3 || h.link.FaultDrops != 3 {
+		t.Fatalf("delivered=%d released=%d faultDrops=%d, want 1/3/3",
+			delivered, released, h.link.FaultDrops)
+	}
+	if h.link.InFlight() != 0 {
+		t.Fatalf("in flight = %d after drain", h.link.InFlight())
+	}
+}
+
+// SetRate stretches or shrinks serialization from the next packet on;
+// the packet in service keeps its old departure time.
+func TestSetRateRenegotiation(t *testing.T) {
+	h := newOneLinkHost(1000, 0, netsim.NewDropTail(32))
+	var arrivals []float64
+	h.link.Deliver = func(p *netsim.Packet) { arrivals = append(arrivals, h.sched.Now()) }
+
+	// Halve the rate at t=0.5, mid-service of the first packet.
+	plan := &Plan{Events: []Event{{At: 0.5, Link: 0, Op: SetRate, Rate: 500}}}
+	if err := Arm(h, plan); err != nil {
+		t.Fatal(err)
+	}
+	h.sched.At(0, func() {
+		h.link.Send(&netsim.Packet{Size: 1000})
+		h.link.Send(&netsim.Packet{Size: 1000})
+	})
+	h.sched.RunUntil(10)
+
+	// First packet: 1 s at the old rate. Second: 2 s at the new rate.
+	want := []float64{1, 3}
+	if len(arrivals) != 2 || math.Abs(arrivals[0]-want[0]) > 1e-9 || math.Abs(arrivals[1]-want[1]) > 1e-9 {
+		t.Fatalf("arrivals = %v, want %v", arrivals, want)
+	}
+}
+
+// Arm on a nil plan is a no-op; a rate-only plan installs no Fault hook
+// on the link (the hot path keeps its nil check).
+func TestArmMinimality(t *testing.T) {
+	h := newOneLinkHost(1000, 0, netsim.NewDropTail(32))
+	h.link.Deliver = func(p *netsim.Packet) {}
+	if err := Arm(h, nil); err != nil {
+		t.Fatal(err)
+	}
+	plan := &Plan{Events: []Event{{At: 1, Link: 0, Op: SetRate, Rate: 2000}}}
+	if err := Arm(h, plan); err != nil {
+		t.Fatal(err)
+	}
+	if h.link.Fault != nil {
+		t.Fatal("rate-only plan installed a Fault hook")
+	}
+	h.sched.RunUntil(2)
+	if h.link.Rate != 2000 {
+		t.Fatalf("rate = %v after renegotiation, want 2000", h.link.Rate)
+	}
+}
+
+// Per-link streams must differ: two links with the same GE parameters
+// draw different lotteries from the same plan seed.
+func TestPerLinkStreamsIndependent(t *testing.T) {
+	mk := func(link topology.LinkID) []bool {
+		h := newOneLinkHost(1e6, 0.01, netsim.NewUnbounded())
+		h.link.Deliver = func(p *netsim.Packet) {}
+		g := GE{Link: 0, MeanGood: 20, MeanBad: 5, LossBad: 0.8}
+		// Arm against link id 0 but seed the stream as the given id.
+		plan := &Plan{Seed: LinkSeed(42, link), Losses: []GE{g}}
+		if err := Arm(h, plan); err != nil {
+			t.Fatal(err)
+		}
+		var p netsim.Packet
+		out := make([]bool, 2000)
+		for i := range out {
+			out[i] = h.link.Fault(&p)
+		}
+		return out
+	}
+	a, b := mk(0), mk(1)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("two links drew identical loss lotteries from one plan seed")
+	}
+}

@@ -180,23 +180,51 @@ func (q *DropTail) Dequeue(_ float64) *Packet {
 // Len implements Queue.
 func (q *DropTail) Len() int { return q.ring.count }
 
+// DefaultUnboundedCap is the hard occupancy cap an Unbounded queue
+// enforces when Cap is left zero. A queue this deep means the drain has
+// been starved for far longer than any plausible simulation transient
+// (an outage upstream, a renegotiated rate near zero), so growing
+// further would only trade a diagnosable failure for a silent OOM.
+const DefaultUnboundedCap = 1 << 20
+
 // Unbounded is a FIFO queue that never drops: the ring grows on demand.
 // It models an ideal infinite-buffer hop — a link that imposes
 // serialization and propagation but no loss — such as the default queue
-// of a mirrored reverse path.
+// of a mirrored reverse path. "Never drops" is bounded by Cap: a queue
+// that deep is runaway growth, not buffering, and panics with a
+// diagnosis instead of eating the heap.
 type Unbounded struct {
 	ring pktRing
+	// HighWater is the maximum occupancy the queue has reached, in
+	// packets. Fault runs surface it to show how far a starved hop
+	// backed up.
+	HighWater int
+	// Cap bounds the occupancy; zero applies DefaultUnboundedCap.
+	// Exceeding the cap panics (a diagnosed run error through the
+	// runner's recover) rather than growing toward OOM.
+	Cap int
 }
 
 // NewUnbounded returns an empty unbounded FIFO queue.
 func NewUnbounded() *Unbounded { return &Unbounded{ring: newPktRing(64)} }
 
-// Enqueue implements Queue; it never rejects a packet.
+// Enqueue implements Queue; it never rejects a packet, but panics once
+// the occupancy exceeds the hard cap.
 func (q *Unbounded) Enqueue(p *Packet, _ float64) bool {
+	limit := q.Cap
+	if limit <= 0 {
+		limit = DefaultUnboundedCap
+	}
+	if q.ring.count >= limit {
+		panic(fmt.Sprintf("netsim: unbounded queue exceeded its hard cap (%d packets): the drain has been starved far beyond any transient (link outage or near-zero renegotiated rate upstream?)", limit))
+	}
 	if q.ring.count == len(q.ring.buf) {
 		q.ring.grow()
 	}
 	q.ring.push(p)
+	if q.ring.count > q.HighWater {
+		q.HighWater = q.ring.count
+	}
 	return true
 }
 
@@ -394,6 +422,15 @@ type Link struct {
 	// their memory can be recycled (the dumbbell points it at its
 	// packet freelist). Unset, dropped packets are left to the GC.
 	Release func(*Packet)
+	// Fault, when set, inspects every packet offered to the link before
+	// the queue sees it; returning true drops the packet (counted in
+	// FaultDrops, recycled through Release). The fault-injection layer
+	// (internal/fault) installs it to model link outages and bursty loss
+	// processes; nil — the default — costs one branch per Send.
+	Fault func(*Packet) bool
+	// FaultDrops counts packets dropped by the Fault hook, including
+	// queued packets discarded by FlushQueue.
+	FaultDrops int64
 	// Handoff, when set, replaces the propagation stage: at
 	// serialization end the packet is handed off instead of entering the
 	// propagation pipeline, and no delivery event is scheduled on this
@@ -443,11 +480,33 @@ func (l *Link) InFlight() int {
 	return n
 }
 
+// Accepted returns the number of packets the link has taken in so far:
+// forwarded plus currently queued or serializing. Unlike InFlight it
+// excludes the propagation stage, whose accounting moves to the
+// destination shard when the link is cut (Handoff) — so the value is
+// identical on the serial and sharded engines at any barrier-aligned
+// instant, which keeps offered-load ratios byte-stable across executor
+// modes.
+func (l *Link) Accepted() int64 {
+	n := l.Forwarded + int64(l.queue.Len())
+	if l.txPkt != nil {
+		n++
+	}
+	return n
+}
+
 // Send offers a packet to the link. Dropped packets disappear silently
 // (the queue records them; Release recycles them when set).
 func (l *Link) Send(p *Packet) {
 	if l.Deliver == nil {
 		panic("netsim: link has no Deliver sink")
+	}
+	if l.Fault != nil && l.Fault(p) {
+		l.FaultDrops++
+		if l.Release != nil {
+			l.Release(p)
+		}
+		return
 	}
 	if !l.queue.Enqueue(p, l.sched.Now()) {
 		if l.Release != nil {
@@ -458,6 +517,29 @@ func (l *Link) Send(p *Packet) {
 	if !l.busy {
 		l.transmitNext()
 	}
+}
+
+// FlushQueue discards every queued packet through the Release sink and
+// returns the count (also added to FaultDrops). The packet being
+// serialized and those already propagating are untouched — their bits
+// are on the wire and still arrive. The fault layer calls this when a
+// link goes down under the Flush policy; the freelist ledger stays
+// balanced because Release recycles each packet at the drop point,
+// exactly like a queue rejection.
+func (l *Link) FlushQueue() int {
+	n := 0
+	for {
+		p := l.queue.Dequeue(l.sched.Now())
+		if p == nil {
+			break
+		}
+		if l.Release != nil {
+			l.Release(p)
+		}
+		n++
+	}
+	l.FaultDrops += int64(n)
+	return n
 }
 
 func (l *Link) transmitNext() {

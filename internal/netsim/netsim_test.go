@@ -1,7 +1,9 @@
 package netsim
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -409,4 +411,87 @@ func TestREDGentleMode(t *testing.T) {
 	if q.Drops == 0 {
 		t.Fatal("gentle RED dropped nothing above maxth")
 	}
+}
+
+// A Fault hook must intercept packets before the queue: dropped packets
+// go through Release, are counted in FaultDrops, and never consume
+// queue space or transmission time.
+func TestLinkFaultHookDropsBeforeQueue(t *testing.T) {
+	var s des.Scheduler
+	link := NewLink(&s, 1000, 0.1, NewDropTail(10))
+	delivered, released := 0, 0
+	link.Deliver = func(p *Packet) { delivered++ }
+	link.Release = func(p *Packet) { released++ }
+	down := false
+	link.Fault = func(p *Packet) bool { return down }
+	link.Send(&Packet{Size: 500})
+	down = true
+	link.Send(&Packet{Size: 500})
+	link.Send(&Packet{Size: 500})
+	down = false
+	link.Send(&Packet{Size: 500})
+	s.Run()
+	if delivered != 2 || released != 2 || link.FaultDrops != 2 {
+		t.Fatalf("delivered=%d released=%d faultDrops=%d, want 2/2/2",
+			delivered, released, link.FaultDrops)
+	}
+	if link.InFlight() != 0 {
+		t.Fatalf("in flight = %d after drain", link.InFlight())
+	}
+}
+
+// FlushQueue must discard exactly the queued packets: the one being
+// serialized and any propagating packets still arrive, and every
+// flushed packet goes through Release so ledgers stay balanced.
+func TestLinkFlushQueue(t *testing.T) {
+	var s des.Scheduler
+	link := NewLink(&s, 1000, 0.1, NewDropTail(10))
+	delivered, released := 0, 0
+	link.Deliver = func(p *Packet) { delivered++ }
+	link.Release = func(p *Packet) { released++ }
+	for i := 0; i < 5; i++ {
+		link.Send(&Packet{Size: 500, Seq: int64(i)})
+	}
+	// One packet is serializing, four are queued.
+	if n := link.FlushQueue(); n != 4 {
+		t.Fatalf("flushed %d, want 4", n)
+	}
+	if link.FaultDrops != 4 || released != 4 {
+		t.Fatalf("faultDrops=%d released=%d, want 4/4", link.FaultDrops, released)
+	}
+	s.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want the in-service packet only", delivered)
+	}
+	if link.InFlight() != 0 {
+		t.Fatalf("in flight = %d after drain", link.InFlight())
+	}
+}
+
+// The unbounded queue tracks its high-water mark and converts runaway
+// growth into a diagnosed panic at the hard cap.
+func TestUnboundedHighWaterAndCap(t *testing.T) {
+	q := NewUnbounded()
+	q.Cap = 8
+	for i := 0; i < 8; i++ {
+		q.Enqueue(&Packet{}, 0)
+	}
+	if q.HighWater != 8 {
+		t.Fatalf("high water = %d, want 8", q.HighWater)
+	}
+	q.Dequeue(0)
+	q.Enqueue(&Packet{}, 0) // back at the cap, not over it
+	if q.HighWater != 8 {
+		t.Fatalf("high water = %d after re-fill, want 8", q.HighWater)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("enqueue past the cap did not panic")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "hard cap") {
+			t.Fatalf("panic %q does not diagnose the cap", msg)
+		}
+	}()
+	q.Enqueue(&Packet{}, 0)
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 )
 
 // SchedulerFire measures the schedule-one/fire-one cycle — the
@@ -260,6 +261,55 @@ func ShardedChainBaseline(b *testing.B) {
 // to the baseline's either way.
 func ShardedChainSteadyState(b *testing.B) {
 	runShardedChain(b, 4)
+}
+
+// FaultyChainSteadyState measures whole-simulation throughput with the
+// full fault-injection machinery live: the 8-hop fault-family chain
+// under a combined plan — a flush-policy outage of the mid-chain
+// bottleneck, a Gilbert–Elliott bursty loss process on the first hop,
+// and a mid-run capacity renegotiation further down — so the per-packet
+// Fault hook, the GE lottery and the Down/Up/SetRate event path are all
+// on the measured path. Against DeepChainSteadyState it bounds the
+// overhead the fault subsystem adds to a faulted run; links without a
+// plan entry keep a nil hook and pay nothing.
+func FaultyChainSteadyState(b *testing.B) {
+	cfg := experiments.TopoSimConfig{
+		Hops:          8,
+		Capacity:      2.5e6,
+		Buffer:        64,
+		HopDelay:      0.01,
+		AccessDelay:   0.005,
+		RevDelay:      0.025,
+		NTFRC:         8,
+		NTCP:          8,
+		CrossPerHop:   1,
+		CrossRevDelay: 0.02,
+		L:             8,
+		Comprehensive: true,
+		Duration:      8,
+		Warmup:        2,
+		Seed:          17,
+		RevJitter:     0.2,
+	}
+	// Plans are pure data (Arm binds a fresh copy of the mutable state
+	// each run), so one plan serves every iteration.
+	cfg.Faults = (&fault.Plan{Seed: cfg.Seed}).
+		Flap(4, cfg.Warmup+2, cfg.Warmup+3, fault.Flush).
+		Burst(0, 400, 25, 0.6).
+		Squeeze(6, cfg.Warmup+1, cfg.Warmup+4, 0.5*cfg.Capacity, cfg.Capacity)
+	var events uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTopoSim(cfg)
+		events = res.EventsFired
+	}
+	b.StopTimer()
+	if events > 0 {
+		secPerOp := b.Elapsed().Seconds() / float64(b.N)
+		b.ReportMetric(float64(events)/secPerOp, "events/sec")
+		b.ReportMetric(float64(events), "events/run")
+	}
 }
 
 // ReversePathSteadyState measures whole-simulation throughput with a

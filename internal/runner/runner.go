@@ -10,7 +10,10 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
+	"time"
 )
 
 // Job is one independent unit of work.
@@ -68,6 +71,38 @@ func (s Serial) Execute(ctx context.Context, jobs []Job) ([]any, error) {
 	return results, nil
 }
 
+// JobError identifies one failed job of a batch: enough to rerun it in
+// isolation (the index and the deterministic seed) plus the cause.
+type JobError struct {
+	// Index is the job's position in the batch.
+	Index int
+	// Name is the job's label.
+	Name string
+	// Seed is the job's deterministic seed.
+	Seed uint64
+	// Err is what failed: a watchdog deadline or a recovered panic.
+	Err error
+}
+
+func (e JobError) Error() string {
+	return fmt.Sprintf("job %d (%s, seed %d): %v", e.Index, e.Name, e.Seed, e.Err)
+}
+
+// Manifest is the error a hardened Pool returns when some jobs of a
+// batch failed: the survivors' results are still delivered, the
+// failures are listed here in index order. Callers that can fold
+// partial results check for it with errors.As.
+type Manifest struct {
+	// Total is the batch size.
+	Total int
+	// Failed lists the failed jobs in index order.
+	Failed []JobError
+}
+
+func (m *Manifest) Error() string {
+	return fmt.Sprintf("runner: %d of %d jobs failed; first: %v", len(m.Failed), m.Total, m.Failed[0])
+}
+
 // Pool runs jobs concurrently on a fixed set of workers. Results are
 // collected by job index, so the output order matches the input order.
 type Pool struct {
@@ -77,14 +112,28 @@ type Pool struct {
 	// pool serializes the calls, but they may come from any worker and
 	// in any completion order.
 	OnProgress func(Progress)
+	// JobDeadline, when positive, hardens the pool with a per-job
+	// watchdog: a job exceeding the deadline has its context cancelled
+	// and is abandoned, recorded with its index and seed so the run is
+	// reproducible in isolation, and the remaining jobs keep running. In
+	// this mode a failing job (deadline or panic) no longer nukes the
+	// sweep — Execute returns the surviving results (failed slots nil)
+	// together with a *Manifest error. Zero keeps the legacy fail-fast
+	// behavior. A job that ignores its cancelled context leaks its
+	// goroutine until it returns; that is the price of guaranteed
+	// progress past a hung job.
+	JobDeadline time.Duration
 }
 
 // NewPool returns a pool with the given worker count (<= 0 = NumCPU).
 func NewPool(workers int) *Pool { return &Pool{Workers: workers} }
 
-// Execute implements Executor. The first job error (or context
-// cancellation) stops the dispatch of further jobs; in-flight jobs run
-// to completion before Execute returns.
+// Execute implements Executor. Without a JobDeadline, the first job
+// error (or context cancellation) stops the dispatch of further jobs;
+// in-flight jobs run to completion before Execute returns. With a
+// JobDeadline the pool is hardened: job failures are collected into a
+// *Manifest, dispatch continues, and the partial results come back with
+// the manifest as the error. Context cancellation aborts either mode.
 func (p *Pool) Execute(ctx context.Context, jobs []Job) ([]any, error) {
 	workers := p.Workers
 	if workers <= 0 {
@@ -97,6 +146,7 @@ func (p *Pool) Execute(ctx context.Context, jobs []Job) ([]any, error) {
 		return nil, ctx.Err()
 	}
 
+	outer := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -107,6 +157,7 @@ func (p *Pool) Execute(ctx context.Context, jobs []Job) ([]any, error) {
 		mu       sync.Mutex
 		done     int
 		firstErr error
+		failed   []JobError
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -121,10 +172,25 @@ func (p *Pool) Execute(ctx context.Context, jobs []Job) ([]any, error) {
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				v, err := runOne(ctx, i, jobs[i])
+				var v any
+				var err error
+				if p.JobDeadline > 0 {
+					v, err = p.runDeadlined(ctx, i, jobs[i])
+				} else {
+					v, err = runOne(ctx, i, jobs[i])
+				}
 				if err != nil {
-					fail(err)
-					return
+					// Cancellation (the caller's or a fail-fast peer's)
+					// always aborts; in hardened mode every other
+					// failure is recorded and the worker moves on.
+					if p.JobDeadline <= 0 || ctx.Err() != nil {
+						fail(err)
+						return
+					}
+					mu.Lock()
+					failed = append(failed, JobError{Index: i, Name: jobs[i].Name, Seed: jobs[i].Seed, Err: err})
+					mu.Unlock()
+					continue
 				}
 				results[i] = v
 				mu.Lock()
@@ -149,18 +215,63 @@ dispatch:
 	close(indices)
 	wg.Wait()
 	if firstErr != nil {
+		// Prefer the caller's own cancellation cause when there is one.
+		if err := outer.Err(); err != nil {
+			return nil, err
+		}
 		return nil, firstErr
+	}
+	if len(failed) > 0 {
+		sort.Slice(failed, func(a, b int) bool { return failed[a].Index < failed[b].Index })
+		return results, &Manifest{Total: len(jobs), Failed: failed}
 	}
 	return results, nil
 }
 
+// runDeadlined is runOne behind a watchdog: the job runs on its own
+// goroutine with a deadline-bearing context, and a job that overstays
+// is abandoned (reported with index and seed; its goroutine exits
+// whenever the job honors the cancelled context or returns).
+func (p *Pool) runDeadlined(ctx context.Context, i int, j Job) (any, error) {
+	jctx, cancel := context.WithTimeout(ctx, p.JobDeadline)
+	defer cancel()
+	type outcome struct {
+		v   any
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		v, err := runOne(jctx, i, j)
+		done <- outcome{v, err}
+	}()
+	select {
+	case o := <-done:
+		return o.v, o.err
+	case <-jctx.Done():
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("runner: job %d (%s, seed %d) exceeded the %v watchdog deadline and was abandoned; rerun that seed in isolation to reproduce", i, j.Name, j.Seed, p.JobDeadline)
+	}
+}
+
+// maxPanicStack bounds the stack excerpt embedded in a panic error:
+// enough frames to locate the fault, not enough to drown the report.
+const maxPanicStack = 4096
+
 // runOne executes one job, converting a panic into an error so a bad
 // job cannot kill a worker goroutine (and with it the process) without
-// a diagnosable cause.
+// a diagnosable cause. The error carries the job index, its
+// deterministic seed and a truncated stack, so the exact run is
+// reproducible in isolation (rerun the scenario filtered to that seed).
 func runOne(ctx context.Context, index int, j Job) (v any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("runner: job %d (%s) panicked: %v", index, j.Name, r)
+			stack := debug.Stack()
+			if len(stack) > maxPanicStack {
+				stack = append(stack[:maxPanicStack], []byte("\n... (stack truncated)")...)
+			}
+			err = fmt.Errorf("runner: job %d (%s, seed %d) panicked: %v\n%s", index, j.Name, j.Seed, r, stack)
 		}
 	}()
 	if err := ctx.Err(); err != nil {

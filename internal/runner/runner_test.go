@@ -132,3 +132,139 @@ func TestPanicBecomesError(t *testing.T) {
 		}
 	}
 }
+
+// A panic error must identify the job by index and seed and carry a
+// stack excerpt pointing at the faulting frame.
+func TestPanicErrorCarriesSeedAndStack(t *testing.T) {
+	t.Parallel()
+	jobs := []Job{{Name: "boom", Seed: 7777, Run: func(context.Context) any {
+		panicDeliberately()
+		return nil
+	}}}
+	_, err := Serial{}.Execute(context.Background(), jobs)
+	if err == nil {
+		t.Fatal("panicking job returned no error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"job 0", "seed 7777", "deliberate kaput", "panicDeliberately"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("panic error missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+func panicDeliberately() { panic("deliberate kaput") }
+
+// A job overstaying the watchdog deadline is reported with index and
+// seed in a manifest; the other jobs still complete and deliver their
+// results.
+func TestWatchdogDeadlinePartialResults(t *testing.T) {
+	t.Parallel()
+	release := make(chan struct{})
+	defer close(release)
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Name: "fast", Seed: uint64(100 + i), Run: func(context.Context) any { return i }}
+	}
+	jobs[2] = Job{Name: "hung", Seed: 4242, Run: func(ctx context.Context) any {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil
+	}}
+	p := &Pool{Workers: 2, JobDeadline: 50 * time.Millisecond}
+	results, err := p.Execute(context.Background(), jobs)
+	var m *Manifest
+	if !errors.As(err, &m) {
+		t.Fatalf("err = %v, want a *Manifest", err)
+	}
+	if len(m.Failed) != 1 || m.Total != 6 {
+		t.Fatalf("manifest = %+v, want 1 failure of 6", m)
+	}
+	f := m.Failed[0]
+	if f.Index != 2 || f.Seed != 4242 || !strings.Contains(f.Err.Error(), "watchdog deadline") {
+		t.Fatalf("failure = %+v, want index 2, seed 4242, a deadline error", f)
+	}
+	if !strings.Contains(err.Error(), "seed 4242") {
+		t.Fatalf("manifest error %q does not name the seed", err)
+	}
+	for i, v := range results {
+		if i == 2 {
+			if v != nil {
+				t.Fatalf("hung job result = %v, want nil", v)
+			}
+			continue
+		}
+		if v != i {
+			t.Fatalf("results[%d] = %v, want %d", i, v, i)
+		}
+	}
+}
+
+// In hardened mode a panicking job lands in the manifest too, instead
+// of killing the sweep.
+func TestWatchdogPanicLandsInManifest(t *testing.T) {
+	t.Parallel()
+	jobs := []Job{
+		{Name: "fine", Seed: 1, Run: func(context.Context) any { return "ok" }},
+		{Name: "boom", Seed: 2, Run: func(context.Context) any { panic("kaput") }},
+		{Name: "fine2", Seed: 3, Run: func(context.Context) any { return "ok2" }},
+	}
+	p := &Pool{Workers: 2, JobDeadline: 10 * time.Second}
+	results, err := p.Execute(context.Background(), jobs)
+	var m *Manifest
+	if !errors.As(err, &m) {
+		t.Fatalf("err = %v, want a *Manifest", err)
+	}
+	if len(m.Failed) != 1 || m.Failed[0].Index != 1 || !strings.Contains(m.Failed[0].Err.Error(), "kaput") {
+		t.Fatalf("manifest = %+v", m)
+	}
+	if results[0] != "ok" || results[2] != "ok2" {
+		t.Fatalf("surviving results = %v", results)
+	}
+}
+
+// A generous deadline over fast jobs must not fire: no manifest, full
+// results.
+func TestWatchdogQuietOnFastJobs(t *testing.T) {
+	t.Parallel()
+	p := &Pool{Workers: 4, JobDeadline: 10 * time.Second}
+	results, err := p.Execute(context.Background(), intJobs(16))
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	for i, v := range results {
+		if v.(int) != i*i {
+			t.Fatalf("results[%d] = %v", i, v)
+		}
+	}
+}
+
+// Caller cancellation aborts a hardened pool just like a fail-fast one:
+// no manifest, the context error.
+func TestWatchdogCancellation(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int64
+	jobs := make([]Job, 50)
+	for i := range jobs {
+		jobs[i] = Job{Name: "slow", Run: func(ctx context.Context) any {
+			if started.Add(1) == 1 {
+				cancel()
+			}
+			select {
+			case <-time.After(time.Millisecond):
+			case <-ctx.Done():
+			}
+			return nil
+		}}
+	}
+	p := &Pool{Workers: 2, JobDeadline: 10 * time.Second}
+	_, err := p.Execute(ctx, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

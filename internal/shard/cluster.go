@@ -2,7 +2,9 @@ package shard
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/des"
 	"repro/internal/netsim"
 	"repro/internal/rng"
 	"repro/internal/topology"
@@ -55,6 +57,24 @@ type Cluster struct {
 	// barrier path runs under -race regardless of the host.
 	ForceParallel bool
 
+	// StallBudget bounds the wall-clock time any shard may spend waiting
+	// at a window barrier under the parallel driver before the stall
+	// detector aborts the run with per-shard diagnostics. Zero applies
+	// DefaultStallBudget; negative disables detection. The sequential
+	// window loop needs no watchdog — a single goroutine cannot wait on
+	// itself.
+	StallBudget time.Duration
+
+	// stallHook, when set (tests only), runs at the top of every window
+	// on the parallel driver, before the shard executes it. Injecting a
+	// sleep here simulates a stalled or slow shard.
+	stallHook func(shard, window int)
+
+	// poisoned marks a cluster whose parallel run aborted on a tripped
+	// barrier: an abandoned driver goroutine may still reference the
+	// shards, so the cluster must never be reused (or pooled).
+	poisoned bool
+
 	frPool []*flowRec
 }
 
@@ -100,12 +120,22 @@ func (c *Cluster) Reset() {
 	c.horizon = 0
 	c.sealed = false
 	c.ForceParallel = false
+	c.StallBudget = 0
+	c.stallHook = nil
+	if c.poisoned {
+		panic("shard: Reset on a poisoned cluster (its barrier tripped; an abandoned driver may still hold it)")
+	}
 	for _, s := range c.shards {
 		s.sched.Reset()
 		s.issued, s.returned = 0, 0
 		s.pendingDeliveries, s.pendingInjections = 0, 0
 		s.links = s.links[:0]
 		s.wbuf = 0
+		s.progWindow.Store(0)
+		s.progClock.Store(0)
+		s.progPend.Store(0)
+		s.progLedger.Store(0)
+		s.progInject.Store(0)
 		for parity := range s.out {
 			for d := range s.out[parity] {
 				s.out[parity][d] = s.out[parity][d][:0]
@@ -145,6 +175,20 @@ func (c *Cluster) AddLink(from, to topology.NodeID, rate, delay float64, queue n
 // Link returns the materialized link behind an id (valid after
 // Partition).
 func (c *Cluster) Link(id topology.LinkID) *netsim.Link { return c.links[id] }
+
+// Links returns the number of declared links.
+func (c *Cluster) Links() int { return len(c.specs) }
+
+// LinkSched returns the scheduler of the shard that owns the link — the
+// shard of its source node, where every Send on the link executes.
+// Fault plans (internal/fault) arm their timed events here, so a fault
+// manipulates its link from the same scheduler that serializes the
+// link's packets, on the serial and sharded engines alike. Valid after
+// Partition.
+func (c *Cluster) LinkSched(id topology.LinkID) *des.Scheduler {
+	c.mustPartitioned()
+	return &c.shards[c.linkShard[id]].sched
+}
 
 // checkRoute validates that hops form a contiguous directed path.
 func (c *Cluster) checkRoute(hops []topology.LinkID) {
@@ -453,6 +497,11 @@ func (c *Cluster) InNetwork() int {
 
 // Shard returns shard i (for per-shard assertions in tests).
 func (c *Cluster) Shard(i int) *Shard { return c.shards[i] }
+
+// Poisoned reports whether a parallel run aborted on a tripped barrier.
+// A poisoned cluster must be discarded: an abandoned driver goroutine
+// may still be stuck inside one of its shards.
+func (c *Cluster) Poisoned() bool { return c.poisoned }
 
 // CheckLeaks verifies the cross-shard freelist protocol at a barrier-
 // aligned instant (any time between Run calls): every bundle drained,

@@ -1,11 +1,23 @@
 package shard
 
 import (
+	"fmt"
 	"math"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// DefaultStallBudget is the wall-clock time a shard may spend waiting
+// at a window barrier before the stall detector declares the run hung
+// and aborts with per-shard diagnostics (Cluster.StallBudget overrides
+// it; negative disables detection). One window of one shard is at most
+// a few milliseconds of event work on any graph this repo runs, so half
+// a minute of waiting means a peer is not coming back — a deadlocked or
+// runaway shard — and hanging silently would bury the evidence.
+const DefaultStallBudget = 30 * time.Second
 
 // Run advances the whole cluster to the given simulated time, exactly
 // like des.Scheduler.RunUntil on a serial engine: every event with
@@ -87,10 +99,16 @@ func (c *Cluster) runSequential(until float64) {
 // down; the last arrival flips the generation, releasing the waiters.
 // Waiters yield the processor while spinning so the barrier stays
 // livelock-free even when goroutines outnumber CPUs.
+//
+// A waiter that spins past the stall budget trips the stalled flag;
+// from then on every wait returns false immediately (the barrier is
+// dead, the run is aborting) and the arrival accounting is abandoned —
+// acceptable, since no further window may execute on a tripped barrier.
 type barrier struct {
 	n       int32
 	waiting atomic.Int32
 	gen     atomic.Uint32
+	stalled atomic.Bool
 }
 
 func newBarrier(n int) *barrier {
@@ -99,16 +117,40 @@ func newBarrier(n int) *barrier {
 	return b
 }
 
-func (b *barrier) wait() {
+// wait blocks until all n parties arrive, yielding while it spins. With
+// a positive budget it measures its own wall-clock wait and trips the
+// stalled flag when the budget runs out. It returns false when the
+// barrier is tripped — the caller must abandon the run, not drain.
+func (b *barrier) wait(budget time.Duration) bool {
+	if b.stalled.Load() {
+		return false
+	}
 	gen := b.gen.Load()
 	if b.waiting.Add(-1) == 0 {
 		b.waiting.Store(b.n)
 		b.gen.Add(1) // release: publishes every pre-barrier write
-		return
+		return true
 	}
-	for b.gen.Load() == gen {
+	var deadline time.Time
+	for i := 0; b.gen.Load() == gen; i++ {
+		if b.stalled.Load() {
+			return false
+		}
+		if budget > 0 && i&255 == 255 {
+			// Check the wall clock every few hundred yields: cheap
+			// enough to keep the fast path syscall-free, frequent
+			// enough to catch a stall within microseconds of budget.
+			now := time.Now()
+			if deadline.IsZero() {
+				deadline = now.Add(budget)
+			} else if now.After(deadline) {
+				b.stalled.Store(true)
+				return false
+			}
+		}
 		runtime.Gosched()
 	}
+	return true
 }
 
 // runParallel drives one goroutine per shard. All goroutines compute
@@ -118,7 +160,21 @@ func (b *barrier) wait() {
 // shard drains the parity-w%2 bundles addressed to it — the (src, dst)
 // bundle slots are disjoint per drainer, and the next barrier closes
 // the window before parity w%2 is written again.
+//
+// The barrier is watched: each shard publishes its barrier-aligned
+// progress (window, clock, pending events, ledgers) before waiting, and
+// a wait that exceeds the stall budget trips the barrier. Every
+// reachable driver then abandons the run, the cluster is poisoned
+// (never returned to an arena pool — a stuck driver may still hold it)
+// and runParallel panics with per-shard diagnostics instead of hanging;
+// the panic surfaces as a diagnosable job error through the runner's
+// recover. The stuck driver itself stays wherever it is stuck — its
+// goroutine is abandoned, the alternative being a silent deadlock.
 func (c *Cluster) runParallel(until float64) {
+	budget := c.StallBudget
+	if budget == 0 {
+		budget = DefaultStallBudget
+	}
 	var wg sync.WaitGroup
 	bar := newBarrier(c.k)
 	for _, s := range c.shards {
@@ -127,24 +183,81 @@ func (c *Cluster) runParallel(until float64) {
 			defer wg.Done()
 			b := s.sched.Now()
 			parity := 0
+			window := 0
 			for {
 				next := b + c.horizon
 				last := next >= until
 				s.wbuf = parity
+				if hook := c.stallHook; hook != nil {
+					hook(s.id, window)
+				}
 				if last {
 					s.sched.RunUntil(until)
 				} else {
 					s.sched.RunBefore(next)
 				}
-				bar.wait()
+				s.publishProgress(window)
+				if !bar.wait(budget) {
+					return
+				}
 				c.drain(s, parity)
 				if last {
 					return
 				}
 				b = next
 				parity ^= 1
+				window++
 			}
 		}(s)
 	}
-	wg.Wait()
+	if budget <= 0 {
+		wg.Wait()
+		return
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			if bar.stalled.Load() {
+				c.poisoned = true
+				panic(c.stallReport(budget, until))
+			}
+			return
+		case <-tick.C:
+			if bar.stalled.Load() {
+				c.poisoned = true
+				panic(c.stallReport(budget, until))
+			}
+		}
+	}
+}
+
+// stallReport renders the per-shard diagnostics of a tripped barrier
+// from the barrier-published progress atomics: which shards arrived at
+// which window, their clocks, pending event counts and ledgers — enough
+// to see who stopped making progress and what it was holding.
+func (c *Cluster) stallReport(budget time.Duration, until float64) string {
+	var max int64
+	for _, s := range c.shards {
+		if w := s.progWindow.Load(); w > max {
+			max = w
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "shard: barrier stall: a shard made no progress within %v (horizon %v, target t=%v); aborting with per-shard diagnostics:",
+		budget, c.horizon, until)
+	for _, s := range c.shards {
+		w := s.progWindow.Load()
+		state := "arrived"
+		if w < max {
+			state = "STALLED"
+		}
+		fmt.Fprintf(&sb, "\n  shard %d: window %d clock=%.6f pending-events=%d freelist-ledger=%d handoff-injections=%d (%s)",
+			s.id, w, math.Float64frombits(s.progClock.Load()),
+			s.progPend.Load(), s.progLedger.Load(), s.progInject.Load(), state)
+	}
+	return sb.String()
 }

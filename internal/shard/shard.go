@@ -46,6 +46,8 @@ package shard
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 
 	"repro/internal/des"
 	"repro/internal/netsim"
@@ -171,6 +173,27 @@ type Shard struct {
 	// wbuf is the parity the shard is currently emitting into. It is
 	// only touched by the goroutine driving this shard.
 	wbuf int
+
+	// Barrier-published progress for the stall detector: the driving
+	// goroutine stores these just before each barrier arrival, and only
+	// the detector reads them (from whatever goroutine dumps the
+	// diagnostics). Plain per-field atomics — no consistent snapshot
+	// needed, every field is individually a barrier-aligned value.
+	progWindow atomic.Int64  // windows completed (1-based; 0 = never arrived)
+	progClock  atomic.Uint64 // math.Float64bits of the shard clock
+	progPend   atomic.Int64  // pending events on the shard's scheduler
+	progLedger atomic.Int64  // freelist ledger: issued - returned
+	progInject atomic.Int64  // handoff ledger: undelivered cross-shard injections
+}
+
+// publishProgress records the shard's barrier-aligned state for the
+// stall detector. Called by the driving goroutine only.
+func (s *Shard) publishProgress(window int) {
+	s.progWindow.Store(int64(window) + 1)
+	s.progClock.Store(math.Float64bits(s.sched.Now()))
+	s.progPend.Store(int64(s.sched.Pending()))
+	s.progLedger.Store(s.Outstanding())
+	s.progInject.Store(int64(s.pendingInjections))
 }
 
 var _ netsim.Network = (*Shard)(nil)

@@ -159,6 +159,10 @@ type Stats struct {
 	// window: each one halved the send rate because a full no-feedback
 	// interval passed without a report (RFC 3448 §4.4).
 	NoFeedbackHalvings int64
+	// MinRate is the lowest allowed send rate (bytes/second) the control
+	// loop reached in the window — the depth of the backoff under an
+	// outage or feedback starvation, invisible in window-mean throughput.
+	MinRate float64
 }
 
 // Sender is the TFRC data source.
@@ -188,6 +192,7 @@ type Sender struct {
 
 	measStart float64
 	pktsSent  int64
+	minRate   float64
 	rttAcc    stats.Welford
 
 	fbSeen     int64
@@ -279,6 +284,7 @@ func (s *Sender) Start() {
 	}
 	s.started = true
 	s.measStart = s.sched.Now()
+	s.minRate = s.rate
 	s.sendNext()
 	s.armNoFeedback()
 }
@@ -293,6 +299,7 @@ func (s *Sender) SRTT() float64 { return s.rtt.Value() }
 func (s *Sender) ResetStats() {
 	s.measStart = s.sched.Now()
 	s.pktsSent = 0
+	s.minRate = s.rate
 	s.rttAcc = stats.Welford{}
 	s.fbBase = s.fbSeen
 	s.nfBase = s.nfHalvings
@@ -312,6 +319,7 @@ func (s *Sender) Stats() Stats {
 		PEstimate:          r.LossEventRateEstimate(),
 		FeedbackReceived:   s.fbSeen - s.fbBase,
 		NoFeedbackHalvings: s.nfHalvings - s.nfBase,
+		MinRate:            s.minRate,
 	}
 	st.LossIntervals = append(st.LossIntervals, r.events.Intervals[r.intervals0:]...)
 	if s.pktsSent > 0 {
@@ -356,6 +364,7 @@ func (s *Sender) Receive(p *netsim.Packet) {
 	}
 	s.lastRecvRt = p.RecvRate
 	s.updateRate(p.LossRate, p.RecvRate)
+	s.noteMinRate()
 	s.armNoFeedback()
 }
 
@@ -413,7 +422,15 @@ func (s *Sender) armNoFeedback() {
 func (s *Sender) onNoFeedback() {
 	s.nfHalvings++
 	s.rate = math.Max(s.rate/2, float64(s.cfg.SegSize)/8)
+	s.noteMinRate()
 	s.armNoFeedback()
+}
+
+// noteMinRate records the window's rate floor after any rate change.
+func (s *Sender) noteMinRate() {
+	if s.rate < s.minRate {
+		s.minRate = s.rate
+	}
 }
 
 // LossEventRateEstimate returns the receiver's current p estimate: the

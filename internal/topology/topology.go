@@ -234,6 +234,13 @@ func (n *Network) Link(id LinkID) *netsim.Link { return n.links[id] }
 // Links returns the number of links.
 func (n *Network) Links() int { return len(n.links) }
 
+// LinkSched returns the scheduler that drives the link's events — the
+// network's single scheduler on this serial engine. The sharded engine
+// answers with the owning shard's scheduler instead; fault plans
+// (internal/fault) arm their timed events through this seam so each
+// event fires on the scheduler that owns the link it manipulates.
+func (n *Network) LinkSched(LinkID) *des.Scheduler { return n.Sched }
+
 // checkRoute validates that hops form a contiguous directed path.
 func (n *Network) checkRoute(hops []LinkID) {
 	if len(hops) == 0 {
