@@ -7,6 +7,7 @@
 // Usage:
 //
 //	ebrc [-quick] [-parallel] [-shards K] [-events N] [-simfactor F] [-deadline D] [-seed N] <scenario> [...]
+//	ebrc [-metrics] [-epochs N] [-trace FILE [-tracecap N]] [-expvar ADDR] <scenario> [...]
 //	ebrc -list
 //	ebrc -run fig5,fig7
 //	ebrc all
@@ -34,6 +35,23 @@
 // deterministic seed (the number a watchdog or panic report names), so
 // a failure reproduces in isolation.
 //
+// The observability flags ride on internal/obs and are zero-cost when
+// absent. -metrics appends a "# metrics <scenario>" TSV block after
+// each scenario's tables — engine, per-link and per-protocol-class
+// aggregates that are executor-invariant, so the whole stdout stream
+// stays byte-identical across serial, -parallel and -shards K. -epochs
+// N steps each run's measured window through N boundaries and appends a
+// "# epochs <scenario>" block of per-epoch deltas (same byte-identity
+// contract; sampling schedules no events and draws no randomness).
+// -trace FILE records rare sim events (loss events, no-feedback
+// expiries, TCP timeouts, fault transitions, shard handoffs) in bounded
+// per-domain rings (-tracecap each) and writes them as Chrome
+// trace_event JSON, one viewer process per job, one thread per shard.
+// -expvar ADDR serves live wall-clock introspection — worker-pool job
+// progress plus per-shard clock/window/barrier-wait snapshots — on the
+// standard /debug/vars endpoint; that surface is deliberately kept out
+// of the deterministic output.
+//
 // -bench runs the DES/packet hot-path microbenchmarks and records
 // ns/op, allocs/op and events/sec in BENCH_<n>.json, so the simulator's
 // performance trajectory is tracked across PRs; -benchrun restricts it
@@ -60,6 +78,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -112,6 +131,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	progress := fs.Bool("progress", false, "report per-job progress on stderr")
 	deadline := fs.Duration("deadline", 0, "per-job watchdog deadline (hardened mode: partial results + failure manifest; 0 = off)")
 	seedOnly := fs.Uint64("seed", 0, "run only the jobs with this deterministic seed (0 = all)")
+	metrics := fs.Bool("metrics", false, "append each scenario's deterministic metrics table (byte-identical across executors)")
+	epochs := fs.Int("epochs", 0, "split each run's measured window into N epochs and append per-epoch telemetry")
+	traceFile := fs.String("trace", "", "record sim events and write them as Chrome trace_event JSON to this file")
+	traceCap := fs.Int("tracecap", 4096, "per-domain event-ring capacity for -trace (older events overwritten beyond it)")
+	expvarAddr := fs.String("expvar", "", "serve live run introspection (expvar /debug/vars) on this address, e.g. 127.0.0.1:8125")
 	bench := fs.Bool("bench", false, "run the hot-path microbenchmarks and write BENCH_<n>.json")
 	benchID := fs.Int("benchid", 0, "PR id for the -bench file name (0 = scratch BENCH_local.json)")
 	benchOut := fs.String("benchout", "", "explicit output path for -bench (default BENCH_<benchid>.json)")
@@ -160,6 +184,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "ebrc: %v\n", err)
 			}
 		}()
+	}
+
+	// Observability is configured before the bench dispatch on purpose:
+	// `ebrc -bench -metrics` runs the same suite bodies with the capture
+	// enabled, which is how CI bounds the enabled-mode overhead.
+	experiments.Observe = experiments.ObserveOptions{
+		Metrics: *metrics,
+		Epochs:  *epochs,
+		Live:    *expvarAddr != "",
+	}
+	if *traceFile != "" {
+		experiments.Observe.TraceCap = *traceCap
+	}
+	if *expvarAddr != "" {
+		addr, err := obs.ServeLive(*expvarAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "ebrc: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "ebrc: live introspection at http://%s/debug/vars\n", addr)
 	}
 
 	if *bench {
@@ -242,19 +286,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *progress:
 		ex = runner.Serial{OnProgress: onProgress}
 	}
+	if *expvarAddr != "" {
+		if p, ok := ex.(*runner.Pool); ok {
+			obs.PublishLive("pool", func() any { return p.Snapshot() })
+		}
+	}
 	if *seedOnly != 0 {
 		ex = seedFilterExec{inner: ex, seed: *seedOnly}
 	}
 
 	ctx := context.Background()
 	exit := 0
+	var traces []obs.JobTrace
+	var dropped int64
 	for _, name := range names {
 		s, ok := experiments.Lookup(name)
 		if !ok {
 			fmt.Fprintf(stderr, "ebrc: unknown scenario %q (try: ebrc -list)\n", name)
 			return 2
 		}
-		tables, err := s.Run(ctx, sz, ex)
+		tables, so, err := s.RunObserved(ctx, sz, ex)
 		if err != nil {
 			// Hardened mode folds the survivors even when jobs failed:
 			// print what completed, report the manifest, keep going so a
@@ -272,6 +323,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintln(stdout)
 		}
+		if so == nil {
+			continue
+		}
+		// The capture blocks join the tables on stdout — they hold only
+		// executor-invariant quantities, so the whole stream stays
+		// byte-identical across serial, -parallel and -shards K.
+		if so.Metrics != nil && so.Metrics.Len() > 0 {
+			fmt.Fprintf(stdout, "# metrics %s\n", name)
+			if err := so.Metrics.WriteTSV(stdout); err != nil {
+				fmt.Fprintf(stderr, "ebrc: %v\n", err)
+				return 1
+			}
+			fmt.Fprintln(stdout)
+		}
+		if so.Epochs != nil {
+			fmt.Fprintf(stdout, "# epochs %s\n", name)
+			if err := so.Epochs.WriteTSV(stdout); err != nil {
+				fmt.Fprintf(stderr, "ebrc: %v\n", err)
+				return 1
+			}
+			fmt.Fprintln(stdout)
+		}
+		for _, jt := range so.Jobs {
+			jt.Name = name + "/" + jt.Name
+			jt.Pid = len(traces)
+			traces = append(traces, jt)
+		}
+		dropped += so.Dropped
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "ebrc: %v\n", err)
+			return 1
+		}
+		werr := obs.WriteChromeTrace(f, traces)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "ebrc: %v\n", werr)
+			return 1
+		}
+		n := 0
+		for _, jt := range traces {
+			n += len(jt.Events)
+		}
+		fmt.Fprintf(stderr, "ebrc: wrote %d trace events to %s (%d overwritten by the ring bound)\n",
+			n, *traceFile, dropped)
 	}
 	return exit
 }

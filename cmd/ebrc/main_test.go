@@ -207,3 +207,58 @@ func TestRunErrors(t *testing.T) {
 		t.Fatalf("no args: exit %d", code)
 	}
 }
+
+// The observability flags: -metrics and -epochs append their blocks
+// after the tables and the whole stream — tables plus capture — stays
+// byte-identical between the serial engine and a sharded run; -trace
+// writes a parseable Chrome trace_event JSON array. A plain run stays
+// capture-free.
+func TestObservabilityFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("observability smoke run skipped in -short mode")
+	}
+	traceOut := filepath.Join(t.TempDir(), "events.json")
+	args := []string{"-quick", "-events", "2000", "-simfactor", "0.04",
+		"-metrics", "-epochs", "3", "-trace", traceOut, "-run", "parkinglot"}
+	var serial, sharded, errb bytes.Buffer
+	if code := run(args, &serial, &errb); code != 0 {
+		t.Fatalf("serial exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"# metrics parkinglot", "# epochs parkinglot",
+		"des.events_fired", "net.forwarded", "tfrc.loss_events"} {
+		if !strings.Contains(serial.String(), want) {
+			t.Fatalf("capture block missing %q:\n%s", want, serial.String())
+		}
+	}
+	if code := run(append([]string{"-shards", "3"}, args...), &sharded, &errb); code != 0 {
+		t.Fatalf("sharded exit %d, stderr: %s", code, errb.String())
+	}
+	if sharded.String() != serial.String() {
+		t.Fatal("-shards 3 observed output differs from serial")
+	}
+
+	data, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace file is not a JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace file holds no events")
+	}
+	if name, _ := events[0]["name"].(string); name != "process_name" {
+		t.Fatalf("trace should open with process metadata, got %v", events[0])
+	}
+
+	// Without the flags the stream carries no capture blocks.
+	var plain bytes.Buffer
+	if code := run([]string{"-quick", "-events", "2000", "-simfactor", "0.04",
+		"-run", "parkinglot"}, &plain, &errb); code != 0 {
+		t.Fatalf("plain exit %d, stderr: %s", code, errb.String())
+	}
+	if strings.Contains(plain.String(), "# metrics") || strings.Contains(plain.String(), "# epochs") {
+		t.Fatalf("plain run leaked capture blocks:\n%s", plain.String())
+	}
+}

@@ -53,6 +53,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rate-dynamics: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "TFRC mean rate %.1f pkt/s; trace written to stdout\n",
-		tfrcRate.TimeAverage(20, horizon))
+	mean, err := tfrcRate.TimeAverage(20, horizon)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rate-dynamics: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "TFRC mean rate %.1f pkt/s; trace written to stdout\n", mean)
 }

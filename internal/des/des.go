@@ -189,9 +189,10 @@ func (l *level) next(from int) (int, bool) {
 // Scheduler owns the simulated clock and the pending event set.
 // The zero value is ready to use at time 0.
 type Scheduler struct {
-	now   float64
-	seq   uint64
-	fired uint64
+	now      float64
+	seq      uint64
+	fired    uint64
+	cascaded uint64
 
 	// cur is the working set at the wheel cursor: entries with tick <=
 	// curTick, sorted by (at, seq); cur[curIdx] is the next candidate.
@@ -216,6 +217,16 @@ func (s *Scheduler) Now() float64 { return s.now }
 // Fired returns the number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
+// Cascaded returns the number of entry migrations the wheel has
+// performed — entries re-inserted from a higher level toward level 0
+// as the cursor advanced. The ratio cascaded/fired is the amortized
+// wheel-maintenance cost per event; the shard snapshots publish it as
+// a live utilization signal to watch for pathological wheel occupancy.
+// (It is schedule-dependent — per-wheel occupancy differs between the
+// serial engine and a partitioned run — so it stays out of the
+// executor-invariant metrics registry.)
+func (s *Scheduler) Cascaded() uint64 { return s.cascaded }
+
 // Pending returns the number of live (non-cancelled) events still
 // queued.
 func (s *Scheduler) Pending() int { return s.live }
@@ -225,7 +236,7 @@ func (s *Scheduler) Pending() int { return s.live }
 // capacity of every bucket, the slot table and the freelist, so a
 // pooled scheduler runs its next simulation without reallocating.
 func (s *Scheduler) Reset() {
-	s.now, s.seq, s.fired = 0, 0, 0
+	s.now, s.seq, s.fired, s.cascaded = 0, 0, 0, 0
 	s.cur = s.cur[:0]
 	s.curIdx = 0
 	s.curTick = 0
@@ -439,6 +450,7 @@ func (s *Scheduler) refill() bool {
 				// Cascade: re-keyed against the new cursor, each entry
 				// lands at a lower level (or straight in the working
 				// set when its tick is the cursor's).
+				s.cascaded += uint64(len(b))
 				for _, e := range b {
 					s.insert(e)
 				}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/topology"
 )
@@ -51,12 +52,26 @@ type simExec interface {
 	FlowEnv(flow int) (sndSched *des.Scheduler, sndNet netsim.Network, rcvSched *des.Scheduler, rcvNet netsim.Network)
 	// SinkEnv resolves the pair a sink flow's source must run on.
 	SinkEnv(hops ...topology.LinkID) (*des.Scheduler, netsim.Network)
+	// AttachTracers installs bounded event tracers (one per scheduling
+	// domain) of the given capacity; cap <= 0 keeps tracing off (every
+	// tracer nil, every hook a nil-sink). Call it between Freeze and the
+	// first endpoint construction — senders and receivers resolve their
+	// domain's tracer once, when built.
+	AttachTracers(cap int)
+	// Tracers returns the per-domain tracers in domain order (a single
+	// element on the serial engine), nil entries when tracing is off.
+	Tracers() []*obs.Tracer
 	// RunUntil advances simulated time, firing every event with
 	// timestamp <= t. Between calls the engine is phase-aligned: stats
 	// may be read and reset, and CheckLeaks holds.
 	RunUntil(t float64)
 	// Fired returns total events executed (summed over shards).
 	Fired() uint64
+	// Pending returns the live scheduled-event population (summed over
+	// shards) — executor-invariant at phase-aligned instants.
+	Pending() int
+	// Outstanding returns the freelist's in-flight packet population.
+	Outstanding() int64
 	CheckLeaks() error
 	// Close recycles the executor's arena. The executor must not be
 	// used afterwards, and nothing returned by the run may alias it.
@@ -77,7 +92,13 @@ func newExec(shards int) simExec {
 		c := clusterPool.Get().(*shard.Cluster)
 		c.Reset()
 		c.ForceParallel = shardForceParallel
-		return &shardExec{Cluster: c, k: shards}
+		e := &shardExec{Cluster: c, k: shards}
+		if Observe.Live {
+			// Shard snapshots are atomics-backed, so the expvar goroutine
+			// may sample them mid-run without perturbing the simulation.
+			e.liveKey = obs.PublishLive("cluster", func() any { return c.Snapshots() })
+		}
+		return e
 	}
 	a := getArena()
 	return &serialExec{Network: a.net, a: a}
@@ -100,8 +121,13 @@ func (e *serialExec) SinkEnv(...topology.LinkID) (*des.Scheduler, netsim.Network
 	return &e.a.sched, e.a.net
 }
 
+func (e *serialExec) AttachTracers(cap int) { e.Network.Trace = obs.NewTracer(cap, 0) }
+
+func (e *serialExec) Tracers() []*obs.Tracer { return []*obs.Tracer{e.Network.Trace} }
+
 func (e *serialExec) RunUntil(t float64) { e.a.sched.RunUntil(t) }
 func (e *serialExec) Fired() uint64      { return e.a.sched.Fired() }
+func (e *serialExec) Pending() int       { return e.a.sched.Pending() }
 func (e *serialExec) Close()             { putArena(e.a) }
 
 // shardExec adapts a pooled shard.Cluster. The embedded cluster
@@ -110,6 +136,9 @@ func (e *serialExec) Close()             { putArena(e.a) }
 type shardExec struct {
 	*shard.Cluster
 	k int
+	// liveKey is the cluster's registration on the live-introspection
+	// surface (empty when Observe.Live is off); Close retires it.
+	liveKey string
 }
 
 func (e *shardExec) Freeze() { e.Partition(e.k) }
@@ -130,6 +159,9 @@ func (e *shardExec) RunUntil(t float64) { e.Run(t) }
 // poisoned cluster may still be referenced by an abandoned shard driver,
 // so it is leaked rather than pooled (Reset would panic on it anyway).
 func (e *shardExec) Close() {
+	if e.liveKey != "" {
+		obs.UnpublishLive(e.liveKey)
+	}
 	if e.Poisoned() {
 		return
 	}

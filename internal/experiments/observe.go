@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/runner"
+	"repro/internal/tcp"
+	"repro/internal/tfrc"
+	"repro/internal/topology"
+)
+
+// ObserveOptions selects what the packet-level runs capture beyond
+// their result aggregates. The zero value — everything off — is the
+// default and keeps every run on the exact pre-observability
+// instruction path: no registry is allocated, no tracer is attached
+// (every Emit hook is a nil-sink branch), and time advances in the same
+// two RunUntil calls it always did.
+type ObserveOptions struct {
+	// Metrics enables the per-run metrics registry: engine, per-link and
+	// per-protocol-class aggregates sampled from counters the hot structs
+	// already maintain, at the end of the measured window. Every metric
+	// in the registry is executor-invariant, so the rendered table joins
+	// the byte-identity gate across serial, -parallel and -shards K.
+	Metrics bool
+	// Epochs, when above 1, splits the measured window into this many
+	// equal epochs and records per-epoch flow deltas and end-of-epoch
+	// state. Sampling steps the run to each boundary with the engine's
+	// ordinary RunUntil — no events scheduled, no randomness drawn — so
+	// the simulation trajectory is bit-identical to an unsampled run.
+	Epochs int
+	// TraceCap, when positive, attaches a bounded event tracer of this
+	// capacity to every scheduling domain, recording rare sim events
+	// (loss events, no-feedback expiries, TCP timeouts, fault
+	// transitions, shard handoffs) for Chrome trace_event output.
+	TraceCap int
+	// Live publishes each active sharded cluster's per-shard snapshots
+	// (clock, window, barrier waits, handoffs) on the process-wide
+	// live-introspection surface (obs.PublishLive) while runs execute —
+	// the expvar endpoint the CLI serves with -expvar. Snapshots are
+	// wall-clock flavored and never reach the deterministic output path.
+	Live bool
+}
+
+// Observe is the process-wide observability selection, set by the CLI
+// before scenarios run (the same pattern as LeakCheck). Runs read it at
+// their start; changing it mid-batch is a race, so set it once.
+var Observe ObserveOptions
+
+func (o ObserveOptions) enabled() bool {
+	return o.Metrics || o.Epochs > 1 || o.TraceCap > 0
+}
+
+// RunObs is one run's observability capture, carried on the run's
+// result struct. All fields are freshly allocated — nothing aliases the
+// pooled arena or cluster the run executed in.
+type RunObs struct {
+	// Metrics is the run's registry (nil unless Observe.Metrics).
+	Metrics *obs.Registry
+	// Epochs is the run's epoch log (nil unless Observe.Epochs > 1).
+	Epochs *obs.EpochLog
+	// Events is the run's merged, time-ordered trace (nil unless
+	// Observe.TraceCap > 0); Dropped counts ring-overwritten events.
+	Events  []obs.Event
+	Dropped int64
+}
+
+// obsCarrier is how result structs surface their capture to the
+// scenario layer without the fold signatures changing.
+type obsCarrier interface{ runObs() *RunObs }
+
+func (r SimResult) runObs() *RunObs     { return r.Obs }
+func (r TopoSimResult) runObs() *RunObs { return r.Obs }
+func (r RevSimResult) runObs() *RunObs  { return r.Obs }
+
+// obsEngine is the sampling surface shared by both engines and the
+// dumbbell: link enumeration plus the executor-invariant population
+// counters. serialExec, shardExec and topology.Dumbbell all satisfy it.
+type obsEngine interface {
+	Links() int
+	Link(id topology.LinkID) *netsim.Link
+	Fired() uint64
+	Pending() int
+	Outstanding() int64
+}
+
+// obsRun drives one run's capture. A nil *obsRun (observability off) is
+// a valid receiver for every method, so call sites stay branch-free.
+type obsRun struct {
+	eng     obsEngine
+	tracers func() []*obs.Tracer
+	epochs  int
+
+	log  *obs.EpochLog
+	prev obs.Epoch
+}
+
+// newObsRun returns the collector for one run, or nil when Observe is
+// entirely off. tracers must return the per-domain tracers at
+// collection time.
+func newObsRun(eng obsEngine, tracers func() []*obs.Tracer) *obsRun {
+	if !Observe.enabled() {
+		return nil
+	}
+	o := &obsRun{eng: eng, tracers: tracers, epochs: Observe.Epochs}
+	if o.epochs > 1 {
+		o.log = &obs.EpochLog{}
+	}
+	return o
+}
+
+// totals samples the engine's cumulative counters into an Epoch-shaped
+// accumulator: flow counters summed over links, populations at the
+// instant of the call.
+func (o *obsRun) totals() obs.Epoch {
+	var cum obs.Epoch
+	cum.Fired = o.eng.Fired()
+	for id := 0; id < o.eng.Links(); id++ {
+		l := o.eng.Link(topology.LinkID(id))
+		drops, early, _ := netsim.QueueStats(l.Queue())
+		cum.Enqueued += l.Accepted()
+		cum.Forwarded += l.Forwarded
+		cum.Bytes += l.BytesForwarded
+		cum.QueueDrops += drops
+		cum.EarlyDrops += early
+		cum.FaultDrops += l.FaultDrops
+		cum.QueueLen += l.Queue().Len()
+	}
+	cum.Pending = o.eng.Pending()
+	cum.Outstanding = o.eng.Outstanding()
+	return cum
+}
+
+// runMeasured advances the engine from the end of warmup (time from) to
+// the end of the run (time to) via run (the engine's RunUntil),
+// sampling epoch boundaries when epoch logging is on. With
+// observability off (nil receiver) or no epochs it is exactly run(to) —
+// one call, identical trajectory. The boundary times are pure float
+// arithmetic from (from, to, n), so every executor steps through the
+// same instants.
+func (o *obsRun) runMeasured(run func(t float64), from, to float64) {
+	if o == nil || o.epochs <= 1 {
+		run(to)
+		return
+	}
+	o.prev = o.totals()
+	n := o.epochs
+	w := (to - from) / float64(n)
+	start := from
+	for i := 0; i < n; i++ {
+		end := from + w*float64(i+1)
+		if i == n-1 {
+			end = to
+		}
+		run(end)
+		cur := o.totals()
+		o.log.Add(obs.Epoch{
+			Index: i, Start: start, End: end,
+			Fired:       cur.Fired - o.prev.Fired,
+			Enqueued:    cur.Enqueued - o.prev.Enqueued,
+			Forwarded:   cur.Forwarded - o.prev.Forwarded,
+			Bytes:       cur.Bytes - o.prev.Bytes,
+			QueueDrops:  cur.QueueDrops - o.prev.QueueDrops,
+			EarlyDrops:  cur.EarlyDrops - o.prev.EarlyDrops,
+			FaultDrops:  cur.FaultDrops - o.prev.FaultDrops,
+			QueueLen:    cur.QueueLen,
+			Pending:     cur.Pending,
+			Outstanding: cur.Outstanding,
+		})
+		o.prev = cur
+		start = end
+	}
+}
+
+// lossIntervalBounds buckets the loss-interval histograms in packet
+// counts, one bucket per doubling — the scale the TFRC estimator's
+// window arithmetic lives on.
+var lossIntervalBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}
+
+// collect builds the run's capture: the metrics registry from the
+// engine totals and the protocol classes' measurement windows, the
+// epoch log accumulated by runMeasured, and the merged trace. Safe on a
+// nil receiver (returns nil — observability off).
+func (o *obsRun) collect(tf []tfrc.Stats, tc []tcp.Stats) *RunObs {
+	if o == nil {
+		return nil
+	}
+	res := &RunObs{Epochs: o.log}
+	if Observe.Metrics {
+		reg := obs.NewRegistry()
+		cum := o.totals()
+		reg.Counter("des.events_fired").Add(int64(cum.Fired))
+		reg.Counter("des.pending_end").Add(int64(cum.Pending))
+		reg.Counter("net.enqueued").Add(cum.Enqueued)
+		reg.Counter("net.forwarded").Add(cum.Forwarded)
+		reg.Counter("net.bytes_forwarded").Add(cum.Bytes)
+		reg.Counter("net.queue_drops").Add(cum.QueueDrops)
+		reg.Counter("net.early_drops").Add(cum.EarlyDrops)
+		reg.Counter("net.fault_drops").Add(cum.FaultDrops)
+		reg.Counter("net.outstanding_end").Add(cum.Outstanding)
+		for id := 0; id < o.eng.Links(); id++ {
+			l := o.eng.Link(topology.LinkID(id))
+			drops, early, _ := netsim.QueueStats(l.Queue())
+			pre := fmt.Sprintf("link%d.", id)
+			reg.Counter(pre + "forwarded").Add(l.Forwarded)
+			reg.Counter(pre + "queue_drops").Add(drops + early)
+			reg.Counter(pre + "fault_drops").Add(l.FaultDrops)
+		}
+		obsClass(reg, "tfrc", len(tf), func(add func(string, int64), g func(string, float64), h *obs.Histogram) {
+			for _, st := range tf {
+				add("packets_sent", st.PacketsSent)
+				add("loss_events", st.LossEvents)
+				add("feedback_received", st.FeedbackReceived)
+				add("nofeedback_halvings", st.NoFeedbackHalvings)
+				g("throughput", st.Throughput)
+				g("rtt", st.MeanRTT)
+				for _, th := range st.LossIntervals {
+					h.Observe(th)
+				}
+			}
+		})
+		obsClass(reg, "tcp", len(tc), func(add func(string, int64), g func(string, float64), h *obs.Histogram) {
+			for _, st := range tc {
+				add("packets_sent", st.PacketsSent)
+				add("loss_events", st.LossEvents)
+				add("acks_received", st.AcksReceived)
+				g("throughput", st.Throughput)
+				g("rtt", st.MeanRTT)
+				for _, th := range st.LossIntervals {
+					h.Observe(th)
+				}
+			}
+		})
+		res.Metrics = reg
+	}
+	if Observe.TraceCap > 0 && o.tracers != nil {
+		ts := o.tracers()
+		res.Events = obs.MergeEvents(ts)
+		for _, t := range ts {
+			res.Dropped += t.Dropped()
+		}
+	}
+	return res
+}
+
+// obsClass registers one protocol class's block of metrics under the
+// given prefix, skipping empty classes so registries stay minimal and
+// scenario-shaped.
+func obsClass(reg *obs.Registry, prefix string, flows int,
+	fill func(add func(string, int64), gauge func(string, float64), hist *obs.Histogram)) {
+	if flows == 0 {
+		return
+	}
+	reg.Counter(prefix + ".flows").Add(int64(flows))
+	fill(
+		func(name string, v int64) { reg.Counter(prefix + "." + name).Add(v) },
+		func(name string, v float64) { reg.Gauge(prefix + "." + name).Observe(v) },
+		reg.Histogram(prefix+".loss_interval", lossIntervalBounds),
+	)
+}
+
+// ScenarioObs aggregates the per-job captures of one scenario run, in
+// job order — the same order the fold consumes results — so the merged
+// registry and the trace are deterministic under any executor schedule.
+type ScenarioObs struct {
+	// Metrics is the job registries folded in job order (nil when no job
+	// carried one).
+	Metrics *obs.Registry
+	// Epochs concatenates the jobs' epoch logs in job order (nil when no
+	// job carried one). Index restarts at 0 at each job boundary.
+	Epochs *obs.EpochLog
+	// Jobs holds each observed job's trace stream, labeled with the job
+	// name and indexed by batch position for Chrome trace output.
+	Jobs []obs.JobTrace
+	// Dropped totals ring-overwritten trace events across jobs.
+	Dropped int64
+}
+
+// collectScenarioObs folds the results' captures. Results that carry no
+// capture (Monte Carlo tables, analytic figures, failed hardened-mode
+// slots) are skipped.
+func collectScenarioObs(jobs []runner.Job, results []any) *ScenarioObs {
+	if !Observe.enabled() {
+		return nil
+	}
+	so := &ScenarioObs{}
+	for i, r := range results {
+		c, ok := r.(obsCarrier)
+		if !ok {
+			continue
+		}
+		ro := c.runObs()
+		if ro == nil {
+			continue
+		}
+		if ro.Metrics != nil {
+			if so.Metrics == nil {
+				so.Metrics = obs.NewRegistry()
+			}
+			so.Metrics.Merge(ro.Metrics)
+		}
+		if ro.Epochs != nil {
+			if so.Epochs == nil {
+				so.Epochs = &obs.EpochLog{}
+			}
+			so.Epochs.Merge(ro.Epochs)
+		}
+		if len(ro.Events) > 0 || ro.Dropped > 0 {
+			name := ""
+			if i < len(jobs) {
+				name = jobs[i].Name
+			}
+			so.Jobs = append(so.Jobs, obs.JobTrace{
+				Name: name, Pid: i, Events: ro.Events, Dropped: ro.Dropped,
+			})
+			so.Dropped += ro.Dropped
+		}
+	}
+	return so
+}
+
+// RunObserved is Run plus the scenario's observability capture, merged
+// in job order. With Observe entirely off it returns a nil capture and
+// behaves exactly like Run.
+func (s *Scenario) RunObserved(ctx context.Context, sz Sizing, ex runner.Executor) ([]*Table, *ScenarioObs, error) {
+	jobs, fold := s.Plan(sz)
+	results, err := ex.Execute(ctx, jobs)
+	if err != nil {
+		var m *runner.Manifest
+		if errors.As(err, &m) && results != nil {
+			return fold(results), collectScenarioObs(jobs, results), fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		return nil, nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return fold(results), collectScenarioObs(jobs, results), nil
+}

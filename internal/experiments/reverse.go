@@ -99,6 +99,9 @@ type RevSimResult struct {
 	AcksPerPacket float64
 	// EventsFired counts the scheduler events of the whole run.
 	EventsFired uint64
+	// Obs is the run's observability capture (nil unless the process-
+	// wide Observe options enable one).
+	Obs *RunObs
 }
 
 // RunRevSim executes the configured routed-reverse simulation and
@@ -152,6 +155,9 @@ func RunRevSim(cfg RevSimConfig) RevSimResult {
 		env.SetReverseJitter(cfg.RevJitter, seedRNG.Uint64())
 	}
 	env.Freeze()
+	// Tracer attach precedes endpoint construction (see RunTopoSim).
+	env.AttachTracers(Observe.TraceCap)
+	ob := newObsRun(env, env.Tracers)
 
 	tfrcCfg := tfrc.DefaultConfig()
 	tfrcCfg.Window = cfg.L
@@ -219,7 +225,7 @@ func RunRevSim(cfg RevSimConfig) RevSimResult {
 	resetStats(tfrcSenders)
 	resetStats(tcpSenders)
 	resetStats(backSenders)
-	env.RunUntil(cfg.Warmup + cfg.Duration)
+	ob.runMeasured(env.RunUntil, cfg.Warmup, cfg.Warmup+cfg.Duration)
 
 	var res RevSimResult
 	res.TFRCPerFlow = tfrcStats(tfrcSenders)
@@ -252,6 +258,7 @@ func RunRevSim(cfg RevSimConfig) RevSimResult {
 		res.AcksPerPacket = float64(acks) / float64(pkts)
 	}
 	res.EventsFired = env.Fired()
+	res.Obs = ob.collect(res.TFRCPerFlow, res.TCPPerFlow)
 	if LeakCheck {
 		if err := env.CheckLeaks(); err != nil {
 			panic(err)

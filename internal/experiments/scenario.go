@@ -2,8 +2,6 @@ package experiments
 
 import (
 	"context"
-	"errors"
-	"fmt"
 	"sort"
 
 	"repro/internal/runner"
@@ -55,16 +53,8 @@ func (s *Scenario) Modes() string {
 // the *runner.Manifest comes back alongside them, so callers can render
 // what completed and report exactly which (index, seed) jobs died.
 func (s *Scenario) Run(ctx context.Context, sz Sizing, ex runner.Executor) ([]*Table, error) {
-	jobs, fold := s.Plan(sz)
-	results, err := ex.Execute(ctx, jobs)
-	if err != nil {
-		var m *runner.Manifest
-		if errors.As(err, &m) && results != nil {
-			return fold(results), fmt.Errorf("scenario %s: %w", s.Name, err)
-		}
-		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
-	}
-	return fold(results), nil
+	tables, _, err := s.RunObserved(ctx, sz, ex)
+	return tables, err
 }
 
 // registry maps scenario names to their definitions. It is populated

@@ -6,6 +6,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/estimator"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/tcp"
@@ -91,7 +92,21 @@ type SimResult struct {
 	// over the whole run (warmup included) — the denominator for
 	// events/second throughput measurements of the simulator itself.
 	EventsFired uint64
+	// Obs is the run's observability capture (nil unless the process-
+	// wide Observe options enable one).
+	Obs *RunObs
 }
+
+// serialEng adapts the dumbbell runs' raw network + scheduler pair to
+// the obsEngine sampling surface the multi-hop executors satisfy
+// directly.
+type serialEng struct {
+	*topology.Network
+	sched *des.Scheduler
+}
+
+func (e serialEng) Fired() uint64 { return e.sched.Fired() }
+func (e serialEng) Pending() int  { return e.sched.Pending() }
 
 // staggeredStart schedules a sender's Start at a seed-drawn offset
 // inside the first half of the warmup (capped at 5 s), breaking phase
@@ -159,6 +174,12 @@ func RunSim(cfg SimConfig) SimResult {
 	if cfg.RevJitter > 0 {
 		net.SetReverseJitter(cfg.RevJitter, seedRNG.Uint64())
 	}
+	// Tracer attach precedes endpoint construction: senders and
+	// receivers resolve their domain's tracer once, when built. With
+	// tracing off the tracer stays nil and every hook is a nil-sink.
+	net.Trace = obs.NewTracer(Observe.TraceCap, 0)
+	ob := newObsRun(serialEng{net.Network, sched},
+		func() []*obs.Tracer { return []*obs.Tracer{net.Trace} })
 
 	tfrcCfg := tfrc.DefaultConfig()
 	tfrcCfg.Window = cfg.L
@@ -215,7 +236,7 @@ func RunSim(cfg SimConfig) SimResult {
 	if probe != nil {
 		probe.resetStats()
 	}
-	sched.RunUntil(cfg.Warmup + cfg.Duration)
+	ob.runMeasured(sched.RunUntil, cfg.Warmup, cfg.Warmup+cfg.Duration)
 
 	var res SimResult
 	res.TFRCPerFlow = tfrcStats(tfrcSenders)
@@ -226,6 +247,7 @@ func RunSim(cfg SimConfig) SimResult {
 		res.Poisson = probe.stats()
 	}
 	res.EventsFired = sched.Fired()
+	res.Obs = ob.collect(res.TFRCPerFlow, res.TCPPerFlow)
 	if LeakCheck {
 		if err := net.CheckLeaks(); err != nil {
 			panic(err)

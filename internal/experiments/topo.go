@@ -186,6 +186,9 @@ type TopoSimResult struct {
 	// seconds after the outage's Up edge until the flow's send rate
 	// regained Watch.Frac of its pre-outage rate; -1 if it never did.
 	Recovery []float64
+	// Obs is the run's observability capture (nil unless the process-
+	// wide Observe options enable one).
+	Obs *RunObs
 }
 
 // queueDrops reads a queue discipline's drop counter, when it has one.
@@ -242,6 +245,12 @@ func RunTopoSim(cfg TopoSimConfig) TopoSimResult {
 		env.SetReverseJitter(cfg.RevJitter, seedRNG.Uint64())
 	}
 	env.Freeze()
+	// Tracer attach sits between the freeze (shards exist, links are
+	// owned) and both the fault arming and endpoint construction, which
+	// each resolve their domain's tracer once. Cap <= 0 (tracing off)
+	// leaves every tracer nil.
+	env.AttachTracers(Observe.TraceCap)
+	ob := newObsRun(env, env.Tracers)
 	// Arm the fault plan right after the freeze: every timed transition
 	// is scheduled at declaration time, in plan order, on the scheduler
 	// that owns its link — the same (time, arming-key, seq) order on the
@@ -316,7 +325,7 @@ func RunTopoSim(cfg TopoSimConfig) TopoSimResult {
 	resetStats(tfrcSenders)
 	resetStats(tcpSenders)
 	resetStats(crossSenders)
-	env.RunUntil(end)
+	ob.runMeasured(env.RunUntil, cfg.Warmup, end)
 
 	var res TopoSimResult
 	res.TFRCPerFlow = tfrcStats(tfrcSenders)
@@ -345,6 +354,7 @@ func RunTopoSim(cfg TopoSimConfig) TopoSimResult {
 			res.Recovery[i] = rw.recovery()
 		}
 	}
+	res.Obs = ob.collect(res.TFRCPerFlow, res.TCPPerFlow)
 	if LeakCheck {
 		if err := env.CheckLeaks(); err != nil {
 			panic(err)

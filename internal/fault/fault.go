@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/topology"
 )
@@ -226,6 +227,17 @@ type Host interface {
 	LinkSched(id topology.LinkID) *des.Scheduler
 }
 
+// TracedHost is the optional observability extension of Host: a host
+// that can name the event tracer of the domain owning a link. Arm uses
+// it (when implemented and the tracer is non-nil) to emit fault
+// transitions — EvFaultDown, EvFaultUp, EvFaultRate — into the owning
+// shard's ring, keeping emission single-threaded on the sharded engine.
+// Both engines implement it; with tracing off the tracer is nil and
+// every emission is a nil-sink no-op.
+type TracedHost interface {
+	LinkTracer(id topology.LinkID) *obs.Tracer
+}
+
 // LinkSeed derives the dedicated RNG stream seed of one link's loss
 // process from the plan seed, with the same avalanche mixing the
 // topology layer uses for per-flow jitter streams: links with adjacent
@@ -238,8 +250,10 @@ func LinkSeed(seed uint64, link topology.LinkID) uint64 {
 // on the link closes over it. It is only ever touched from the link's
 // owning scheduler.
 type linkCtl struct {
-	link *netsim.Link
-	down bool
+	link  *netsim.Link
+	id    topology.LinkID
+	trace *obs.Tracer
+	down  bool
 
 	ge    bool
 	inBad bool
@@ -284,10 +298,13 @@ func (c *linkCtl) apply(ev Event) {
 		if ev.Policy == Flush {
 			c.link.FlushQueue()
 		}
+		c.trace.Emit(ev.At, obs.EvFaultDown, -1, int32(c.id), float64(ev.Policy))
 	case Up:
 		c.down = false
+		c.trace.Emit(ev.At, obs.EvFaultUp, -1, int32(c.id), 0)
 	case SetRate:
 		c.link.Rate = ev.Rate
+		c.trace.Emit(ev.At, obs.EvFaultRate, -1, int32(c.id), ev.Rate)
 	}
 }
 
@@ -306,11 +323,15 @@ func Arm(h Host, p *Plan) error {
 	if err := p.Validate(h.Links()); err != nil {
 		return err
 	}
+	th, _ := h.(TracedHost)
 	ctls := map[topology.LinkID]*linkCtl{}
 	hook := func(id topology.LinkID) *linkCtl {
 		c := ctls[id]
 		if c == nil {
-			c = &linkCtl{link: h.Link(id)}
+			c = &linkCtl{link: h.Link(id), id: id}
+			if th != nil {
+				c.trace = th.LinkTracer(id)
+			}
 			c.link.Fault = c.fault
 			ctls[id] = c
 		}
@@ -333,8 +354,15 @@ func Arm(h Host, p *Plan) error {
 				// Rate renegotiation needs no packet inspection: apply
 				// straight to the link, no hook installed.
 				l := h.Link(ev.Link)
+				var tr *obs.Tracer
+				if th != nil {
+					tr = th.LinkTracer(ev.Link)
+				}
 				ev := ev
-				h.LinkSched(ev.Link).At(ev.At, func() { l.Rate = ev.Rate })
+				h.LinkSched(ev.Link).At(ev.At, func() {
+					l.Rate = ev.Rate
+					tr.Emit(ev.At, obs.EvFaultRate, -1, int32(ev.Link), ev.Rate)
+				})
 				continue
 			}
 		} else {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/des"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -100,6 +101,29 @@ type Network interface {
 	AttachFlow(flow int, sender, receiver Endpoint, fwdExtra, revDelay float64)
 }
 
+// Traced is the optional interface a Network implementation exposes
+// when an event tracer is attached to its scheduling domain. Protocol
+// endpoints query it once at construction and keep the (possibly nil)
+// tracer; every obs.Tracer method is nil-safe, so the disabled case
+// costs one predictable branch at each rare-event site and nothing on
+// the per-packet path. On the sharded engine each endpoint resolves the
+// tracer of the shard it is scheduled on, which keeps emission
+// single-threaded without synchronization.
+type Traced interface {
+	// Tracer returns the domain's event tracer, or nil when tracing is
+	// off.
+	Tracer() *obs.Tracer
+}
+
+// TracerOf resolves the event tracer behind a Network, or nil when the
+// network does not carry one.
+func TracerOf(n Network) *obs.Tracer {
+	if t, ok := n.(Traced); ok {
+		return t.Tracer()
+	}
+	return nil
+}
+
 // Queue buffers packets in front of a link and decides drops.
 type Queue interface {
 	// Enqueue offers a packet; it returns false if the packet is
@@ -109,6 +133,25 @@ type Queue interface {
 	Dequeue(now float64) *Packet
 	// Len returns the number of queued packets.
 	Len() int
+}
+
+// QueueStats reports the drop counters and occupancy high-water mark a
+// queue discipline maintains: full-queue (and RED forced) drops, RED
+// probabilistic early drops, and the deepest occupancy seen (tracked
+// only by Unbounded; -1 for disciplines that do not track it). It is
+// the one type switch the observability layer needs to sample any
+// discipline uniformly.
+func QueueStats(q Queue) (drops, earlyDrops int64, highWater int) {
+	switch t := q.(type) {
+	case *DropTail:
+		return t.Drops, 0, -1
+	case *RED:
+		return t.Drops, t.EarlyDrops, -1
+	case *Unbounded:
+		return 0, 0, t.HighWater
+	default:
+		return 0, 0, -1
+	}
 }
 
 // pktRing is a fixed-capacity circular FIFO of packets — the buffer

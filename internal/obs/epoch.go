@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Epoch is one fixed simulation-time window's aggregate: flow deltas
+// over the window plus state sampled at its end. Epochs are collected
+// by stepping the run to each boundary with the engine's ordinary
+// RunUntil — sampling schedules no events and draws no randomness, so
+// an epoch-logged run fires exactly the events an unlogged run fires,
+// and every field below is executor-invariant under the determinism
+// contract.
+type Epoch struct {
+	// Index is the epoch's ordinal within the measured window.
+	Index int
+	// Start and End bound the window in simulation seconds.
+	Start, End float64
+	// Fired counts DES events fired during the window.
+	Fired uint64
+	// Enqueued counts packets accepted into link queues.
+	Enqueued int64
+	// Forwarded counts packets delivered across links.
+	Forwarded int64
+	// Bytes counts payload bytes forwarded.
+	Bytes int64
+	// QueueDrops counts full-queue (and RED forced) drops.
+	QueueDrops int64
+	// EarlyDrops counts RED probabilistic drops.
+	EarlyDrops int64
+	// FaultDrops counts packets destroyed by link faults.
+	FaultDrops int64
+	// QueueLen is the total queued-packet occupancy at End.
+	QueueLen int
+	// Pending is the scheduler's live-timer population at End.
+	Pending int
+	// Outstanding is the freelist's in-flight packet population at End.
+	Outstanding int64
+}
+
+// EpochLog accumulates a run's epochs in order.
+type EpochLog struct {
+	// Epochs are the collected windows, in time order.
+	Epochs []Epoch
+}
+
+// Add appends one epoch.
+func (l *EpochLog) Add(e Epoch) {
+	if l == nil {
+		return
+	}
+	l.Epochs = append(l.Epochs, e)
+}
+
+// Merge appends o's epochs (used when a plan folds sub-runs; epoch
+// streams are kept per job, so this is rarely needed but keeps the
+// container composable).
+func (l *EpochLog) Merge(o *EpochLog) {
+	if l == nil || o == nil {
+		return
+	}
+	l.Epochs = append(l.Epochs, o.Epochs...)
+}
+
+// WriteTSV renders the log as TSV with a header row. Floats use %.6g,
+// matching the scenario tables, so epoch output joins the byte-identity
+// gate across executors.
+func (l *EpochLog) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "epoch\tstart\tend\tfired\tenqueued\tforwarded\tbytes\tqueue_drops\tearly_drops\tfault_drops\tqueue_len\tpending\toutstanding"); err != nil {
+		return err
+	}
+	for _, e := range l.Epochs {
+		if _, err := fmt.Fprintf(w, "%d\t%.6g\t%.6g\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			e.Index, e.Start, e.End, e.Fired, e.Enqueued, e.Forwarded, e.Bytes,
+			e.QueueDrops, e.EarlyDrops, e.FaultDrops, e.QueueLen, e.Pending, e.Outstanding); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,304 @@
+// Package obs is the simulator's observability layer: a metrics
+// registry (counters, gauges, fixed-bucket histograms), a bounded event
+// tracer with Chrome trace_event output, per-epoch aggregate logs, and
+// a live-introspection surface for long runs.
+//
+// The package's contract mirrors the engine's:
+//
+//   - Zero cost when off. Nothing in this package is touched by the
+//     per-packet or per-event hot paths. Metrics are *sampled* from
+//     counters the hot structs already maintain (link forwarded/drop
+//     counts, scheduler fired counts, protocol stats) at barrier-aligned
+//     instants — run end and epoch boundaries — so a disabled run
+//     executes exactly the instructions it executed before this package
+//     existed. The only inline hooks are Tracer emissions on *rare*
+//     events (loss events, fault transitions, no-feedback expiries,
+//     shard handoffs), and every Tracer method is nil-safe: a disabled
+//     tracer is a nil pointer and the hook is one predictable branch.
+//   - Deterministic and executor-invariant when on. Per-shard and
+//     per-job instances merge in a fixed order (shard id, then job
+//     order), metric values exposed through the deterministic output
+//     path are simulation quantities that the sharded engine's
+//     determinism contract already makes executor-invariant, and
+//     wall-clock-dependent quantities (barrier waits, events/sec) are
+//     confined to the live-introspection surface, which never reaches
+//     gated output.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Counter is a monotonically increasing integer metric. Each instance
+// is owned by one goroutine (one shard, one job); cross-instance
+// aggregation happens in Registry.Merge at fold time, never with
+// atomics on the hot path.
+type Counter struct {
+	v int64
+}
+
+// Add increments the counter by n. Nil-safe: a nil counter is a sink.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Inc increments the counter by one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count. Nil-safe (a nil counter reads 0).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge tracks the min, max, sum and count of an observed quantity.
+// Merging gauges combines those aggregates, so the merged result is
+// independent of interleaving (commutative and associative up to
+// float-sum ordering, which Merge fixes by folding in registry order).
+type Gauge struct {
+	set      bool
+	min, max float64
+	sum      float64
+	n        int64
+}
+
+// Observe records one observation. Nil-safe.
+func (g *Gauge) Observe(v float64) {
+	if g == nil {
+		return
+	}
+	if !g.set || v < g.min {
+		g.min = v
+	}
+	if !g.set || v > g.max {
+		g.max = v
+	}
+	g.set = true
+	g.sum += v
+	g.n++
+}
+
+// Min returns the smallest observation (0 when empty).
+func (g *Gauge) Min() float64 {
+	if g == nil || !g.set {
+		return 0
+	}
+	return g.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (g *Gauge) Max() float64 {
+	if g == nil || !g.set {
+		return 0
+	}
+	return g.max
+}
+
+// Mean returns the mean observation (0 when empty).
+func (g *Gauge) Mean() float64 {
+	if g == nil || g.n == 0 {
+		return 0
+	}
+	return g.sum / float64(g.n)
+}
+
+// Count returns the number of observations.
+func (g *Gauge) Count() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.n
+}
+
+// Histogram counts observations into fixed buckets. Bounds are the
+// ascending upper edges; an implicit +Inf bucket catches the rest.
+// Observe is allocation-free.
+type Histogram struct {
+	bounds []float64
+	counts []int64
+	n      int64
+	sum    float64
+}
+
+// Observe records one observation into its bucket. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.n++
+	h.sum += v
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Kind discriminates registry entries.
+type Kind uint8
+
+// Registry entry kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+type entry struct {
+	kind Kind
+	c    Counter
+	g    Gauge
+	h    Histogram
+}
+
+// Registry holds named metrics in creation order. Registration happens
+// once per run (or per shard) at setup or collection time; the returned
+// metric pointers are then incremented without lookups or allocation.
+type Registry struct {
+	names []string
+	by    map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{by: map[string]*entry{}}
+}
+
+func (r *Registry) get(name string, kind Kind) *entry {
+	if e, ok := r.by[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		return e
+	}
+	e := &entry{kind: kind}
+	r.by[name] = e
+	r.names = append(r.names, name)
+	return e
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter { return &r.get(name, KindCounter).c }
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge { return &r.get(name, KindGauge).g }
+
+// Histogram returns (creating if needed) the named histogram with the
+// given ascending bucket upper bounds. Bounds are fixed at first
+// registration; later calls must pass a compatible length.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	e := r.get(name, KindHistogram)
+	if e.h.counts == nil {
+		e.h.bounds = append([]float64(nil), bounds...)
+		e.h.counts = make([]int64, len(bounds)+1)
+	} else if len(e.h.bounds) != len(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+	}
+	return &e.h
+}
+
+// Merge folds o into r: counters add, gauges combine their aggregates,
+// histograms add bucket-wise. Names new to r are appended in o's
+// creation order, so merging per-job registries in job order yields the
+// same registry on every executor.
+func (r *Registry) Merge(o *Registry) {
+	if o == nil {
+		return
+	}
+	for _, name := range o.names {
+		oe := o.by[name]
+		switch oe.kind {
+		case KindCounter:
+			r.Counter(name).Add(oe.c.Value())
+		case KindGauge:
+			g := r.Gauge(name)
+			if oe.g.set {
+				if !g.set || oe.g.min < g.min {
+					g.min = oe.g.min
+				}
+				if !g.set || oe.g.max > g.max {
+					g.max = oe.g.max
+				}
+				g.set = true
+				g.sum += oe.g.sum
+				g.n += oe.g.n
+			}
+		case KindHistogram:
+			h := r.Histogram(name, oe.h.bounds)
+			for i, c := range oe.h.counts {
+				h.counts[i] += c
+			}
+			h.n += oe.h.n
+			h.sum += oe.h.sum
+		}
+	}
+}
+
+// Len returns the number of registered metrics.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.names)
+}
+
+// WriteTSV renders the registry as TSV, one metric per row, sorted by
+// name so the bytes are independent of registration order:
+//
+//	counter:   name  counter  value
+//	gauge:     name  gauge    min  mean  max  n
+//	histogram: name  hist     n    mean  le<b1>:c1 ... le+inf:ck
+//
+// Floats use %.6g, matching the scenario tables, so the output is
+// byte-comparable across runs and executors.
+func (r *Registry) WriteTSV(w io.Writer) error {
+	names := append([]string(nil), r.names...)
+	sort.Strings(names)
+	for _, name := range names {
+		e := r.by[name]
+		var err error
+		switch e.kind {
+		case KindCounter:
+			_, err = fmt.Fprintf(w, "%s\tcounter\t%d\n", name, e.c.Value())
+		case KindGauge:
+			_, err = fmt.Fprintf(w, "%s\tgauge\t%.6g\t%.6g\t%.6g\t%d\n",
+				name, e.g.Min(), e.g.Mean(), e.g.Max(), e.g.Count())
+		case KindHistogram:
+			mean := 0.0
+			if e.h.n > 0 {
+				mean = e.h.sum / float64(e.h.n)
+			}
+			if _, err = fmt.Fprintf(w, "%s\thist\t%d\t%.6g", name, e.h.n, mean); err != nil {
+				break
+			}
+			for i, c := range e.h.counts {
+				if i < len(e.h.bounds) {
+					_, err = fmt.Fprintf(w, "\tle%.6g:%d", e.h.bounds[i], c)
+				} else {
+					_, err = fmt.Fprintf(w, "\tle+inf:%d", c)
+				}
+				if err != nil {
+					break
+				}
+			}
+			if err == nil {
+				_, err = fmt.Fprintln(w)
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

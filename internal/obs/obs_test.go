@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestNilSinks(t *testing.T) {
+	// Every hot-path-adjacent method must be a no-op on nil receivers:
+	// this is the zero-cost-when-off contract.
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Tracer
+	c.Add(5)
+	c.Inc()
+	g.Observe(1)
+	h.Observe(1)
+	tr.Emit(0, EvLoss, 1, 2, 3)
+	tr.Reset()
+	if c.Value() != 0 || g.Count() != 0 || h.Count() != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	if tr.Events() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must be empty")
+	}
+	if NewTracer(0, 0) != nil {
+		t.Fatal("cap<=0 must return the nil (disabled) tracer")
+	}
+}
+
+func TestRegistryMergeDeterministic(t *testing.T) {
+	build := func(seed int64) *Registry {
+		r := NewRegistry()
+		r.Counter("net.drops").Add(3 + seed)
+		r.Gauge("queue.high").Observe(float64(10 * seed))
+		r.Histogram("loss.intervals", []float64{1, 10, 100}).Observe(float64(seed))
+		return r
+	}
+	a, b := build(1), build(2)
+
+	merged := NewRegistry()
+	merged.Merge(a)
+	merged.Merge(b)
+	if got := merged.Counter("net.drops").Value(); got != 9 {
+		t.Fatalf("merged counter = %d, want 9", got)
+	}
+	g := merged.Gauge("queue.high")
+	if g.Min() != 10 || g.Max() != 20 || g.Count() != 2 {
+		t.Fatalf("merged gauge = min %v max %v n %d", g.Min(), g.Max(), g.Count())
+	}
+	if merged.Histogram("loss.intervals", []float64{1, 10, 100}).Count() != 2 {
+		t.Fatal("merged histogram count")
+	}
+
+	// Same fold order must render the same bytes.
+	var buf1, buf2 bytes.Buffer
+	m2 := NewRegistry()
+	m2.Merge(build(1))
+	m2.Merge(build(2))
+	if err := merged.WriteTSV(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.WriteTSV(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Fatalf("merge not reproducible:\n%q\n%q", buf1.String(), buf2.String())
+	}
+	// Output is sorted by name regardless of registration order.
+	lines := strings.Split(strings.TrimSpace(buf1.String()), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "loss.intervals\t") ||
+		!strings.HasPrefix(lines[1], "net.drops\tcounter\t9") {
+		t.Fatalf("tsv = %q", buf1.String())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	// 0.5,1 -> le1; 1.5 -> le2; 3 -> le4; 100 -> +inf.
+	want := []int64{2, 1, 1, 1}
+	for i, c := range h.counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, c, want[i], h.counts)
+		}
+	}
+}
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(3, 2)
+	for i := 0; i < 5; i++ {
+		tr.Emit(float64(i), EvLoss, int32(i), -1, 0)
+	}
+	ev := tr.Events()
+	if len(ev) != 3 || tr.Dropped() != 2 {
+		t.Fatalf("retained %d dropped %d", len(ev), tr.Dropped())
+	}
+	// Most recent three, in emission order, stamped with the domain.
+	for i, e := range ev {
+		if e.T != float64(i+2) || e.Shard != 2 {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+	tr.Reset()
+	if len(tr.Events()) != 0 || tr.Dropped() != 0 {
+		t.Fatal("reset did not empty the ring")
+	}
+}
+
+func TestMergeEventsOrder(t *testing.T) {
+	a := NewTracer(10, 0)
+	b := NewTracer(10, 1)
+	a.Emit(2, EvLoss, 1, -1, 0)
+	a.Emit(5, EvNoFeedback, 1, -1, 0)
+	b.Emit(2, EvHandoff, -1, 3, 1)
+	b.Emit(1, EvFaultDown, -1, 2, 0)
+	got := MergeEvents([]*Tracer{a, b})
+	var order []string
+	for _, e := range got {
+		order = append(order, fmt.Sprintf("%.0f/%d", e.T, e.Shard))
+	}
+	want := "1/1 2/0 2/1 5/0"
+	if strings.Join(order, " ") != want {
+		t.Fatalf("merge order = %v, want %s", order, want)
+	}
+}
+
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	tr := NewTracer(10, 0)
+	tr.Emit(1.5, EvLoss, 7, 2, 42)
+	tr.Emit(2.25, EvFaultDown, -1, 3, 0)
+	var buf bytes.Buffer
+	jobs := []JobTrace{{Name: "fig5/p=0.01", Pid: 1, Events: MergeEvents([]*Tracer{tr})}}
+	if err := WriteChromeTrace(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+	// Metadata row + two events.
+	if len(parsed) != 3 {
+		t.Fatalf("rows = %d", len(parsed))
+	}
+	if parsed[1]["name"] != "loss" || parsed[1]["ts"] != 1.5e6 {
+		t.Fatalf("event row = %v", parsed[1])
+	}
+}
+
+func TestEpochLogTSV(t *testing.T) {
+	var l EpochLog
+	l.Add(Epoch{Index: 0, Start: 0, End: 5, Fired: 100, Forwarded: 40, QueueLen: 3})
+	l.Add(Epoch{Index: 1, Start: 5, End: 10, Fired: 90, Forwarded: 41, Pending: 7})
+	var buf bytes.Buffer
+	if err := l.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "epoch\tstart\tend\tfired") {
+		t.Fatalf("tsv = %q", buf.String())
+	}
+	if !strings.HasPrefix(lines[2], "1\t5\t10\t90\t") {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestLivePublishAndServe(t *testing.T) {
+	key := PublishLive("test_component", func() any { return map[string]int{"done": 3} })
+	defer UnpublishLive(key)
+	// A second publisher under the same name must not clobber the first.
+	key2 := PublishLive("test_component", func() any { return "other" })
+	if key2 == key {
+		t.Fatalf("collision not resolved: %q", key2)
+	}
+	UnpublishLive(key2)
+
+	snap := LiveSnapshot()
+	if _, ok := snap[key]; !ok {
+		t.Fatalf("snapshot missing %q: %v", key, snap)
+	}
+
+	addr, err := ServeLive("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("expvar output not JSON: %v", err)
+	}
+	sim, ok := vars["sim"].(map[string]any)
+	if !ok {
+		t.Fatalf("no sim var in %v", vars)
+	}
+	if _, ok := sim[key]; !ok {
+		t.Fatalf("sim var missing %q: %v", key, sim)
+	}
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// EventKind is the type of a traced simulation event.
+type EventKind uint8
+
+// Traced event kinds. These are all *rare* events — per loss event, per
+// fault transition, per cross-shard handoff message — never per packet
+// or per timer, so an enabled tracer stays off the hot path too.
+const (
+	// EvLoss marks a receiver-side loss event (the paper's unit of
+	// congestion signal); Value carries the triggering sequence number.
+	EvLoss EventKind = iota
+	// EvNoFeedback marks a TFRC no-feedback timer expiry; Value carries
+	// the halved allowed rate in bytes/s.
+	EvNoFeedback
+	// EvTCPTimeout marks a TCP retransmission timeout; Value carries
+	// the post-backoff RTO in seconds.
+	EvTCPTimeout
+	// EvFaultDown / EvFaultUp mark link outage transitions.
+	EvFaultDown
+	EvFaultUp
+	// EvFaultRate marks a link capacity renegotiation; Value carries
+	// the new rate in bytes/s.
+	EvFaultRate
+	// EvHandoff marks a packet handed to another shard at a window
+	// boundary; Value carries the destination shard.
+	EvHandoff
+)
+
+var kindNames = [...]string{
+	EvLoss:       "loss",
+	EvNoFeedback: "no_feedback",
+	EvTCPTimeout: "tcp_timeout",
+	EvFaultDown:  "fault_down",
+	EvFaultUp:    "fault_up",
+	EvFaultRate:  "fault_rate",
+	EvHandoff:    "handoff",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind%d", uint8(k))
+}
+
+// Event is one traced simulation event.
+type Event struct {
+	// T is the simulation time of the event, seconds.
+	T float64
+	// Kind is the event type.
+	Kind EventKind
+	// Flow is the flow id, or -1 when not flow-scoped.
+	Flow int32
+	// Link is the link id, or -1 when not link-scoped.
+	Link int32
+	// Shard is the domain that emitted the event (0 on the serial
+	// engine).
+	Shard int16
+	// Value is a kind-specific payload (rate, seq, shard, RTO).
+	Value float64
+}
+
+// Tracer is a bounded ring buffer of events. One Tracer is owned by one
+// scheduling domain (the whole run on the serial engine, one shard on
+// the sharded engine), so Emit needs no synchronization. When the ring
+// is full the oldest events are overwritten and counted as dropped:
+// debugging wants the end of the run, and the bound keeps a pathological
+// run from eating the heap.
+type Tracer struct {
+	shard   int16
+	events  []Event
+	start   int
+	n       int
+	dropped int64
+}
+
+// NewTracer returns a tracer retaining at most cap events for the given
+// domain. cap <= 0 returns nil — the disabled (zero-cost) tracer.
+func NewTracer(cap int, shard int) *Tracer {
+	if cap <= 0 {
+		return nil
+	}
+	return &Tracer{shard: int16(shard), events: make([]Event, 0, cap)}
+}
+
+// Emit records an event. Nil-safe: a nil tracer is a sink, so call
+// sites pay one predictable branch when tracing is off.
+func (t *Tracer) Emit(ts float64, kind EventKind, flow, link int32, value float64) {
+	if t == nil {
+		return
+	}
+	e := Event{T: ts, Kind: kind, Flow: flow, Link: link, Shard: t.shard, Value: value}
+	if len(t.events) < cap(t.events) {
+		t.events = append(t.events, e)
+		t.n++
+		return
+	}
+	// Ring full: overwrite the oldest.
+	t.events[t.start] = e
+	t.start++
+	if t.start == len(t.events) {
+		t.start = 0
+	}
+	t.dropped++
+}
+
+// Events returns the retained events in emission order. Nil-safe.
+func (t *Tracer) Events() []Event {
+	if t == nil || t.n == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.start:]...)
+	out = append(out, t.events[:t.start]...)
+	return out
+}
+
+// Dropped returns the number of events overwritten by ring wraparound.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Reset empties the tracer for arena-style reuse.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.events = t.events[:0]
+	t.start, t.n, t.dropped = 0, 0, 0
+}
+
+// MergeEvents folds per-domain event streams into one slice ordered by
+// (time, shard, emission order). Each domain's stream is already
+// time-ordered, and the tie-break is deterministic, so the merged
+// stream is reproducible run to run.
+func MergeEvents(tracers []*Tracer) []Event {
+	var out []Event
+	for _, t := range tracers {
+		out = append(out, t.Events()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		return out[i].Shard < out[j].Shard
+	})
+	return out
+}
+
+// JobTrace is one job's merged event stream, labeled for trace output.
+type JobTrace struct {
+	// Name labels the job (scenario/job name).
+	Name string
+	// Pid is the trace-viewer process id to file the events under.
+	Pid int
+	// Events is the job's merged, time-ordered event stream.
+	Events []Event
+	// Dropped counts ring-overwritten events across the job's tracers.
+	Dropped int64
+}
+
+// WriteChromeTrace renders jobs in the Chrome trace_event JSON array
+// format (load in chrome://tracing or https://ui.perfetto.dev). Each
+// job is a process, each shard a thread, each sim event an instant
+// event with the sim time mapped microsecond-for-microsecond.
+func WriteChromeTrace(w io.Writer, jobs []JobTrace) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	first := true
+	for _, j := range jobs {
+		// Process-name metadata row so the viewer shows the job name.
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		if _, err := fmt.Fprintf(w,
+			`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%q}}`,
+			j.Pid, j.Name); err != nil {
+			return err
+		}
+		for _, e := range j.Events {
+			if _, err := fmt.Fprintf(w,
+				",\n{\"name\":%q,\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d,"+
+					"\"args\":{\"flow\":%d,\"link\":%d,\"value\":%.6g}}",
+				e.Kind.String(), e.T*1e6, j.Pid, e.Shard, e.Flow, e.Link, e.Value); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
+}

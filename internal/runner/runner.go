@@ -13,6 +13,7 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -123,6 +124,47 @@ type Pool struct {
 	// goroutine until it returns; that is the price of guaranteed
 	// progress past a hung job.
 	JobDeadline time.Duration
+
+	// Batch-progress atomics behind Snapshot: stored by Execute and its
+	// workers, read from any goroutine by the live-introspection
+	// endpoint. They describe the current (or latest) batch only.
+	snapTotal   atomic.Int64
+	snapDone    atomic.Int64
+	snapFailed  atomic.Int64
+	snapRunning atomic.Int64
+	snapStartNs atomic.Int64 // wall-clock batch start, UnixNano
+}
+
+// PoolSnapshot is the pool's live batch progress: jobs dispatched,
+// finished, failed/abandoned, and the batch's wall-clock age. It is
+// wall-clock flavored by nature and feeds the live-introspection
+// endpoint only — never deterministic output.
+type PoolSnapshot struct {
+	// Total is the size of the current (or latest) batch.
+	Total int
+	// Done counts jobs that finished successfully.
+	Done int
+	// Failed counts jobs that failed or were abandoned by the watchdog.
+	Failed int
+	// Running counts jobs currently executing on workers.
+	Running int
+	// Elapsed is the wall-clock time since the batch started.
+	Elapsed time.Duration
+}
+
+// Snapshot returns the pool's live batch progress. Safe to call from
+// any goroutine, including while Execute is running.
+func (p *Pool) Snapshot() PoolSnapshot {
+	s := PoolSnapshot{
+		Total:   int(p.snapTotal.Load()),
+		Done:    int(p.snapDone.Load()),
+		Failed:  int(p.snapFailed.Load()),
+		Running: int(p.snapRunning.Load()),
+	}
+	if start := p.snapStartNs.Load(); start > 0 {
+		s.Elapsed = time.Duration(time.Now().UnixNano() - start)
+	}
+	return s
 }
 
 // NewPool returns a pool with the given worker count (<= 0 = NumCPU).
@@ -145,6 +187,11 @@ func (p *Pool) Execute(ctx context.Context, jobs []Job) ([]any, error) {
 	if len(jobs) == 0 {
 		return nil, ctx.Err()
 	}
+	p.snapTotal.Store(int64(len(jobs)))
+	p.snapDone.Store(0)
+	p.snapFailed.Store(0)
+	p.snapRunning.Store(0)
+	p.snapStartNs.Store(time.Now().UnixNano())
 
 	outer := ctx
 	ctx, cancel := context.WithCancel(ctx)
@@ -174,12 +221,15 @@ func (p *Pool) Execute(ctx context.Context, jobs []Job) ([]any, error) {
 			for i := range indices {
 				var v any
 				var err error
+				p.snapRunning.Add(1)
 				if p.JobDeadline > 0 {
 					v, err = p.runDeadlined(ctx, i, jobs[i])
 				} else {
 					v, err = runOne(ctx, i, jobs[i])
 				}
+				p.snapRunning.Add(-1)
 				if err != nil {
+					p.snapFailed.Add(1)
 					// Cancellation (the caller's or a fail-fast peer's)
 					// always aborts; in hardened mode every other
 					// failure is recorded and the worker moves on.
@@ -193,6 +243,7 @@ func (p *Pool) Execute(ctx context.Context, jobs []Job) ([]any, error) {
 					continue
 				}
 				results[i] = v
+				p.snapDone.Add(1)
 				mu.Lock()
 				done++
 				prog := Progress{Done: done, Total: len(jobs), Index: i, Name: jobs[i].Name}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/topology"
 )
@@ -131,11 +132,17 @@ func (c *Cluster) Reset() {
 		s.pendingDeliveries, s.pendingInjections = 0, 0
 		s.links = s.links[:0]
 		s.wbuf = 0
+		s.Trace = nil
+		s.handoffs = 0
 		s.progWindow.Store(0)
 		s.progClock.Store(0)
 		s.progPend.Store(0)
 		s.progLedger.Store(0)
 		s.progInject.Store(0)
+		s.progFired.Store(0)
+		s.progCascade.Store(0)
+		s.progHandoff.Store(0)
+		s.progWaitNs.Store(0)
 		for parity := range s.out {
 			for d := range s.out[parity] {
 				s.out[parity][d] = s.out[parity][d][:0]
@@ -497,6 +504,63 @@ func (c *Cluster) InNetwork() int {
 
 // Shard returns shard i (for per-shard assertions in tests).
 func (c *Cluster) Shard(i int) *Shard { return c.shards[i] }
+
+// Snapshots returns every shard's latest barrier-published progress in
+// shard order. Safe to call from any goroutine while a run is in
+// flight — the live-introspection endpoint polls it to show per-shard
+// clocks, event throughput and barrier-wait fractions.
+func (c *Cluster) Snapshots() []Snapshot {
+	out := make([]Snapshot, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = s.Snapshot()
+	}
+	return out
+}
+
+// LinkTracer returns the event tracer of the shard owning the link (the
+// shard of its source node, where every Send on the link executes), nil
+// when tracing is off. It is the fault layer's seam (fault.TracedHost)
+// for emitting link transitions into the right domain's stream. Valid
+// after Partition.
+func (c *Cluster) LinkTracer(id topology.LinkID) *obs.Tracer {
+	c.mustPartitioned()
+	return c.shards[c.linkShard[id]].Trace
+}
+
+// AttachTracers installs a bounded event tracer of the given capacity
+// on every shard. Call it after Partition and before endpoints are
+// constructed — tfrc/tcp senders resolve their domain's tracer once, at
+// construction. Each shard's ring is only written from its own driver
+// goroutine, so emission stays unsynchronized; the per-shard streams
+// merge deterministically through obs.MergeEvents at collection time.
+// cap <= 0 leaves every tracer nil (tracing off).
+func (c *Cluster) AttachTracers(cap int) {
+	c.mustPartitioned()
+	for _, s := range c.shards {
+		s.Trace = obs.NewTracer(cap, s.id)
+	}
+}
+
+// Tracers returns the shards' tracers in shard order (nil entries when
+// tracing is off).
+func (c *Cluster) Tracers() []*obs.Tracer {
+	out := make([]*obs.Tracer, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = s.Trace
+	}
+	return out
+}
+
+// Pending sums the shards' live scheduled-event populations. At a
+// barrier-aligned instant it is executor-invariant: every serial event
+// maps to exactly one event on exactly one shard (see Fired).
+func (c *Cluster) Pending() int {
+	total := 0
+	for _, s := range c.shards {
+		total += s.sched.Pending()
+	}
+	return total
+}
 
 // Poisoned reports whether a parallel run aborted on a tripped barrier.
 // A poisoned cluster must be discarded: an abandoned driver goroutine

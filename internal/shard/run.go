@@ -73,6 +73,7 @@ func (c *Cluster) drain(dst *Shard, parity int) {
 func (c *Cluster) runSequential(until float64) {
 	b := c.shards[0].sched.Now()
 	parity := 0
+	window := 0
 	for {
 		next := b + c.horizon
 		last := next >= until
@@ -83,6 +84,10 @@ func (c *Cluster) runSequential(until float64) {
 			} else {
 				s.sched.RunBefore(next)
 			}
+			// Published for the live-introspection snapshots only (no
+			// stall detector here — one goroutine cannot wait on
+			// itself); a handful of atomic stores per window.
+			s.publishProgress(window)
 		}
 		for _, s := range c.shards {
 			c.drain(s, parity)
@@ -92,6 +97,7 @@ func (c *Cluster) runSequential(until float64) {
 		}
 		b = next
 		parity ^= 1
+		window++
 	}
 }
 
@@ -197,7 +203,10 @@ func (c *Cluster) runParallel(until float64) {
 					s.sched.RunBefore(next)
 				}
 				s.publishProgress(window)
-				if !bar.wait(budget) {
+				waitStart := time.Now()
+				ok := bar.wait(budget)
+				s.progWaitNs.Add(time.Since(waitStart).Nanoseconds())
+				if !ok {
 					return
 				}
 				c.drain(s, parity)

@@ -48,9 +48,11 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/des"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -150,6 +152,15 @@ type Shard struct {
 	id    int
 	sched des.Scheduler
 
+	// Trace, when set, is this shard's event tracer (netsim.Traced).
+	// Each shard owns a private tracer so emission needs no
+	// synchronization; nil keeps every hook a nil-sink. Cleared by
+	// Cluster.Reset.
+	Trace *obs.Tracer
+
+	// handoffs counts cross-shard messages this shard has emitted.
+	handoffs int64
+
 	pool  []*netsim.Packet
 	dpool []*delivery
 	ipool []*injection
@@ -179,12 +190,74 @@ type Shard struct {
 	// the detector reads them (from whatever goroutine dumps the
 	// diagnostics). Plain per-field atomics — no consistent snapshot
 	// needed, every field is individually a barrier-aligned value.
-	progWindow atomic.Int64  // windows completed (1-based; 0 = never arrived)
-	progClock  atomic.Uint64 // math.Float64bits of the shard clock
-	progPend   atomic.Int64  // pending events on the shard's scheduler
-	progLedger atomic.Int64  // freelist ledger: issued - returned
-	progInject atomic.Int64  // handoff ledger: undelivered cross-shard injections
+	progWindow  atomic.Int64  // windows completed (1-based; 0 = never arrived)
+	progClock   atomic.Uint64 // math.Float64bits of the shard clock
+	progPend    atomic.Int64  // pending events on the shard's scheduler
+	progLedger  atomic.Int64  // freelist ledger: issued - returned
+	progInject  atomic.Int64  // handoff ledger: undelivered cross-shard injections
+	progFired   atomic.Uint64 // events fired on the shard's scheduler
+	progCascade atomic.Uint64 // timing-wheel entry migrations performed
+	progHandoff atomic.Int64  // cross-shard messages emitted
+	// progWaitNs accumulates the wall-clock nanoseconds this shard's
+	// driver spent waiting at window barriers (parallel driver only).
+	// Together with the run's wall time it yields the barrier-wait
+	// fraction — the load-imbalance signal of the partition.
+	progWaitNs atomic.Int64
 }
+
+// Snapshot is one shard's barrier-published progress: every field is a
+// barrier-aligned value stored by the shard's driving goroutine at its
+// latest window arrival (or, for BarrierWait, accumulated across them),
+// readable from any goroutine while the run is in flight. It is the
+// public face of the stall detector's progress atomics and the
+// per-shard surface of the live-introspection endpoint.
+type Snapshot struct {
+	// Shard is the domain's index.
+	Shard int
+	// Window counts completed windows (1-based; 0 = not yet arrived).
+	Window int64
+	// Clock is the shard's simulated clock at its latest arrival.
+	Clock float64
+	// Pending is the live-timer population at the latest arrival.
+	Pending int64
+	// Ledger is the freelist's issued-minus-returned at the arrival.
+	Ledger int64
+	// Injections is the count of scheduled-but-unfired cross-shard
+	// arrivals at the latest arrival.
+	Injections int64
+	// Fired is the shard scheduler's cumulative event count.
+	Fired uint64
+	// Cascaded is the scheduler's cumulative timing-wheel entry
+	// migrations; Cascaded/Fired is the amortized wheel-maintenance cost
+	// per event, a per-shard utilization signal.
+	Cascaded uint64
+	// Handoffs is the cumulative count of cross-shard messages emitted.
+	Handoffs int64
+	// BarrierWait is the cumulative wall-clock time the shard's driver
+	// has spent waiting at window barriers (parallel driver only).
+	BarrierWait time.Duration
+}
+
+// Snapshot returns the shard's latest barrier-published progress.
+func (s *Shard) Snapshot() Snapshot {
+	return Snapshot{
+		Shard:       s.id,
+		Window:      s.progWindow.Load(),
+		Clock:       math.Float64frombits(s.progClock.Load()),
+		Pending:     s.progPend.Load(),
+		Ledger:      s.progLedger.Load(),
+		Injections:  s.progInject.Load(),
+		Fired:       s.progFired.Load(),
+		Cascaded:    s.progCascade.Load(),
+		Handoffs:    s.progHandoff.Load(),
+		BarrierWait: time.Duration(s.progWaitNs.Load()),
+	}
+}
+
+// Tracer implements netsim.Traced: protocol endpoints constructed on
+// this shard (tfrc.NewFlowOn, tcp.NewFlowOn) resolve their event
+// tracer here, once, at construction.
+func (s *Shard) Tracer() *obs.Tracer { return s.Trace }
 
 // publishProgress records the shard's barrier-aligned state for the
 // stall detector. Called by the driving goroutine only.
@@ -194,6 +267,9 @@ func (s *Shard) publishProgress(window int) {
 	s.progPend.Store(int64(s.sched.Pending()))
 	s.progLedger.Store(s.Outstanding())
 	s.progInject.Store(int64(s.pendingInjections))
+	s.progFired.Store(s.sched.Fired())
+	s.progCascade.Store(s.sched.Cascaded())
+	s.progHandoff.Store(s.handoffs)
 }
 
 var _ netsim.Network = (*Shard)(nil)
@@ -296,6 +372,8 @@ func (s *Shard) getDelivery(to netsim.Endpoint, p *netsim.Packet) *delivery {
 func (s *Shard) emit(dst int, kind uint8, p *netsim.Packet, at float64) {
 	box := &s.out[s.wbuf][dst]
 	*box = append(*box, message{at: at, origin: s.sched.Now(), pkt: *p, kind: kind})
+	s.handoffs++
+	s.Trace.Emit(s.sched.Now(), obs.EvHandoff, int32(p.Flow), -1, float64(dst))
 	s.PutPacket(p)
 }
 

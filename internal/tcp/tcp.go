@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -108,6 +109,7 @@ type Sender struct {
 	onTimeoutFn       des.Event // bound once: the RTO re-arm path is per-ACK
 
 	lossEvents *netsim.LossEventCounter
+	trace      *obs.Tracer
 
 	started bool
 
@@ -135,6 +137,7 @@ func NewSender(sched *des.Scheduler, net netsim.Network, flow int, cfg Config) *
 		cwnd:     cfg.InitialCwnd,
 		ssthresh: cfg.InitialSsthresh,
 		rto:      1.0,
+		trace:    netsim.TracerOf(net),
 	}
 	s.lossEvents = netsim.NewLossEventCounter(func() float64 {
 		if s.srtt > 0 {
@@ -303,6 +306,7 @@ func (s *Sender) armRTO() {
 
 func (s *Sender) onTimeout() {
 	now := s.sched.Now()
+	s.trace.Emit(now, obs.EvTCPTimeout, int32(s.flow), -1, s.rto*math.Pow(2, float64(s.backoff)))
 	s.lossEvents.OnLoss(now, s.highAck)
 	s.ssthresh = math.Max(s.cwnd/2, 2)
 	s.cwnd = 1

@@ -24,6 +24,7 @@ import (
 	"repro/internal/estimator"
 	"repro/internal/formula"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -184,6 +185,7 @@ type Sender struct {
 	started    bool
 	lastRecvRt float64
 	lastP      float64
+	trace      *obs.Tracer
 
 	// Bound callbacks, allocated once so the per-packet and per-timer
 	// scheduling path stays allocation-free.
@@ -227,6 +229,7 @@ type Receiver struct {
 
 	eventsBase int64
 	intervals0 int
+	trace      *obs.Tracer
 }
 
 // NewFlow wires a TFRC sender/receiver pair onto the dumbbell flow and
@@ -252,6 +255,7 @@ func NewFlowOn(sndSched *des.Scheduler, sndNet netsim.Network, rcvSched *des.Sch
 		net:   rcvNet,
 		flow:  flow,
 		est:   estimator.NewLossIntervalEstimator(estimator.TFRCWeights(cfg.Window)),
+		trace: netsim.TracerOf(rcvNet),
 	}
 	rcv.events = netsim.NewLossEventCounter(func() float64 {
 		if rcv.senderRTT > 0 {
@@ -270,6 +274,7 @@ func NewFlowOn(sndSched *des.Scheduler, sndNet netsim.Network, rcvSched *des.Sch
 		slowStart: true,
 		receiver:  rcv,
 		random:    rng.New(cfg.Seed ^ uint64(flow)*0x9e3779b97f4a7c15),
+		trace:     netsim.TracerOf(sndNet),
 	}
 	snd.sendNextFn = snd.sendNext
 	snd.onNoFeedbackFn = snd.onNoFeedback
@@ -422,6 +427,7 @@ func (s *Sender) armNoFeedback() {
 func (s *Sender) onNoFeedback() {
 	s.nfHalvings++
 	s.rate = math.Max(s.rate/2, float64(s.cfg.SegSize)/8)
+	s.trace.Emit(s.sched.Now(), obs.EvNoFeedback, int32(s.flow), -1, s.rate)
 	s.noteMinRate()
 	s.armNoFeedback()
 }
@@ -491,6 +497,7 @@ func (r *Receiver) Receive(p *netsim.Packet) {
 }
 
 func (r *Receiver) onNewEvent(seq int64) {
+	r.trace.Emit(r.sched.Now(), obs.EvLoss, int32(r.flow), -1, float64(seq))
 	if !r.sawLoss {
 		r.sawLoss = true
 		// RFC 3448 §6.3.1: synthesize the first loss interval so that

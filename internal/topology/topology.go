@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -96,6 +97,12 @@ func (dv *delivery) deliver() {
 // endpoints with AttachFlow.
 type Network struct {
 	Sched *des.Scheduler
+
+	// Trace, when set, is the event tracer of this network's scheduling
+	// domain. Protocol endpoints and the fault layer discover it through
+	// netsim.Traced; nil (the default) keeps every tracing hook a
+	// nil-sink. Cleared by Reset.
+	Trace *obs.Tracer
 
 	nodes    []string
 	links    []*netsim.Link
@@ -187,7 +194,18 @@ func (n *Network) Reset() {
 	n.jitterSeed = 0
 	n.issued, n.returned = 0, 0
 	n.pendingDeliveries = 0
+	n.Trace = nil
 }
+
+// Tracer implements netsim.Traced: it returns the domain's event
+// tracer, nil when tracing is off.
+func (n *Network) Tracer() *obs.Tracer { return n.Trace }
+
+// LinkTracer returns the tracer of the domain owning the link — on the
+// serial engine, the network's one tracer. It is the seam the fault
+// layer uses to emit link transitions into the right domain's stream
+// (fault.TracedHost).
+func (n *Network) LinkTracer(LinkID) *obs.Tracer { return n.Trace }
 
 // AddNode adds a named node and returns its id. Nodes only anchor link
 // endpoints (for route validation and diagnostics); they hold no state.

@@ -7,9 +7,23 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
+)
+
+// Window errors returned by TimeAverage and Recorder.WriteTSV. These
+// used to panic, but callers now include the hardened -deadline path,
+// where a panic poisons a whole job; a bad window is an input error,
+// not a corrupted invariant.
+var (
+	// ErrEmptySeries reports an aggregate over a series with no samples.
+	ErrEmptySeries = errors.New("trace: empty series")
+	// ErrEmptyWindow reports a window with to <= from.
+	ErrEmptyWindow = errors.New("trace: empty window")
+	// ErrBadGrid reports a resampling grid with fewer than two points.
+	ErrBadGrid = errors.New("trace: resampling grid needs at least two points")
 )
 
 // Series is a named, time-ordered sequence of samples.
@@ -33,14 +47,14 @@ func (s *Series) Add(t, v float64) {
 func (s *Series) Len() int { return len(s.Times) }
 
 // At returns the last sampled value at or before time t (zero-order
-// hold), or 0 before the first sample.
+// hold), or 0 before the first sample. With several samples at the same
+// timestamp (an instantaneous multi-step update), the hold keeps the
+// latest one — the state the system was left in at that instant.
 func (s *Series) At(t float64) float64 {
-	i := sort.SearchFloat64s(s.Times, t)
-	// SearchFloat64s returns the first index with Times[i] >= t; we
-	// want the sample at or before t.
-	if i < len(s.Times) && s.Times[i] == t {
-		return s.Values[i]
-	}
+	// Upper bound: first index with Times[i] > t. This steps past every
+	// sample co-timestamped at t, unlike SearchFloat64s, which stops at
+	// the first of them.
+	i := sort.Search(len(s.Times), func(k int) bool { return s.Times[k] > t })
 	if i == 0 {
 		return 0
 	}
@@ -48,13 +62,14 @@ func (s *Series) At(t float64) float64 {
 }
 
 // TimeAverage returns the zero-order-hold time average of the series
-// over [from, to]. It panics on an empty series or an empty window.
-func (s *Series) TimeAverage(from, to float64) float64 {
+// over [from, to]. It returns ErrEmptySeries on a series with no
+// samples and ErrEmptyWindow when to <= from.
+func (s *Series) TimeAverage(from, to float64) (float64, error) {
 	if s.Len() == 0 {
-		panic("trace: empty series")
+		return 0, ErrEmptySeries
 	}
 	if to <= from {
-		panic("trace: empty averaging window")
+		return 0, fmt.Errorf("%w: [%g, %g]", ErrEmptyWindow, from, to)
 	}
 	sum := 0.0
 	t := from
@@ -75,7 +90,7 @@ func (s *Series) TimeAverage(from, to float64) float64 {
 	if t < to {
 		sum += s.At(t) * (to - t)
 	}
-	return sum / (to - from)
+	return sum / (to - from), nil
 }
 
 // Recorder collects several named series plus point events.
@@ -117,10 +132,14 @@ func (r *Recorder) Mark(t float64, label string) {
 func (r *Recorder) Names() []string { return append([]string(nil), r.order...) }
 
 // WriteTSV renders all series resampled on a common grid of n points
-// spanning [from, to] (zero-order hold), one column per series.
+// spanning [from, to] (zero-order hold), one column per series. A grid
+// with fewer than two points or a window with to <= from is an error.
 func (r *Recorder) WriteTSV(w io.Writer, from, to float64, n int) error {
-	if n < 2 || to <= from {
-		panic("trace: bad resampling window")
+	if n < 2 {
+		return fmt.Errorf("%w: n=%d", ErrBadGrid, n)
+	}
+	if to <= from {
+		return fmt.Errorf("%w: [%g, %g]", ErrEmptyWindow, from, to)
 	}
 	if _, err := fmt.Fprint(w, "time"); err != nil {
 		return err

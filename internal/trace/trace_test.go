@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -32,6 +33,39 @@ func TestSeriesAtZeroOrderHold(t *testing.T) {
 	}
 }
 
+// Regression: with several samples at the same timestamp the hold must
+// return the *latest* co-timestamped value, not the first one that
+// sort.SearchFloat64s lands on. An instantaneous multi-step update
+// (e.g. rate halved twice at one no-feedback expiry) leaves the system
+// in the last state.
+func TestSeriesAtDuplicateTimestamps(t *testing.T) {
+	var s Series
+	s.Add(0, 1)
+	s.Add(1, 10)
+	s.Add(1, 20)
+	s.Add(1, 30)
+	s.Add(2, 40)
+	if v := s.At(1); v != 30 {
+		t.Fatalf("At(1) = %v, want the last co-timestamped value 30", v)
+	}
+	if v := s.At(1.5); v != 30 {
+		t.Fatalf("At(1.5) = %v, want 30", v)
+	}
+	if v := s.At(0.5); v != 1 {
+		t.Fatalf("At(0.5) = %v, want 1", v)
+	}
+	// Duplicates at the very first timestamp: before them still 0.
+	var s2 Series
+	s2.Add(1, 5)
+	s2.Add(1, 6)
+	if v := s2.At(0.9); v != 0 {
+		t.Fatalf("before first sample = %v, want 0", v)
+	}
+	if v := s2.At(1); v != 6 {
+		t.Fatalf("At(first dup) = %v, want 6", v)
+	}
+}
+
 func TestSeriesOrderEnforced(t *testing.T) {
 	var s Series
 	s.Add(2, 1)
@@ -47,19 +81,22 @@ func TestTimeAverage(t *testing.T) {
 	var s Series
 	s.Add(0, 10)
 	s.Add(1, 0) // 10 for [0,1), 0 for [1,10)
-	got := s.TimeAverage(0, 10)
+	got, err := s.TimeAverage(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(got-1) > 1e-12 {
 		t.Fatalf("time average = %v, want 1", got)
 	}
 	// Sub-window entirely in the first segment.
-	if got := s.TimeAverage(0, 1); math.Abs(got-10) > 1e-12 {
-		t.Fatalf("sub-window average = %v, want 10", got)
+	if got, err := s.TimeAverage(0, 1); err != nil || math.Abs(got-10) > 1e-12 {
+		t.Fatalf("sub-window average = %v (err %v), want 10", got, err)
 	}
 	// Window extending past the last sample holds the last value.
 	s2 := Series{}
 	s2.Add(0, 5)
-	if got := s2.TimeAverage(0, 4); math.Abs(got-5) > 1e-12 {
-		t.Fatalf("constant average = %v", got)
+	if got, err := s2.TimeAverage(0, 4); err != nil || math.Abs(got-5) > 1e-12 {
+		t.Fatalf("constant average = %v (err %v)", got, err)
 	}
 }
 
@@ -99,29 +136,69 @@ func TestRecorder(t *testing.T) {
 	}
 }
 
-func TestPanics(t *testing.T) {
-	r := NewRecorder()
-	r.Series("x").Add(0, 1)
+// Bad windows are input errors, not panics: a panic in a scenario job
+// poisons the whole job under the hardened -deadline harness, while an
+// error folds into the failure manifest.
+func TestWindowErrors(t *testing.T) {
+	single := &Series{}
+	single.Add(0, 1)
+	rec := NewRecorder()
+	rec.Series("x").Add(0, 1)
 	var buf bytes.Buffer
-	cases := []func(){
-		func() { (&Series{}).TimeAverage(0, 1) },
-		func() {
-			s := &Series{}
-			s.Add(0, 1)
-			s.TimeAverage(2, 2)
-		},
-		func() { _ = r.WriteTSV(&buf, 0, 1, 1) },
-		func() { _ = r.WriteTSV(&buf, 1, 0, 5) },
+
+	cases := []struct {
+		name    string
+		run     func() error
+		wantErr error
+	}{
+		{"time-average empty series", func() error {
+			_, err := (&Series{}).TimeAverage(0, 1)
+			return err
+		}, ErrEmptySeries},
+		{"time-average empty series and empty window", func() error {
+			// The empty series is reported first: there is nothing to
+			// average regardless of the window.
+			_, err := (&Series{}).TimeAverage(2, 2)
+			return err
+		}, ErrEmptySeries},
+		{"time-average single sample from==to", func() error {
+			_, err := single.TimeAverage(2, 2)
+			return err
+		}, ErrEmptyWindow},
+		{"time-average single sample inverted window", func() error {
+			_, err := single.TimeAverage(3, 2)
+			return err
+		}, ErrEmptyWindow},
+		{"write-tsv one-point grid", func() error {
+			return rec.WriteTSV(&buf, 0, 1, 1)
+		}, ErrBadGrid},
+		{"write-tsv from==to", func() error {
+			return rec.WriteTSV(&buf, 1, 1, 5)
+		}, ErrEmptyWindow},
+		{"write-tsv inverted window", func() error {
+			return rec.WriteTSV(&buf, 1, 0, 5)
+		}, ErrEmptyWindow},
 	}
-	for i, fn := range cases {
-		func() {
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
 			defer func() {
-				if recover() == nil {
-					t.Errorf("case %d: expected panic", i)
+				if p := recover(); p != nil {
+					t.Fatalf("panicked: %v", p)
 				}
 			}()
-			fn()
-		}()
+			if err := tc.run(); !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+
+	// Valid single-sample windows still work.
+	if got, err := single.TimeAverage(0, 2); err != nil || got != 1 {
+		t.Fatalf("single-sample average = %v (err %v), want 1", got, err)
+	}
+	buf.Reset()
+	if err := rec.WriteTSV(&buf, 0, 1, 2); err != nil {
+		t.Fatalf("valid write: %v", err)
 	}
 }
 
@@ -140,8 +217,8 @@ func TestQuickTimeAverageBounds(t *testing.T) {
 			hi = math.Max(hi, v)
 			tcur += 0.1 + r.Float64()
 		}
-		avg := s.TimeAverage(0, tcur)
-		return avg >= lo-1e-9 && avg <= hi+1e-9
+		avg, err := s.TimeAverage(0, tcur)
+		return err == nil && avg >= lo-1e-9 && avg <= hi+1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
