@@ -55,6 +55,7 @@ var benchSuite = []struct {
 	{"ShardedChainBaseline", perfbench.ShardedChainBaseline},
 	{"ShardedChainSteadyState", perfbench.ShardedChainSteadyState},
 	{"FaultyChainSteadyState", perfbench.FaultyChainSteadyState},
+	{"ChurnSteadyState", perfbench.ChurnSteadyState},
 }
 
 // selectBenchmarks resolves the -benchrun filter: an empty filter keeps

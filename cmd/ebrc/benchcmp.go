@@ -71,9 +71,11 @@ func runBenchCmp(oldPath, newPath string, tol, atol, btol float64, stdout, stder
 
 	failures := 0
 	compared := 0
+	var newOnly []string
 	for _, n := range newRep.Benchmarks {
 		o, ok := oldBy[n.Name]
 		if !ok {
+			newOnly = append(newOnly, n.Name)
 			fmt.Fprintf(stdout, "%-24s new benchmark, not gated (%.0f events/sec, %d allocs/op)\n",
 				n.Name, n.EventsPerSec, n.AllocsPerOp)
 			continue
@@ -111,6 +113,16 @@ func runBenchCmp(oldPath, newPath string, tol, atol, btol float64, stdout, stder
 	sort.Strings(missing)
 	for _, name := range missing {
 		fmt.Fprintf(stdout, "%-24s missing from %s, not gated\n", name, newPath)
+	}
+	// Bodies present only in the new report never gate (an older baseline
+	// cannot fail a freshly-added benchmark) but they must not vanish
+	// into the per-line noise either: list them explicitly at the end, so
+	// a reviewer sees exactly which measurements lack a baseline until
+	// the next BENCH_<n>.json is recorded.
+	if len(newOnly) > 0 {
+		sort.Strings(newOnly)
+		fmt.Fprintf(stdout, "%d new benchmark(s) without a baseline in %s (recorded, not gated): %s\n",
+			len(newOnly), oldPath, strings.Join(newOnly, ", "))
 	}
 	if compared == 0 {
 		fmt.Fprintf(stderr, "ebrc: no benchmarks in common between %s and %s\n", oldPath, newPath)

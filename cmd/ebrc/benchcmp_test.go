@@ -102,6 +102,34 @@ func TestBenchCmp(t *testing.T) {
 	}
 }
 
+// Benchmarks present only in the NEW report must be called out in an
+// explicit end-of-report summary naming each body — not just one line
+// lost in the per-benchmark noise — while still never gating.
+func TestBenchCmpNewOnlySummary(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBenchFile(t, dir, "old.json", []benchEntry{
+		{Name: "DumbbellSteadyState", EventsPerSec: 6e6, AllocsPerOp: 2800},
+	})
+	nu := writeBenchFile(t, dir, "new.json", []benchEntry{
+		{Name: "DumbbellSteadyState", EventsPerSec: 6e6, AllocsPerOp: 2800},
+		{Name: "ChurnSteadyState", EventsPerSec: 2e6, AllocsPerOp: 50},
+		{Name: "AnotherNewBody", EventsPerSec: 1e6, AllocsPerOp: 0},
+	})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-benchcmp", old, nu}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr: %s", code, errb.String())
+	}
+	got := out.String()
+	want := "2 new benchmark(s) without a baseline in " + old +
+		" (recorded, not gated): AnotherNewBody, ChurnSteadyState"
+	if !strings.Contains(got, want) {
+		t.Fatalf("output missing new-only summary %q:\n%s", want, got)
+	}
+	if !strings.Contains(got, "no regressions") {
+		t.Fatalf("new-only bodies must not gate:\n%s", got)
+	}
+}
+
 func TestBenchCmpErrors(t *testing.T) {
 	dir := t.TempDir()
 	good := writeBenchFile(t, dir, "good.json", []benchEntry{{Name: "A", EventsPerSec: 1}})

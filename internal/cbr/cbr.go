@@ -20,17 +20,31 @@ import (
 // It is the measurement instrument for the "non-adaptive source" rows of
 // Figure 7.
 type Probe struct {
-	sched   *des.Scheduler
-	net     netsim.Network
-	flow    int
-	size    int
-	rate    float64 // packets per second
-	poisson bool
-	random  *rng.RNG
+	sched *des.Scheduler
+	// rcvSched is the clock the receiver-side endpoint reads. It equals
+	// sched unless the flow's endpoints are split across shard
+	// schedulers (SetReceiverScheduler), where reading the sender's
+	// clock from the receiver's goroutine would race — and would read a
+	// mid-window instant instead of the delivery time.
+	rcvSched *des.Scheduler
+	net      netsim.Network
+	flow     int
+	size     int
+	rate     float64 // packets per second
+	poisson  bool
+	random   *rng.RNG
 
 	nextSeq    int64
+	total      int64 // 0 = unbounded; else stop after this many packets
 	started    bool
+	done       bool
+	sendTimer  des.Timer
 	sendNextFn des.Event // bound once: the pacing loop re-arms per packet
+	onDone     func()
+
+	// Endpoints built once at construction and reused by Renew, so
+	// recycling a probe re-attaches without allocating fresh closures.
+	sendEP, recvEP netsim.Endpoint
 
 	// receiver side
 	expected int64
@@ -59,6 +73,15 @@ type ProbeStats struct {
 // (Poisson arrivals), otherwise constant (CBR). rttGuess sets the
 // loss-event grouping window.
 func NewProbe(sched *des.Scheduler, net netsim.Network, flow int, size int, rate float64, poisson bool, rttGuess float64, seed uint64, fwdExtra, revDelay float64) *Probe {
+	p := NewProbeRaw(sched, net, flow, size, rate, poisson, rttGuess, seed)
+	net.AttachFlow(flow, p.sendEP, p.recvEP, fwdExtra, revDelay)
+	return p
+}
+
+// NewProbeRaw builds the probe without attaching the flow, for callers
+// that attach with explicit hop slices through their executor (see
+// Endpoints).
+func NewProbeRaw(sched *des.Scheduler, net netsim.Network, flow int, size int, rate float64, poisson bool, rttGuess float64, seed uint64) *Probe {
 	if sched == nil || net == nil {
 		panic("cbr: nil scheduler or network")
 	}
@@ -67,6 +90,7 @@ func NewProbe(sched *des.Scheduler, net netsim.Network, flow int, size int, rate
 	}
 	p := &Probe{
 		sched:    sched,
+		rcvSched: sched,
 		net:      net,
 		flow:     flow,
 		size:     size,
@@ -77,9 +101,50 @@ func NewProbe(sched *des.Scheduler, net netsim.Network, flow int, size int, rate
 	}
 	p.events = netsim.NewLossEventCounter(func() float64 { return p.rttGuess })
 	p.sendNextFn = p.sendNext
-	net.AttachFlow(flow, netsim.EndpointFunc(func(*netsim.Packet) {}), netsim.EndpointFunc(p.receive), fwdExtra, revDelay)
+	p.sendEP = netsim.EndpointFunc(func(*netsim.Packet) {})
+	p.recvEP = netsim.EndpointFunc(p.receive)
 	return p
 }
+
+// Endpoints returns the probe's sender-side and receiver-side endpoint
+// closures, for callers that attach the flow themselves.
+func (p *Probe) Endpoints() (sender, receiver netsim.Endpoint) { return p.sendEP, p.recvEP }
+
+// SetReceiverScheduler points the receiver side at the scheduler that
+// fires its endpoint. Required when a probe's sender and receiver live
+// on different shard schedulers; the default is the sender's scheduler.
+func (p *Probe) SetReceiverScheduler(s *des.Scheduler) {
+	if s == nil {
+		panic("cbr: nil receiver scheduler")
+	}
+	p.rcvSched = s
+}
+
+// Flow returns the probe's current flow id.
+func (p *Probe) Flow() int { return p.flow }
+
+// SetTotalPackets bounds the transfer to n packets (0 = unbounded).
+// Must be called before Start.
+func (p *Probe) SetTotalPackets(n int64) {
+	if p.started {
+		panic("cbr: SetTotalPackets after Start")
+	}
+	if n < 0 {
+		panic("cbr: negative packet total")
+	}
+	p.total = n
+}
+
+// OnDone registers a callback fired once, from inside the event that
+// sends a finite probe's last packet. Set before Start.
+func (p *Probe) OnDone(fn func()) { p.onDone = fn }
+
+// Done reports whether a finite probe has sent its full volume.
+func (p *Probe) Done() bool { return p.done }
+
+// Quiesced reports whether the probe is done and holds no live pacing
+// timer, i.e. it will never schedule another event.
+func (p *Probe) Quiesced() bool { return p.done && !p.sendTimer.Active() }
 
 // Start begins transmission.
 func (p *Probe) Start() {
@@ -125,18 +190,59 @@ func (p *Probe) sendNext() {
 	pkt.Kind = netsim.Data
 	p.net.SendForward(pkt)
 	p.nextSeq++
+	if p.total > 0 && p.nextSeq >= p.total {
+		// sendTimer was the event that got us here, so nothing is live.
+		p.done = true
+		if p.onDone != nil {
+			p.onDone()
+		}
+		return
+	}
 	gap := 1 / p.rate
 	if p.poisson {
 		gap = p.random.Exp(p.rate)
 	}
-	p.sched.After(gap, p.sendNextFn)
+	p.sendTimer = p.sched.After(gap, p.sendNextFn)
+}
+
+// Renew reinitializes the probe in place for a new flow, reusing the
+// loss-counter buffers, RNG and endpoint closures so churn workloads
+// recycle probes without allocating. The probe must be Quiesced. The
+// flow is NOT re-attached — callers attach p.Endpoints() through their
+// executor. The packet total resets to unbounded — call SetTotalPackets
+// again for a finite transfer.
+func (p *Probe) Renew(flow, size int, rate float64, poisson bool, rttGuess float64, seed uint64) {
+	if size <= 0 || rate <= 0 || rttGuess <= 0 {
+		panic("cbr: invalid probe parameters")
+	}
+	if p.started && !p.Quiesced() {
+		panic("cbr: Renew on a non-quiescent probe")
+	}
+	p.flow = flow
+	p.size = size
+	p.rate = rate
+	p.poisson = poisson
+	p.rttGuess = rttGuess
+	p.random.Reseed(seed)
+	p.nextSeq = 0
+	p.total = 0
+	p.started = false
+	p.done = false
+	p.sendTimer = des.Timer{}
+	// onDone is kept: it is bound once per probe (capturing the probe,
+	// not the flow), so recycling does not rebuild the closure.
+	p.expected = 0
+	p.events.Reset()
+	p.measStart = 0
+	p.pktsSent = 0
+	p.eventsBase = 0
 }
 
 func (p *Probe) receive(pkt *netsim.Packet) {
 	if pkt.Kind != netsim.Data {
 		return
 	}
-	now := p.sched.Now()
+	now := p.rcvSched.Now()
 	if pkt.Seq > p.expected {
 		for lost := p.expected; lost < pkt.Seq; lost++ {
 			p.events.OnLoss(now, lost)

@@ -125,13 +125,20 @@ func (e *LossIntervalEstimator) Observe(theta float64) {
 	if theta <= 0 {
 		panic("estimator: non-positive loss interval")
 	}
+	// Grow by one slot while the window fills, then shift in place: the
+	// buffer reaches capacity L once and is reused forever after (Reset
+	// keeps it), so pooled receivers observe without allocating.
 	if len(e.history) < len(e.weights) {
-		e.history = append([]float64{theta}, e.history...)
-		return
+		e.history = append(e.history, 0)
 	}
 	copy(e.history[1:], e.history[:len(e.history)-1])
 	e.history[0] = theta
 }
+
+// Reset clears the observed history while keeping the weights and the
+// history buffer's capacity, so a pooled receiver (the churn engine's
+// recycled endpoints) renews its estimator without allocating.
+func (e *LossIntervalEstimator) Reset() { e.history = e.history[:0] }
 
 // Ready reports whether a full window of L intervals has been observed.
 func (e *LossIntervalEstimator) Ready() bool { return len(e.history) >= len(e.weights) }
@@ -202,7 +209,11 @@ func (e *LossIntervalEstimator) Prime(theta float64) {
 	if theta <= 0 {
 		panic("estimator: non-positive priming interval")
 	}
-	e.history = make([]float64, len(e.weights))
+	if cap(e.history) < len(e.weights) {
+		e.history = make([]float64, len(e.weights))
+	} else {
+		e.history = e.history[:len(e.weights)]
+	}
 	for i := range e.history {
 		e.history[i] = theta
 	}
@@ -244,6 +255,10 @@ func (r *RTT) Sample(rtt float64) {
 	}
 	r.value = r.q*r.value + (1-r.q)*rtt
 }
+
+// Reset forgets all samples, returning the estimator to its
+// just-constructed state (the smoothing constant is kept).
+func (r *RTT) Reset() { r.value, r.ready = 0, false }
 
 // Value returns the current smoothed RTT (0 before any sample).
 func (r *RTT) Value() float64 { return r.value }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"sync"
 
+	"repro/internal/arrivals"
 	"repro/internal/des"
 	"repro/internal/netsim"
 	"repro/internal/obs"
@@ -40,6 +41,23 @@ type simExec interface {
 	// sharded one. Fault events for a link must fire there.
 	LinkSched(id topology.LinkID) *des.Scheduler
 	BaseRTT(flow int) float64
+
+	// arrivals.Host is the run-time churn seam: RouteEnv resolves
+	// endpoint environments from explicit hops, AttachLive registers a
+	// flow while the simulation runs, and Lifecycle exposes detach (nil
+	// on the sharded executor, which never reclaims).
+	arrivals.Host
+	// ReserveFlows sizes the flow table for live attachment: ids
+	// [0, max) become attachable mid-run. On the sharded executor the
+	// table's slice header must not move while shard goroutines read it,
+	// so reservation is mandatory before the first Run that attaches.
+	ReserveFlows(max int)
+	// DeclareReverseChannel pre-declares a pure-delay reverse channel
+	// for flows that will attach live over the given forward route, so
+	// the sharded executor can fold the reverse latency into its
+	// conservative horizon before sealing. The serial executor ignores
+	// it.
+	DeclareReverseChannel(hops []topology.LinkID, revDelay float64)
 
 	// Freeze ends graph declaration: the sharded executor partitions
 	// here (links materialize on their owning shards), the serial one
@@ -125,6 +143,23 @@ func (e *serialExec) AttachTracers(cap int) { e.Network.Trace = obs.NewTracer(ca
 
 func (e *serialExec) Tracers() []*obs.Tracer { return []*obs.Tracer{e.Network.Trace} }
 
+// RouteEnv ignores the hops: both endpoints of every flow live on the
+// serial engine's one scheduler.
+func (e *serialExec) RouteEnv([]topology.LinkID) (*des.Scheduler, netsim.Network, *des.Scheduler, netsim.Network) {
+	return &e.a.sched, e.a.net, &e.a.sched, e.a.net
+}
+
+func (e *serialExec) AttachLive(flow int, sender, receiver netsim.Endpoint, fwdHops, revHops []topology.LinkID, fwdExtra, revDelay float64) {
+	e.Network.AttachFlowOn(flow, sender, receiver, fwdHops, revHops, fwdExtra, revDelay)
+}
+
+// Lifecycle exposes the serial network's detach surface: churn flows
+// are reclaimed and their endpoints recycled.
+func (e *serialExec) Lifecycle() arrivals.Lifecycle { return e.Network }
+
+// DeclareReverseChannel is a no-op: the serial engine has no horizon.
+func (e *serialExec) DeclareReverseChannel([]topology.LinkID, float64) {}
+
 func (e *serialExec) RunUntil(t float64) { e.a.sched.RunUntil(t) }
 func (e *serialExec) Fired() uint64      { return e.a.sched.Fired() }
 func (e *serialExec) Pending() int       { return e.a.sched.Pending() }
@@ -152,6 +187,18 @@ func (e *shardExec) SinkEnv(hops ...topology.LinkID) (*des.Scheduler, netsim.Net
 	s := e.Cluster.SinkEnv(hops...)
 	return s.Sched(), s
 }
+
+// RouteEnv shadows the cluster's shard-typed variant with the
+// scheduler/network 4-tuple the flow builders want.
+func (e *shardExec) RouteEnv(fwdHops []topology.LinkID) (*des.Scheduler, netsim.Network, *des.Scheduler, netsim.Network) {
+	snd, rcv := e.Cluster.RouteEnv(fwdHops)
+	return snd.Sched(), snd, rcv.Sched(), rcv
+}
+
+// Lifecycle returns nil: detaching a flow mid-run would be a
+// cross-shard write, so on the cluster churn flows stay attached and
+// every arrival builds fresh endpoints.
+func (e *shardExec) Lifecycle() arrivals.Lifecycle { return nil }
 
 func (e *shardExec) RunUntil(t float64) { e.Run(t) }
 

@@ -100,12 +100,19 @@ type obsRun struct {
 
 // newObsRun returns the collector for one run, or nil when Observe is
 // entirely off. tracers must return the per-domain tracers at
-// collection time.
-func newObsRun(eng obsEngine, tracers func() []*obs.Tracer) *obsRun {
-	if !Observe.enabled() {
+// collection time. forceEpochs is the run's own epoch-log floor: churn
+// scenarios set it so their folds get per-epoch deltas even on a plain
+// CLI run (the forced log rides the result struct only — TSV epoch
+// blocks stay gated on the user's Observe selection).
+func newObsRun(eng obsEngine, tracers func() []*obs.Tracer, forceEpochs int) *obsRun {
+	epochs := Observe.Epochs
+	if forceEpochs > epochs {
+		epochs = forceEpochs
+	}
+	if !Observe.enabled() && epochs <= 1 {
 		return nil
 	}
-	o := &obsRun{eng: eng, tracers: tracers, epochs: Observe.Epochs}
+	o := &obsRun{eng: eng, tracers: tracers, epochs: epochs}
 	if o.epochs > 1 {
 		o.log = &obs.EpochLog{}
 	}

@@ -157,7 +157,7 @@ func RunRevSim(cfg RevSimConfig) RevSimResult {
 	env.Freeze()
 	// Tracer attach precedes endpoint construction (see RunTopoSim).
 	env.AttachTracers(Observe.TraceCap)
-	ob := newObsRun(env, env.Tracers)
+	ob := newObsRun(env, env.Tracers, 0)
 
 	tfrcCfg := tfrc.DefaultConfig()
 	tfrcCfg.Window = cfg.L

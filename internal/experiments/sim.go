@@ -179,7 +179,7 @@ func RunSim(cfg SimConfig) SimResult {
 	// tracing off the tracer stays nil and every hook is a nil-sink.
 	net.Trace = obs.NewTracer(Observe.TraceCap, 0)
 	ob := newObsRun(serialEng{net.Network, sched},
-		func() []*obs.Tracer { return []*obs.Tracer{net.Trace} })
+		func() []*obs.Tracer { return []*obs.Tracer{net.Trace} }, 0)
 
 	tfrcCfg := tfrc.DefaultConfig()
 	tfrcCfg.Window = cfg.L

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/arrivals"
 	"repro/internal/des"
 	"repro/internal/fault"
 	"repro/internal/formula"
@@ -89,6 +90,20 @@ type TopoSimConfig struct {
 	// residual delay after the last reverse hop; crossing flows keep
 	// pure-delay reverse paths.
 	MirrorRev bool
+	// Churn declares run-time session arrival classes (see
+	// internal/arrivals): finite transfers that attach while the
+	// simulation runs, drawn from the class's interarrival and size
+	// laws. Forward classes ride the full forward chain; classes with
+	// Reverse set ride the mirrored reverse chain and require MirrorRev.
+	// Churn flows' feedback always takes the pure-delay reverse path.
+	// Churn flow ids start after the last configured static flow.
+	Churn []arrivals.Spec
+	// ForceEpochs, when above 1, forces this run's epoch log (that many
+	// epochs) even when the process-wide Observe options are off, so
+	// churn folds can consume per-epoch deltas on a plain CLI run. It
+	// never changes the simulation trajectory, and TSV epoch blocks stay
+	// gated on the user's Observe selection.
+	ForceEpochs int
 }
 
 // RecoveryWatch configures post-outage recovery measurement: each long
@@ -187,8 +202,11 @@ type TopoSimResult struct {
 	// regained Watch.Frac of its pre-outage rate; -1 if it never did.
 	Recovery []float64
 	// Obs is the run's observability capture (nil unless the process-
-	// wide Observe options enable one).
+	// wide Observe options or cfg.ForceEpochs enable one).
 	Obs *RunObs
+	// Churn summarizes each arrival class of cfg.Churn, in declaration
+	// order (nil when the run had none).
+	Churn []arrivals.ClassResult
 }
 
 // queueDrops reads a queue discipline's drop counter, when it has one.
@@ -250,7 +268,7 @@ func RunTopoSim(cfg TopoSimConfig) TopoSimResult {
 	// each resolve their domain's tracer once. Cap <= 0 (tracing off)
 	// leaves every tracer nil.
 	env.AttachTracers(Observe.TraceCap)
-	ob := newObsRun(env, env.Tracers)
+	ob := newObsRun(env, env.Tracers, cfg.ForceEpochs)
 	// Arm the fault plan right after the freeze: every timed transition
 	// is scheduled at declaration time, in plan order, on the scheduler
 	// that owns its link — the same (time, arming-key, seq) order on the
@@ -321,6 +339,50 @@ func RunTopoSim(cfg TopoSimConfig) TopoSimResult {
 		}
 	}
 
+	// Churn classes arm after every static flow (their id block starts at
+	// flowID) and before the first Run: the sharded executor's flow table
+	// must be sized and its cross-shard pure-delay reverse channels
+	// declared while the cluster is still unsealed.
+	var churn *arrivals.Engine
+	if len(cfg.Churn) > 0 {
+		baseRTT := 2*(float64(cfg.Hops)*cfg.HopDelay+cfg.AccessDelay) + cfg.RevDelay
+		classes := make([]arrivals.Class, len(cfg.Churn))
+		for i, sp := range cfg.Churn {
+			cl := arrivals.Class{Spec: sp}
+			if sp.Reverse {
+				if !cfg.MirrorRev {
+					panic("experiments: reverse churn class needs MirrorRev")
+				}
+				cl.FwdHops = revRoute
+			} else {
+				cl.FwdHops = route
+			}
+			cl.FwdExtra = cfg.AccessDelay
+			cl.RevDelay = cfg.RevDelay
+			switch sp.Proto {
+			case arrivals.TFRC:
+				c := tfrcCfg
+				// Two silent feedback intervals retire a departed
+				// receiver's clock; fresh data re-arms it.
+				c.IdleStop = 2
+				cl.TFRC = c
+			case arrivals.TCP:
+				cl.TCP = tcp.DefaultConfig()
+			case arrivals.CBR:
+				cl.CBRSize = 1000
+				cl.CBRRTT = baseRTT
+			}
+			classes[i] = cl
+		}
+		churn = arrivals.NewEngine(env, flowID, classes)
+		lo, count := churn.FlowRange()
+		env.ReserveFlows(lo + count)
+		for _, cl := range classes {
+			env.DeclareReverseChannel(cl.FwdHops, cl.RevDelay)
+		}
+		churn.Arm()
+	}
+
 	env.RunUntil(cfg.Warmup)
 	resetStats(tfrcSenders)
 	resetStats(tcpSenders)
@@ -353,6 +415,9 @@ func RunTopoSim(cfg TopoSimConfig) TopoSimResult {
 		for i, rw := range watchers {
 			res.Recovery[i] = rw.recovery()
 		}
+	}
+	if churn != nil {
+		res.Churn = churn.Results(end)
 	}
 	res.Obs = ob.collect(res.TFRCPerFlow, res.TCPPerFlow)
 	if LeakCheck {

@@ -677,6 +677,18 @@ func NewLossEventCounter(rtt func() float64) *LossEventCounter {
 	return &LossEventCounter{rtt: rtt, lastEventSeq: -1}
 }
 
+// Reset returns the counter to its just-constructed state, keeping the
+// rtt source and the Intervals buffer's capacity, so pooled receivers
+// (the churn engine's recycled endpoints) renew without allocating.
+func (c *LossEventCounter) Reset() {
+	c.eventOpen = false
+	c.eventStart = 0
+	c.eventSeq = 0
+	c.lastEventSeq = -1
+	c.Events = 0
+	c.Intervals = c.Intervals[:0]
+}
+
 // OnLoss reports a packet loss detected at the given time for the given
 // sequence number. It returns true if the loss opened a new loss event.
 func (c *LossEventCounter) OnLoss(now float64, seq int64) bool {

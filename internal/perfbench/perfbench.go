@@ -9,6 +9,7 @@ package perfbench
 import (
 	"testing"
 
+	"repro/internal/arrivals"
 	"repro/internal/des"
 	"repro/internal/experiments"
 	"repro/internal/fault"
@@ -310,6 +311,94 @@ func FaultyChainSteadyState(b *testing.B) {
 		b.ReportMetric(float64(events)/secPerOp, "events/sec")
 		b.ReportMetric(float64(events), "events/run")
 	}
+}
+
+// churnSteadyConfig is the ChurnSteadyState workload: the parking-lot
+// dumbbell under persistent TFRC/TCP flows plus all three churn
+// protocols — Poisson TFRC transfers, Weibull TCP mice, a reverse-path
+// TCP class over the mirrored chain and a CBR session base. durScale
+// stretches the measured window (and the arrival budget with it), so
+// two runs at different scales hold peak population fixed while the
+// arrival count doubles — the axis the alloc-flatness test compares.
+func churnSteadyConfig(durScale float64) experiments.TopoSimConfig {
+	cfg := experiments.TopoSimConfig{
+		Hops:          3,
+		Capacity:      1.25e6,
+		Buffer:        64,
+		HopDelay:      0.01,
+		AccessDelay:   0.005,
+		RevDelay:      0.025,
+		NTFRC:         2,
+		NTCP:          2,
+		L:             8,
+		Comprehensive: true,
+		Duration:      15 * durScale,
+		Warmup:        5,
+		Seed:          17,
+		RevJitter:     0.2,
+		MirrorRev:     true,
+	}
+	end := cfg.Warmup + cfg.Duration
+	maxA := int(1200 * durScale)
+	cfg.Churn = []arrivals.Spec{
+		{
+			Name: "tfrc", Proto: arrivals.TFRC,
+			Gap:  arrivals.Gap{Kind: arrivals.Poisson, Rate: 8},
+			Size: arrivals.Size{Kind: arrivals.Fixed, Packets: 30},
+			Stop: end, MaxArrivals: maxA, Seed: 9901,
+		},
+		{
+			Name: "mice", Proto: arrivals.TCP,
+			Gap:  arrivals.Gap{Kind: arrivals.Weibull, Shape: 0.6, Scale: 0.04},
+			Size: arrivals.Size{Kind: arrivals.Pareto, Shape: 1.3, MinPackets: 4, CapPackets: 80},
+			Stop: end, MaxArrivals: 2 * maxA, Seed: 9902,
+		},
+		{
+			Name: "rev", Proto: arrivals.TCP, Reverse: true,
+			Gap:  arrivals.Gap{Kind: arrivals.Poisson, Rate: 6},
+			Size: arrivals.Size{Kind: arrivals.Fixed, Packets: 6},
+			Stop: end, MaxArrivals: maxA, Seed: 9903,
+		},
+		{
+			Name: "cbr", Proto: arrivals.CBR, CBRRate: 100,
+			Gap:  arrivals.Gap{Kind: arrivals.Poisson, Rate: 4},
+			Size: arrivals.Size{Kind: arrivals.Fixed, Packets: 4},
+			Stop: end, MaxArrivals: maxA, Seed: 9904,
+		},
+	}
+	return cfg
+}
+
+// runChurnSteadyState is the shared body behind ChurnSteadyState and
+// the alloc-flatness test; it reports events/sec and events/run like
+// the other whole-simulation benchmarks.
+func runChurnSteadyState(b *testing.B, durScale float64) {
+	cfg := churnSteadyConfig(durScale)
+	var events uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTopoSim(cfg)
+		events = res.EventsFired
+	}
+	b.StopTimer()
+	if events > 0 {
+		secPerOp := b.Elapsed().Seconds() / float64(b.N)
+		b.ReportMetric(float64(events)/secPerOp, "events/sec")
+		b.ReportMetric(float64(events), "events/run")
+	}
+}
+
+// ChurnSteadyState measures whole-simulation throughput under run-time
+// flow churn: several hundred finite TFRC/TCP/CBR transfers arrive,
+// complete and are reclaimed while the persistent flows hold the
+// bottleneck. Against ParkingLotSteadyState it bounds the cost of the
+// arrival engine itself — the draw/attach/detach cycle plus the
+// endpoint pools — and its allocs/op is the witness that steady-state
+// churn recycles instead of allocating: allocations scale with the
+// peak concurrent population, not with the number of arrivals served.
+func ChurnSteadyState(b *testing.B) {
+	runChurnSteadyState(b, 1)
 }
 
 // ReversePathSteadyState measures whole-simulation throughput with a

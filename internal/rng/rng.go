@@ -42,6 +42,20 @@ func New(seed uint64) *RNG {
 	return r
 }
 
+// Reseed reinitializes the generator in place, exactly as New(seed)
+// would, without allocating. Pooled model components (the churn engine's
+// recycled endpoints, per-flow jitter streams) reseed their embedded
+// generators through this instead of constructing fresh ones.
+func (r *RNG) Reseed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+}
+
 // Split derives an independent generator from r. The derived stream is
 // decorrelated from r's future output, which makes it convenient to hand
 // sub-streams to concurrently constructed model components.
@@ -121,6 +135,18 @@ func (r *RNG) Pareto(shape, scale float64) float64 {
 	}
 	u := 1 - r.Float64()
 	return scale / math.Pow(u, 1/shape)
+}
+
+// Weibull returns a Weibull(shape, scale) sample by inversion:
+// scale * (-ln(1-U))^(1/shape). Shape 1 recovers the exponential with
+// mean equal to scale; shape < 1 gives the heavy-tailed, bursty
+// interarrival processes of measured web sessions (flash crowds).
+func (r *RNG) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Weibull with non-positive parameter")
+	}
+	u := 1 - r.Float64()
+	return scale * math.Pow(-math.Log(u), 1/shape)
 }
 
 // Norm returns a standard normal sample (Box-Muller, polar form avoided

@@ -7,7 +7,6 @@ import (
 	"repro/internal/des"
 	"repro/internal/netsim"
 	"repro/internal/obs"
-	"repro/internal/rng"
 	"repro/internal/topology"
 )
 
@@ -34,7 +33,19 @@ type Cluster struct {
 	linkFrom []topology.NodeID
 	linkTo   []topology.NodeID
 
-	flows        map[int]*flowRec
+	// flows is indexed by flow id (nil = unattached), mirroring
+	// topology.Network's dense table. The slice layout is what makes
+	// run-time attach (AttachLive) race-free under the parallel driver:
+	// after ReserveFlows the slice header never changes, an arrival event
+	// stores a pointer into its own flow's slot, and any other shard only
+	// reads that slot after a window barrier has ordered the store before
+	// the packet that needs it.
+	flows []*flowRec
+	// flowCount counts build-time attached flows (AttachLive does not
+	// touch it — it would be a cross-shard race, and only the build-time
+	// SetReverseJitter guard needs the count).
+	flowCount int
+
 	routes       map[int][]topology.LinkID
 	defaultRoute []topology.LinkID
 
@@ -51,6 +62,12 @@ type Cluster struct {
 
 	horizon float64
 	sealed  bool
+
+	// declaredRev holds the pure-delay reverse latencies announced by
+	// DeclareReverseChannel for flows that will attach at run time —
+	// after seal has already computed the horizon from the build-time
+	// flow population. seal folds them in exactly like attached flows'.
+	declaredRev []float64
 
 	// ForceParallel selects the goroutine-per-shard driver even on a
 	// single-CPU host (where the sequential window loop is the default).
@@ -82,7 +99,6 @@ type Cluster struct {
 // New returns an empty cluster.
 func New() *Cluster {
 	return &Cluster{
-		flows:  map[int]*flowRec{},
 		routes: map[int][]topology.LinkID{},
 	}
 }
@@ -98,13 +114,19 @@ func (c *Cluster) Reset() {
 	c.linkFrom = c.linkFrom[:0]
 	c.linkTo = c.linkTo[:0]
 	for id, fr := range c.flows {
+		if fr == nil {
+			continue
+		}
 		fr.route = fr.route[:0]
 		fr.revRoute = fr.revRoute[:0]
 		fr.sender, fr.receiver = nil, nil
 		fr.delivered = 0
 		c.frPool = append(c.frPool, fr)
-		delete(c.flows, id)
+		c.flows[id] = nil
 	}
+	c.flows = c.flows[:0]
+	c.flowCount = 0
+	c.declaredRev = c.declaredRev[:0]
 	for id := range c.routes {
 		delete(c.routes, id)
 	}
@@ -263,7 +285,7 @@ func (c *Cluster) SetReverseJitter(j float64, seed uint64) {
 	if j < 0 || j >= 1 {
 		panic("shard: reverse jitter outside [0,1)")
 	}
-	if len(c.flows) > 0 {
+	if c.flowCount > 0 {
 		panic("shard: SetReverseJitter after flows attached")
 	}
 	c.reverseJitter = j
@@ -315,7 +337,10 @@ func (c *Cluster) attach(flow int, sender, receiver netsim.Endpoint, fwdExtra, r
 	if fwdExtra < 0 || revDelay < 0 {
 		panic("shard: negative delay")
 	}
-	if _, dup := c.flows[flow]; dup {
+	if flow < 0 {
+		panic(fmt.Sprintf("shard: negative flow id %d", flow))
+	}
+	if c.flowAt(flow) != nil {
 		panic(fmt.Sprintf("shard: duplicate flow id %d", flow))
 	}
 	hops := c.flowHops(flow)
@@ -343,9 +368,113 @@ func (c *Cluster) attach(flow int, sender, receiver netsim.Endpoint, fwdExtra, r
 	fr.senderShard = c.nodeShard[c.linkFrom[hops[0]]]
 	fr.receiverShard = c.nodeShard[c.linkTo[hops[len(hops)-1]]]
 	if c.reverseJitter > 0 {
-		fr.jitter = *rng.New(topology.FlowJitterSeed(c.jitterSeed, flow))
+		fr.jitter.Reseed(topology.FlowJitterSeed(c.jitterSeed, flow))
+	}
+	for len(c.flows) <= flow {
+		c.flows = append(c.flows, nil)
 	}
 	c.flows[flow] = fr
+	c.flowCount++
+}
+
+// flowAt returns the flow's record, nil when the id is out of range or
+// unattached.
+func (c *Cluster) flowAt(flow int) *flowRec {
+	if flow >= 0 && flow < len(c.flows) {
+		return c.flows[flow]
+	}
+	return nil
+}
+
+// ReserveFlows pre-sizes the flow table for ids [0, max). Mandatory
+// before a run that attaches flows at simulation time (AttachLive): the
+// slice header must never change while shard goroutines read it.
+func (c *Cluster) ReserveFlows(max int) {
+	if c.sealed {
+		panic("shard: ReserveFlows after the first Run")
+	}
+	for len(c.flows) < max {
+		c.flows = append(c.flows, nil)
+	}
+}
+
+// AttachLive registers a flow during a run, from an arrival event
+// executing on the shard that owns the route's first node. Unlike the
+// build-time attach it takes pre-resolved forward/reverse hops (the
+// route maps stay read-only while shards run), stores into a slot
+// reserved by ReserveFlows (the slice header stays immutable), and
+// builds a fresh record instead of popping the shared pool (two classes
+// homed on different shards may attach concurrently). Other shards
+// observe the new flow only through its packets, which cross shards no
+// earlier than the next window barrier — the barrier's happens-before
+// edge orders the store before every remote read.
+func (c *Cluster) AttachLive(flow int, sender, receiver netsim.Endpoint, fwdHops, revHops []topology.LinkID, fwdExtra, revDelay float64) {
+	if sender == nil || receiver == nil {
+		panic("shard: nil endpoint")
+	}
+	if fwdExtra < 0 || revDelay < 0 {
+		panic("shard: negative delay")
+	}
+	if flow < 0 || flow >= len(c.flows) {
+		panic(fmt.Sprintf("shard: AttachLive flow %d outside the reserved table (ReserveFlows first)", flow))
+	}
+	if c.flows[flow] != nil {
+		panic(fmt.Sprintf("shard: duplicate flow id %d", flow))
+	}
+	fr := &flowRec{
+		route:    make([]*netsim.Link, 0, len(fwdHops)),
+		revRoute: make([]*netsim.Link, 0, len(revHops)),
+	}
+	for _, h := range fwdHops {
+		fr.route = append(fr.route, c.links[h])
+	}
+	for _, h := range revHops {
+		fr.revRoute = append(fr.revRoute, c.links[h])
+	}
+	fr.fwdExtra = fwdExtra
+	fr.revDelay = revDelay
+	fr.sender = sender
+	fr.receiver = receiver
+	fr.senderShard = c.nodeShard[c.linkFrom[fwdHops[0]]]
+	fr.receiverShard = c.nodeShard[c.linkTo[fwdHops[len(fwdHops)-1]]]
+	if c.reverseJitter > 0 {
+		fr.jitter.Reseed(topology.FlowJitterSeed(c.jitterSeed, flow))
+	}
+	c.flows[flow] = fr
+}
+
+// RouteEnv returns the shards owning a route's two ends — the sender
+// lives with the first node, the receiver with the last — without
+// declaring a flow, so the churn engine resolves each class's endpoint
+// placement once, before any of the class's flows exist. Valid after
+// Partition.
+func (c *Cluster) RouteEnv(hops []topology.LinkID) (snd, rcv *Shard) {
+	c.mustPartitioned()
+	c.checkRoute(hops)
+	snd = c.shards[c.nodeShard[c.linkFrom[hops[0]]]]
+	rcv = c.shards[c.nodeShard[c.linkTo[hops[len(hops)-1]]]]
+	return snd, rcv
+}
+
+// DeclareReverseChannel announces that run-time attached flows will
+// open a pure-delay reverse channel of the given latency from the
+// route's last node back to its first. seal computes the lookahead
+// horizon from the flow population at the first Run — flows that attach
+// later (internal/arrivals) must declare their reverse latency here
+// beforehand, or the window size would ignore their cross-shard
+// channel. A routed reverse path needs no declaration: its links are
+// cut links with their own delays. No-op when the two ends share a
+// shard. Call after Partition, before the first Run.
+func (c *Cluster) DeclareReverseChannel(hops []topology.LinkID, revDelay float64) {
+	c.mustPartitioned()
+	if c.sealed {
+		panic("shard: DeclareReverseChannel after the first Run")
+	}
+	c.checkRoute(hops)
+	if c.nodeShard[c.linkFrom[hops[0]]] == c.nodeShard[c.linkTo[hops[len(hops)-1]]] {
+		return
+	}
+	c.declaredRev = append(c.declaredRev, revDelay)
 }
 
 func (c *Cluster) getFlowRec() *flowRec {
@@ -408,8 +537,8 @@ func (c *Cluster) arriveReverse(s *Shard, fs *flowRec, p *netsim.Packet) {
 // shard of the node the packet just reached, so the next hop's link —
 // owned by that same node's shard — is always local.
 func (c *Cluster) arrive(s *Shard, p *netsim.Packet) {
-	fs, ok := c.flows[p.Flow]
-	if !ok {
+	fs := c.flowAt(int(p.Flow))
+	if fs == nil {
 		// Unattached flows are rejected at SendForward, so nothing can
 		// arrive unrouted.
 		panic(fmt.Sprintf("shard: arrival for unknown flow %d", p.Flow))
@@ -440,8 +569,8 @@ func (c *Cluster) arrive(s *Shard, p *netsim.Packet) {
 // BaseRTT returns the no-queueing round-trip time for the flow, as
 // topology.Network.BaseRTT does.
 func (c *Cluster) BaseRTT(flow int) float64 {
-	fs, ok := c.flows[flow]
-	if !ok {
+	fs := c.flowAt(flow)
+	if fs == nil {
 		return 0
 	}
 	rtt := fs.fwdExtra + fs.revDelay
@@ -457,7 +586,7 @@ func (c *Cluster) BaseRTT(flow int) float64 {
 // Delivered returns the number of packets a flow's route carried to its
 // end.
 func (c *Cluster) Delivered(flow int) int64 {
-	if fs, ok := c.flows[flow]; ok {
+	if fs := c.flowAt(flow); fs != nil {
 		return fs.delivered
 	}
 	return 0

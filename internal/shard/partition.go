@@ -187,11 +187,16 @@ func (c *Cluster) seal() {
 			h = math.Min(h, c.specs[li].delay)
 		}
 	}
-	for flow, fs := range c.flows {
+	for _, fs := range c.flows {
+		if fs == nil {
+			continue
+		}
 		if len(fs.revRoute) == 0 && fs.sender != nil && fs.senderShard != fs.receiverShard {
 			h = math.Min(h, fs.revDelay*(1-c.reverseJitter))
 		}
-		_ = flow
+	}
+	for _, d := range c.declaredRev {
+		h = math.Min(h, d*(1-c.reverseJitter))
 	}
 	if math.IsInf(h, 1) {
 		// Shards never exchange messages: each runs independently to the

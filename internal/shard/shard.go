@@ -138,7 +138,7 @@ func (in *injection) fire() {
 		s.c.arrive(s, p)
 		return
 	}
-	fs := s.c.flows[p.Flow]
+	fs := s.c.flowAt(int(p.Flow))
 	fs.sender.Receive(p)
 	s.PutPacket(p)
 }
@@ -303,8 +303,8 @@ func (s *Shard) PutPacket(p *netsim.Packet) {
 // link of its flow's route, which the caller's shard owns (senders are
 // placed on the shard of their route's first node).
 func (s *Shard) SendForward(p *netsim.Packet) {
-	fs, ok := s.c.flows[p.Flow]
-	if !ok {
+	fs := s.c.flowAt(int(p.Flow))
+	if fs == nil {
 		panic(fmt.Sprintf("shard: forward packet for unrouted flow %d (no default-link fallback under sharding)", p.Flow))
 	}
 	p.Hop = 0
@@ -316,8 +316,8 @@ func (s *Shard) SendForward(p *netsim.Packet) {
 // forward route's last node); pure-delay reverse paths hand off to the
 // sender's shard when it differs.
 func (s *Shard) SendReverse(p *netsim.Packet) {
-	fs, ok := s.c.flows[p.Flow]
-	if !ok || fs.sender == nil {
+	fs := s.c.flowAt(int(p.Flow))
+	if fs == nil || fs.sender == nil {
 		panic(fmt.Sprintf("shard: reverse packet for unknown flow %d", p.Flow))
 	}
 	if len(fs.revRoute) > 0 {

@@ -37,6 +37,11 @@ type Config struct {
 	MinRTO float64
 	// MaxBackoff bounds the RTO exponential backoff doublings.
 	MaxBackoff int
+	// TotalSegments, when positive, bounds the transfer: the sender goes
+	// done once every segment below this count is cumulatively
+	// acknowledged, cancelling its retransmission timer and ignoring
+	// late ACKs. Zero (the default) keeps the persistent bulk sender.
+	TotalSegments int64
 }
 
 // DefaultConfig returns the configuration used across the experiments:
@@ -56,7 +61,7 @@ func DefaultConfig() Config {
 func (c Config) validate() {
 	if c.SegSize <= 0 || c.AckSize <= 0 || c.AckEvery < 1 ||
 		c.InitialCwnd < 1 || c.InitialSsthresh < 2 ||
-		c.MinRTO <= 0 || c.MaxBackoff < 0 {
+		c.MinRTO <= 0 || c.MaxBackoff < 0 || c.TotalSegments < 0 {
 		panic("tcp: invalid config")
 	}
 }
@@ -112,6 +117,11 @@ type Sender struct {
 	trace      *obs.Tracer
 
 	started bool
+	done    bool
+
+	// onDone, when set (OnDone), fires once, from inside the ACK event
+	// that completes a finite transfer (cfg.TotalSegments > 0).
+	onDone func()
 
 	// measurement window
 	measStart  float64
@@ -167,6 +177,9 @@ func (s *Sender) SRTT() float64 { return s.srtt }
 // Cwnd returns the current congestion window in segments.
 func (s *Sender) Cwnd() float64 { return s.cwnd }
 
+// Flow returns the sender's current flow id.
+func (s *Sender) Flow() int { return s.flow }
+
 // ResetStats restarts the measurement window at the current time,
 // discarding warmup statistics.
 func (s *Sender) ResetStats() {
@@ -204,10 +217,25 @@ func (s *Sender) window() float64 { return s.cwnd + s.inflate }
 
 func (s *Sender) maybeSend() {
 	for s.inflight() < s.window() {
+		if s.cfg.TotalSegments > 0 && s.nextSeq >= s.cfg.TotalSegments {
+			return // finite transfer: nothing new left to send
+		}
 		s.sendSeq(s.nextSeq)
 		s.nextSeq++
 	}
 }
+
+// OnDone registers a callback fired once, when a finite transfer
+// (cfg.TotalSegments > 0) is fully acknowledged. Set before Start.
+func (s *Sender) OnDone(fn func()) { s.onDone = fn }
+
+// Done reports whether a finite transfer is fully acknowledged.
+func (s *Sender) Done() bool { return s.done }
+
+// Quiesced reports whether the sender is done and holds no live timer,
+// i.e. it will never schedule another event. The churn engine requires
+// this before recycling the endpoint pair.
+func (s *Sender) Quiesced() bool { return s.done && !s.rtoTimer.Active() }
 
 func (s *Sender) sendSeq(seq int64) {
 	s.pktsSent++
@@ -231,6 +259,12 @@ func (s *Sender) Receive(p *netsim.Packet) {
 		return
 	}
 	s.acksSeen++
+	if s.done {
+		// Late or duplicate ACK for a completed transfer: count it but
+		// change nothing, so stray reverse-path stragglers can't trigger
+		// a spurious fast retransmit on a finished flow.
+		return
+	}
 	now := s.sched.Now()
 	switch {
 	case p.AckSeq > s.highAck:
@@ -260,6 +294,16 @@ func (s *Sender) Receive(p *netsim.Packet) {
 			// delayed ACKs (b = 2) this yields the 1/b segments per RTT
 			// growth the PFTK formula models.
 			s.cwnd += 1 / s.cwnd
+		}
+		if s.cfg.TotalSegments > 0 && s.highAck >= s.cfg.TotalSegments {
+			// Every segment is cumulatively acknowledged: the transfer
+			// is complete and no timer needs to stay armed.
+			s.done = true
+			s.rtoTimer.Cancel()
+			if s.onDone != nil {
+				s.onDone()
+			}
+			return
 		}
 		s.armRTO()
 		s.maybeSend()
@@ -397,4 +441,56 @@ func NewFlowOn(sndSched *des.Scheduler, sndNet netsim.Network, rcvSched *des.Sch
 	rcv := NewReceiver(rcvSched, rcvNet, flow, cfg)
 	sndNet.AttachFlow(flow, snd, rcv, fwdExtra, revDelay)
 	return snd, rcv
+}
+
+// Renew reinitializes an existing sender/receiver pair in place for a
+// new flow, reusing the loss-counter buffers and out-of-order map so
+// churn workloads recycle endpoints without allocating. The sender must
+// be Quiesced (the receiver is passive and holds no timers); the flow
+// is re-attached via the sender's network exactly as NewFlowOn does.
+func Renew(snd *Sender, rcv *Receiver, flow int, cfg Config, fwdExtra, revDelay float64) {
+	RenewRaw(snd, rcv, flow, cfg)
+	snd.net.AttachFlow(flow, snd, rcv, fwdExtra, revDelay)
+}
+
+// RenewRaw is Renew without the attach step, for callers that attach
+// with explicit hop slices through their executor.
+func RenewRaw(snd *Sender, rcv *Receiver, flow int, cfg Config) {
+	cfg.validate()
+	if !snd.Quiesced() {
+		panic("tcp: Renew on a non-quiescent sender")
+	}
+
+	rcv.cfg = cfg
+	rcv.flow = flow
+	rcv.expected = 0
+	clear(rcv.ooo)
+	rcv.unacked = 0
+	rcv.PacketsReceived = 0
+
+	snd.cfg = cfg
+	snd.flow = flow
+	snd.cwnd = cfg.InitialCwnd
+	snd.ssthresh = cfg.InitialSsthresh
+	snd.nextSeq = 0
+	snd.highAck = 0
+	snd.dupacks = 0
+	snd.recover = 0
+	snd.inRec = false
+	snd.inflate = 0
+	snd.srtt = 0
+	snd.rttvar = 0
+	snd.rto = 1.0
+	snd.backoff = 0
+	snd.rtoTimer = des.Timer{}
+	snd.lossEvents.Reset()
+	snd.started = false
+	snd.done = false
+	snd.measStart = 0
+	snd.pktsSent = 0
+	snd.acksSeen = 0
+	snd.acksBase = 0
+	snd.eventsBase = 0
+	snd.rttAcc = stats.Welford{}
+	snd.intervals0 = 0
 }

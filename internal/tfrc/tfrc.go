@@ -107,6 +107,20 @@ type Config struct {
 	SendJitter float64
 	// Seed drives the pacing jitter.
 	Seed uint64
+	// TotalPackets, when positive, bounds the transfer: after sending
+	// this many data packets the sender goes done — it stops pacing,
+	// cancels its no-feedback timer and ignores late feedback. Zero (the
+	// default) keeps the persistent, unbounded sender. Session-churn
+	// workloads (internal/arrivals) give each flow a finite volume.
+	TotalPackets int64
+	// IdleStop, when positive, lets the receiver's feedback clock die
+	// out: after this many consecutive feedback intervals with no data
+	// received the timer stops rescheduling (a fresh data packet re-arms
+	// it). Zero (the default) keeps the RFC behavior of a feedback timer
+	// that cycles forever — fine for persistent flows, but a departed
+	// session would leak an immortal timer per flow. Purely local
+	// receiver logic, so every executor reaches the stop identically.
+	IdleStop int
 }
 
 // DefaultConfig returns the paper's protocol settings: 1000-byte
@@ -129,7 +143,8 @@ func DefaultConfig() Config {
 func (c Config) validate() {
 	if c.SegSize <= 0 || c.FeedbackSize <= 0 || c.Window < 1 ||
 		c.RTTq < 0 || c.RTTq >= 1 || c.InitialRate <= 0 || c.MinInterval <= 0 ||
-		c.SendJitter < 0 || c.SendJitter >= 1 {
+		c.SendJitter < 0 || c.SendJitter >= 1 ||
+		c.TotalPackets < 0 || c.IdleStop < 0 {
 		panic("tfrc: invalid config")
 	}
 }
@@ -183,9 +198,15 @@ type Sender struct {
 	nfTimer    des.Timer
 	receiver   *Receiver
 	started    bool
+	done       bool
 	lastRecvRt float64
 	lastP      float64
 	trace      *obs.Tracer
+
+	// onDone, when set (OnDone), fires once, from inside the event that
+	// sends the transfer's last packet. The churn engine hooks its
+	// per-class completion accounting here.
+	onDone func()
 
 	// Bound callbacks, allocated once so the per-packet and per-timer
 	// scheduling path stays allocation-free.
@@ -224,6 +245,12 @@ type Receiver struct {
 	fbTimer      des.Timer
 	sendFBFn     des.Event
 
+	// silentFB counts consecutive feedback intervals without data; at
+	// cfg.IdleStop the feedback clock stops rescheduling and onIdle
+	// (when set) fires.
+	silentFB int
+	onIdle   func()
+
 	// PacketsReceived counts data packets delivered.
 	PacketsReceived int64
 
@@ -245,6 +272,16 @@ func NewFlow(sched *des.Scheduler, net netsim.Network, flow int, cfg Config, fwd
 // through rcvNet. The flow is attached via the sender's network. With
 // both pairs identical it is exactly NewFlow.
 func NewFlowOn(sndSched *des.Scheduler, sndNet netsim.Network, rcvSched *des.Scheduler, rcvNet netsim.Network, flow int, cfg Config, fwdExtra, revDelay float64) (*Sender, *Receiver) {
+	snd, rcv := NewFlowRaw(sndSched, sndNet, rcvSched, rcvNet, flow, cfg)
+	sndNet.AttachFlow(flow, snd, rcv, fwdExtra, revDelay)
+	return snd, rcv
+}
+
+// NewFlowRaw builds the endpoint pair without attaching the flow to the
+// network. Callers that resolve routes themselves — the churn engine
+// attaches with explicit hop slices through its executor — attach
+// separately; everything else wants NewFlowOn.
+func NewFlowRaw(sndSched *des.Scheduler, sndNet netsim.Network, rcvSched *des.Scheduler, rcvNet netsim.Network, flow int, cfg Config) (*Sender, *Receiver) {
 	cfg.validate()
 	if sndSched == nil || sndNet == nil || rcvSched == nil || rcvNet == nil {
 		panic("tfrc: nil scheduler or network")
@@ -278,7 +315,6 @@ func NewFlowOn(sndSched *des.Scheduler, sndNet netsim.Network, rcvSched *des.Sch
 	}
 	snd.sendNextFn = snd.sendNext
 	snd.onNoFeedbackFn = snd.onNoFeedback
-	sndNet.AttachFlow(flow, snd, rcv, fwdExtra, revDelay)
 	return snd, rcv
 }
 
@@ -296,6 +332,9 @@ func (s *Sender) Start() {
 
 // Rate returns the current send rate in bytes/second.
 func (s *Sender) Rate() float64 { return s.rate }
+
+// Flow returns the sender's current flow id.
+func (s *Sender) Flow() int { return s.flow }
 
 // SRTT returns the smoothed RTT estimate (0 before the first feedback).
 func (s *Sender) SRTT() float64 { return s.rtt.Value() }
@@ -348,11 +387,36 @@ func (s *Sender) sendNext() {
 	p.RTTEst = s.rtt.Value()
 	s.net.SendForward(p)
 	s.nextSeq++
+	if s.cfg.TotalPackets > 0 && s.nextSeq >= s.cfg.TotalPackets {
+		// Transfer complete: stop pacing and let the control loop die.
+		// sendTimer was the event that got us here, so neither timer is
+		// live past this point.
+		s.done = true
+		s.nfTimer.Cancel()
+		if s.onDone != nil {
+			s.onDone()
+		}
+		return
+	}
 	gap := float64(s.cfg.SegSize) / s.rate
 	if s.cfg.SendJitter > 0 {
 		gap *= 1 + s.cfg.SendJitter*(2*s.random.Float64()-1)
 	}
 	s.sendTimer = s.sched.After(gap, s.sendNextFn)
+}
+
+// OnDone registers a callback fired once, when the sender finishes a
+// finite transfer (cfg.TotalPackets > 0). It must be set before Start.
+func (s *Sender) OnDone(fn func()) { s.onDone = fn }
+
+// Done reports whether a finite transfer has sent its full volume.
+func (s *Sender) Done() bool { return s.done }
+
+// Quiesced reports whether the sender is done and holds no live timers,
+// i.e. it will never schedule another event. The churn engine requires
+// this before recycling the endpoint pair.
+func (s *Sender) Quiesced() bool {
+	return s.done && !s.sendTimer.Active() && !s.nfTimer.Active()
 }
 
 // Receive implements netsim.Endpoint for the feedback stream.
@@ -361,6 +425,11 @@ func (s *Sender) Receive(p *netsim.Packet) {
 		return
 	}
 	s.fbSeen++
+	if s.done {
+		// Late report for a finished transfer: count it, but leave the
+		// rate and timers alone so the flow stays quiescent.
+		return
+	}
 	now := s.sched.Now()
 	if p.Echo > 0 && now > p.Echo {
 		sample := now - p.Echo
@@ -465,6 +534,9 @@ func (r *Receiver) LossEventRateEstimate() float64 {
 // LossEvents exposes the receiver's loss-event counter (read-only use).
 func (r *Receiver) LossEvents() *netsim.LossEventCounter { return r.events }
 
+// Flow returns the receiver's current flow id.
+func (r *Receiver) Flow() int { return r.flow }
+
 // Receive implements netsim.Endpoint for the forward data stream.
 func (r *Receiver) Receive(p *netsim.Packet) {
 	if p.Kind != netsim.Data {
@@ -542,10 +614,22 @@ func (r *Receiver) sendFeedback() {
 	now := r.sched.Now()
 	if r.bytesSinceFB == 0 {
 		// No data since the last report: stay silent (RFC 3448 §6.2),
-		// letting the sender's no-feedback timer take over.
+		// letting the sender's no-feedback timer take over. With IdleStop
+		// configured, enough consecutive silent intervals stop the clock
+		// entirely (a fresh data packet re-arms it via Receive).
+		if r.cfg.IdleStop > 0 {
+			r.silentFB++
+			if r.silentFB >= r.cfg.IdleStop {
+				if r.onIdle != nil {
+					r.onIdle()
+				}
+				return
+			}
+		}
 		r.scheduleFeedback()
 		return
 	}
+	r.silentFB = 0
 	elapsed := now - r.lastFBAt
 	if elapsed <= 0 {
 		elapsed = r.cfg.MinInterval
@@ -568,4 +652,76 @@ func (r *Receiver) sendFeedback() {
 	p.RecvRate = recvRate
 	r.net.SendReverse(p)
 	r.scheduleFeedback()
+}
+
+// OnIdle registers a callback fired when the feedback clock stops after
+// cfg.IdleStop consecutive silent intervals. It must be set before the
+// sender starts.
+func (r *Receiver) OnIdle(fn func()) { r.onIdle = fn }
+
+// Idle reports whether the receiver holds no live feedback timer, i.e.
+// it will never schedule another event until new data arrives.
+func (r *Receiver) Idle() bool { return !r.fbTimer.Active() }
+
+// Renew reinitializes an existing sender/receiver pair in place for a
+// new flow, reusing every internal buffer (estimator history, loss
+// intervals, RNG state) so churn workloads recycle endpoints without
+// allocating. The pair must be quiescent (sender Quiesced, receiver
+// Idle) and the new config must keep the estimator window; the flow is
+// re-attached via the sender's network exactly as NewFlowOn does.
+func Renew(snd *Sender, rcv *Receiver, flow int, cfg Config, fwdExtra, revDelay float64) {
+	RenewRaw(snd, rcv, flow, cfg)
+	snd.net.AttachFlow(flow, snd, rcv, fwdExtra, revDelay)
+}
+
+// RenewRaw is Renew without the attach step, for callers that attach
+// with explicit hop slices through their executor.
+func RenewRaw(snd *Sender, rcv *Receiver, flow int, cfg Config) {
+	cfg.validate()
+	if cfg.Window != rcv.cfg.Window {
+		panic("tfrc: Renew cannot change the estimator window")
+	}
+	if !snd.Quiesced() || !rcv.Idle() {
+		panic("tfrc: Renew on a non-quiescent flow")
+	}
+
+	rcv.cfg = cfg
+	rcv.flow = flow
+	rcv.expected = 0
+	rcv.highest = 0
+	rcv.events.Reset()
+	rcv.est.Reset()
+	rcv.sawLoss = false
+	rcv.senderRTT = 0
+	rcv.lastSentAt = 0
+	rcv.lastRecvAt = 0
+	rcv.bytesSinceFB = 0
+	rcv.lastFBAt = 0
+	rcv.fbTimer = des.Timer{}
+	rcv.silentFB = 0
+	rcv.PacketsReceived = 0
+	rcv.eventsBase = 0
+	rcv.intervals0 = 0
+
+	snd.cfg = cfg
+	snd.flow = flow
+	snd.rate = cfg.InitialRate
+	snd.rtt.Reset()
+	snd.nextSeq = 0
+	snd.slowStart = true
+	snd.random.Reseed(cfg.Seed ^ uint64(flow)*0x9e3779b97f4a7c15)
+	snd.sendTimer = des.Timer{}
+	snd.nfTimer = des.Timer{}
+	snd.started = false
+	snd.done = false
+	snd.lastRecvRt = 0
+	snd.lastP = 0
+	snd.measStart = 0
+	snd.pktsSent = 0
+	snd.minRate = 0
+	snd.rttAcc = stats.Welford{}
+	snd.fbSeen = 0
+	snd.nfHalvings = 0
+	snd.fbBase = 0
+	snd.nfBase = 0
 }

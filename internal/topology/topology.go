@@ -109,7 +109,14 @@ type Network struct {
 	linkFrom []NodeID
 	linkTo   []NodeID
 
-	flows        map[int]*flowState
+	// flows is indexed by flow id (nil = unattached). A dense slice
+	// instead of a map for two reasons: lookups sit on the per-packet hot
+	// path, and the churn engine (internal/arrivals) attaches and
+	// detaches flows at simulation time — after ReserveFlows, an attach
+	// stores a pointer into a preallocated slot instead of growing a map.
+	flows     []*flowState
+	flowCount int
+
 	routes       map[int][]LinkID
 	defaultRoute []LinkID
 	// defaultLink receives forward packets of flows with no attached
@@ -142,6 +149,15 @@ type Network struct {
 	returned          int64
 	pendingDeliveries int
 
+	// Per-flow in-network packet accounting for the churn engine's
+	// reclamation decisions (WatchFlows): lcCount[flow-lcLo] is the
+	// number of freelist packets the flow currently has inside the
+	// simulator, and lcQuiet fires whenever a discharge empties a watched
+	// flow's account. All three stay zero-cost nil/empty when unused.
+	lcLo    int
+	lcCount []int32
+	lcQuiet func(flow int)
+
 	arriveFn func(*netsim.Packet)
 }
 
@@ -154,7 +170,6 @@ func New(sched *des.Scheduler) *Network {
 	}
 	n := &Network{
 		Sched:  sched,
-		flows:  map[int]*flowState{},
 		routes: map[int][]LinkID{},
 	}
 	n.arriveFn = n.arrive
@@ -174,13 +189,21 @@ func (n *Network) Reset() {
 	n.linkFrom = n.linkFrom[:0]
 	n.linkTo = n.linkTo[:0]
 	for id, fs := range n.flows {
+		if fs == nil {
+			continue
+		}
 		fs.route = fs.route[:0]
 		fs.revRoute = fs.revRoute[:0]
 		fs.sender, fs.receiver = nil, nil
 		fs.delivered = 0
 		n.fsPool = append(n.fsPool, fs)
-		delete(n.flows, id)
+		n.flows[id] = nil
 	}
+	n.flows = n.flows[:0]
+	n.flowCount = 0
+	n.lcLo = 0
+	n.lcCount = n.lcCount[:0]
+	n.lcQuiet = nil
 	for id := range n.routes {
 		delete(n.routes, id)
 	}
@@ -364,7 +387,7 @@ func (n *Network) SetReverseJitter(j float64, seed uint64) {
 	if j < 0 || j >= 1 {
 		panic("topology: reverse jitter outside [0,1)")
 	}
-	if len(n.flows) > 0 {
+	if n.flowCount > 0 {
 		panic("topology: SetReverseJitter after flows attached")
 	}
 	n.ReverseJitter = j
@@ -409,13 +432,6 @@ func (n *Network) AttachSink(flow int, hops ...LinkID) {
 }
 
 func (n *Network) attach(flow int, sender, receiver netsim.Endpoint, hops []LinkID, fwdExtra, revDelay float64) {
-	if fwdExtra < 0 || revDelay < 0 {
-		panic("topology: negative delay")
-	}
-	if _, dup := n.flows[flow]; dup {
-		panic(fmt.Sprintf("topology: duplicate flow id %d", flow))
-	}
-	n.checkRoute(hops)
 	revHops, explicit := n.revRoutes[flow]
 	if explicit && sender == nil {
 		panic(fmt.Sprintf("topology: reverse route for sink flow %d (no sender to return packets to)", flow))
@@ -425,6 +441,33 @@ func (n *Network) attach(flow int, sender, receiver netsim.Endpoint, hops []Link
 		// flows terminate at route end and never send reverse packets.
 		revHops = n.defaultRevRoute
 	}
+	n.attachOn(flow, sender, receiver, hops, revHops, fwdExtra, revDelay)
+}
+
+// AttachFlowOn is AttachFlow with the forward and (possibly empty)
+// reverse routes passed explicitly instead of resolved from the
+// per-flow route maps. Run-time attaches — the churn engine's arrival
+// events — use it so registering a route per arrival (a map insert per
+// flow) never happens: every flow of an arrival class shares the
+// class's hop slices, and steady-state attach stays allocation-free.
+func (n *Network) AttachFlowOn(flow int, sender, receiver netsim.Endpoint, fwdHops, revHops []LinkID, fwdExtra, revDelay float64) {
+	if sender == nil || receiver == nil {
+		panic("topology: nil endpoint")
+	}
+	n.attachOn(flow, sender, receiver, fwdHops, revHops, fwdExtra, revDelay)
+}
+
+func (n *Network) attachOn(flow int, sender, receiver netsim.Endpoint, hops, revHops []LinkID, fwdExtra, revDelay float64) {
+	if fwdExtra < 0 || revDelay < 0 {
+		panic("topology: negative delay")
+	}
+	if flow < 0 {
+		panic(fmt.Sprintf("topology: negative flow id %d", flow))
+	}
+	if n.flowAt(flow) != nil {
+		panic(fmt.Sprintf("topology: duplicate flow id %d", flow))
+	}
+	n.checkRoute(hops)
 	if len(revHops) > 0 {
 		n.checkReverse(hops, revHops)
 	}
@@ -440,9 +483,109 @@ func (n *Network) attach(flow int, sender, receiver netsim.Endpoint, hops []Link
 	fs.sender = sender
 	fs.receiver = receiver
 	if n.ReverseJitter > 0 {
-		fs.jitter = *rng.New(FlowJitterSeed(n.jitterSeed, flow))
+		fs.jitter.Reseed(FlowJitterSeed(n.jitterSeed, flow))
+	}
+	for len(n.flows) <= flow {
+		n.flows = append(n.flows, nil)
 	}
 	n.flows[flow] = fs
+	n.flowCount++
+}
+
+// flowAt returns the flow's routing entry, nil when the id is out of
+// range or currently unattached.
+func (n *Network) flowAt(flow int) *flowState {
+	if flow >= 0 && flow < len(n.flows) {
+		return n.flows[flow]
+	}
+	return nil
+}
+
+// ReserveFlows pre-sizes the flow table for ids [0, max): run-time
+// attaches (the churn engine's arrival events) then store into an
+// existing slot instead of growing the table mid-run. Idempotent;
+// shrinking is not supported.
+func (n *Network) ReserveFlows(max int) {
+	for len(n.flows) < max {
+		n.flows = append(n.flows, nil)
+	}
+}
+
+// DetachFlow removes a flow at simulation time and recycles its routing
+// record into the flow-state pool, so a departed session costs nothing
+// once its last packet is back in the freelist. The caller must only
+// detach a quiet flow — endpoints done, their timers expired or
+// cancelled, and no packets of the flow left inside the simulator;
+// with WatchFlows accounting enabled the last condition is asserted.
+// Detaching mutates no scheduler or ledger state, so a detach on one
+// executor and none on another cannot diverge their event trajectories.
+func (n *Network) DetachFlow(flow int) {
+	fs := n.flowAt(flow)
+	if fs == nil {
+		panic(fmt.Sprintf("topology: DetachFlow on unattached flow %d", flow))
+	}
+	if i := flow - n.lcLo; n.lcQuiet != nil && i >= 0 && i < len(n.lcCount) && n.lcCount[i] != 0 {
+		panic(fmt.Sprintf("topology: DetachFlow(%d) with %d packets still in the network", flow, n.lcCount[i]))
+	}
+	fs.route = fs.route[:0]
+	fs.revRoute = fs.revRoute[:0]
+	fs.sender, fs.receiver = nil, nil
+	fs.delivered = 0
+	n.fsPool = append(n.fsPool, fs)
+	n.flows[flow] = nil
+	n.flowCount--
+}
+
+// WatchFlows enables per-flow in-network packet accounting for flow ids
+// in [lo, lo+count): every SendForward/SendReverse charges the packet to
+// its flow, every PutPacket discharges it, and a discharge that empties
+// the flow's account invokes onQuiet(flow) — the churn engine's cue to
+// reclaim a finished flow the moment its last packet leaves the
+// simulator. The accounting costs two bounds checks per packet on
+// watched ranges and a nil check otherwise.
+func (n *Network) WatchFlows(lo, count int, onQuiet func(flow int)) {
+	if onQuiet == nil || count <= 0 {
+		panic("topology: WatchFlows needs a callback and a positive range")
+	}
+	if n.lcQuiet != nil {
+		panic("topology: WatchFlows called twice")
+	}
+	n.lcLo = lo
+	if cap(n.lcCount) < count {
+		n.lcCount = make([]int32, count)
+	} else {
+		n.lcCount = n.lcCount[:count]
+		for i := range n.lcCount {
+			n.lcCount[i] = 0
+		}
+	}
+	n.lcQuiet = onQuiet
+}
+
+// InFlight returns the watched flow's current in-network packet count
+// (0 for flows outside the watched range or without accounting).
+func (n *Network) InFlight(flow int) int {
+	if i := flow - n.lcLo; n.lcQuiet != nil && i >= 0 && i < len(n.lcCount) {
+		return int(n.lcCount[i])
+	}
+	return 0
+}
+
+func (n *Network) lcCharge(flow int) {
+	if i := flow - n.lcLo; n.lcQuiet != nil && i >= 0 && i < len(n.lcCount) {
+		n.lcCount[i]++
+	}
+}
+
+func (n *Network) lcDischarge(flow int) {
+	if i := flow - n.lcLo; n.lcQuiet != nil && i >= 0 && i < len(n.lcCount) {
+		n.lcCount[i]--
+		if n.lcCount[i] == 0 {
+			n.lcQuiet(flow)
+		} else if n.lcCount[i] < 0 {
+			panic(fmt.Sprintf("topology: flow %d discharged below zero (PutPacket without a matching send)", flow))
+		}
+	}
 }
 
 // getFlowState recycles a flow-state record (route slices keep their
@@ -478,6 +621,9 @@ func (n *Network) PutPacket(p *netsim.Packet) {
 	}
 	n.returned++
 	n.pool = append(n.pool, p)
+	if n.lcQuiet != nil {
+		n.lcDischarge(int(p.Flow))
+	}
 }
 
 func (n *Network) getDelivery(to netsim.Endpoint, p *netsim.Packet) *delivery {
@@ -499,7 +645,10 @@ func (n *Network) getDelivery(to netsim.Endpoint, p *netsim.Packet) *delivery {
 // link of its flow's route. Packets of unattached flows go to the
 // default route's first link (and are recycled at its egress).
 func (n *Network) SendForward(p *netsim.Packet) {
-	if fs, ok := n.flows[p.Flow]; ok {
+	if n.lcQuiet != nil {
+		n.lcCharge(int(p.Flow))
+	}
+	if fs := n.flowAt(int(p.Flow)); fs != nil {
 		p.Hop = 0
 		fs.route[0].Send(p)
 		return
@@ -516,9 +665,12 @@ func (n *Network) SendForward(p *netsim.Packet) {
 // be queued, delayed, and dropped on the way), otherwise it reaches the
 // flow's sender after the flow's reverse delay (jittered when enabled).
 func (n *Network) SendReverse(p *netsim.Packet) {
-	fs, ok := n.flows[p.Flow]
-	if !ok || fs.sender == nil {
+	fs := n.flowAt(int(p.Flow))
+	if fs == nil || fs.sender == nil {
 		panic(fmt.Sprintf("topology: reverse packet for unknown flow %d", p.Flow))
+	}
+	if n.lcQuiet != nil {
+		n.lcCharge(int(p.Flow))
 	}
 	if len(fs.revRoute) > 0 {
 		p.Rev = true
@@ -557,8 +709,8 @@ func (n *Network) arriveReverse(fs *flowState, p *netsim.Packet) {
 // arrive handles a packet exiting a link: forward it into the next hop
 // of its route, or deliver it past the last hop.
 func (n *Network) arrive(p *netsim.Packet) {
-	fs, ok := n.flows[p.Flow]
-	if !ok {
+	fs := n.flowAt(int(p.Flow))
+	if fs == nil {
 		// Unattached flow (e.g. background traffic that terminates at
 		// the default link): recycle silently.
 		n.PutPacket(p)
@@ -593,8 +745,8 @@ func (n *Network) arrive(p *netsim.Packet) {
 // reverse path is routed, reverse — the extra forward delay and the
 // return delay (transmission times excluded).
 func (n *Network) BaseRTT(flow int) float64 {
-	fs, ok := n.flows[flow]
-	if !ok {
+	fs := n.flowAt(flow)
+	if fs == nil {
 		return 0
 	}
 	rtt := fs.fwdExtra + fs.revDelay
@@ -610,7 +762,7 @@ func (n *Network) BaseRTT(flow int) float64 {
 // Delivered returns the number of packets a flow's route has carried to
 // its end (whether consumed by a receiver or sunk).
 func (n *Network) Delivered(flow int) int64 {
-	if fs, ok := n.flows[flow]; ok {
+	if fs := n.flowAt(flow); fs != nil {
 		return fs.delivered
 	}
 	return 0
