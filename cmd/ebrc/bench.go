@@ -56,6 +56,7 @@ var benchSuite = []struct {
 	{"ShardedChainSteadyState", perfbench.ShardedChainSteadyState},
 	{"FaultyChainSteadyState", perfbench.FaultyChainSteadyState},
 	{"ChurnSteadyState", perfbench.ChurnSteadyState},
+	{"CheckpointedChainSteadyState", perfbench.CheckpointedChainSteadyState},
 }
 
 // selectBenchmarks resolves the -benchrun filter: an empty filter keeps

@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	ebrc [-quick] [-parallel] [-shards K] [-events N] [-simfactor F] [-deadline D] [-seed N] <scenario> [...]
+//	ebrc [-quick] [-parallel] [-shards K] [-events N] [-simfactor F] [-deadline D] [-retries N] [-seed N] <scenario> [...]
 //	ebrc [-metrics] [-epochs N] [-trace FILE [-tracecap N]] [-expvar ADDR] <scenario> [...]
+//	ebrc [-checkpoint-every T -checkpoint-dir D] [-resume D] <scenario> [...]
 //	ebrc -list
 //	ebrc -run fig5,fig7
 //	ebrc all
@@ -34,6 +35,18 @@
 // manifest goes to stderr. -seed N reruns only the jobs carrying that
 // deterministic seed (the number a watchdog or panic report names), so
 // a failure reproduces in isolation.
+//
+// -retries N gives every failing job up to N extra attempts with
+// exponential backoff (also hardened mode); with checkpointing on, a
+// retried job resumes from its own last snapshot instead of recomputing
+// from scratch. -checkpoint-every T writes a deterministic, checksummed
+// snapshot of each simulation into -checkpoint-dir every T simulated
+// seconds (and at the end of warmup), atomically replacing the previous
+// one. -resume D continues each simulation from its snapshot in D —
+// byte-identical to the uninterrupted run; a missing snapshot degrades
+// to a from-scratch run, and a snapshot whose config digest does not
+// match fails loudly naming both digests. Checkpointing is incompatible
+// with -trace (the bounded trace rings are not part of a snapshot).
 //
 // The observability flags ride on internal/obs and are zero-cost when
 // absent. -metrics appends a "# metrics <scenario>" TSV block after
@@ -130,6 +143,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	runNames := fs.String("run", "", "comma-separated scenarios to run")
 	progress := fs.Bool("progress", false, "report per-job progress on stderr")
 	deadline := fs.Duration("deadline", 0, "per-job watchdog deadline (hardened mode: partial results + failure manifest; 0 = off)")
+	retries := fs.Int("retries", 0, "extra attempts for failed jobs, with exponential backoff (hardened mode; resumes from checkpoints when -checkpoint-every is on)")
+	ckptEvery := fs.Float64("checkpoint-every", 0, "write a deterministic snapshot of every simulation each N simulated seconds (needs -checkpoint-dir)")
+	ckptDir := fs.String("checkpoint-dir", "", "directory for -checkpoint-every snapshots (one file per job, atomically replaced)")
+	resumeDir := fs.String("resume", "", "resume each simulation from its snapshot in this directory (missing snapshot = from-scratch run; config mismatch = hard error)")
 	seedOnly := fs.Uint64("seed", 0, "run only the jobs with this deterministic seed (0 = all)")
 	metrics := fs.Bool("metrics", false, "append each scenario's deterministic metrics table (byte-identical across executors)")
 	epochs := fs.Int("epochs", 0, "split each run's measured window into N epochs and append per-epoch telemetry")
@@ -197,6 +214,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *traceFile != "" {
 		experiments.Observe.TraceCap = *traceCap
 	}
+	if *ckptEvery > 0 && *ckptDir == "" {
+		fmt.Fprintf(stderr, "ebrc: -checkpoint-every needs -checkpoint-dir\n")
+		return 2
+	}
+	if (*ckptEvery > 0 || *resumeDir != "") && *traceFile != "" {
+		// The bounded trace rings are not part of a snapshot, so a resumed
+		// run could not reproduce the uninterrupted trace stream.
+		fmt.Fprintf(stderr, "ebrc: -checkpoint-every/-resume and -trace are incompatible\n")
+		return 2
+	}
+	experiments.Checkpoint = experiments.CheckpointOptions{
+		Every:  *ckptEvery,
+		Dir:    *ckptDir,
+		Resume: *resumeDir,
+	}
 	if *expvarAddr != "" {
 		addr, err := obs.ServeLive(*expvarAddr)
 		if err != nil {
@@ -261,10 +293,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	var ex runner.Executor = runner.Serial{}
 	switch {
-	case *deadline > 0:
-		// The watchdog needs the pool's per-job goroutines even for a
-		// "serial" run: one worker keeps serial semantics, the deadline
-		// turns on hardened mode (partial results + failure manifest).
+	case *deadline > 0 || *retries > 0:
+		// The watchdog and the retry budget both need the pool's per-job
+		// machinery even for a "serial" run: one worker keeps serial
+		// semantics, either flag turns on hardened mode (partial results
+		// + failure manifest, retried jobs resuming from checkpoints).
 		w := 1
 		if *parallel {
 			w = *workers
@@ -272,7 +305,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				w = runtime.NumCPU()
 			}
 		}
-		pool := &runner.Pool{Workers: w, JobDeadline: *deadline}
+		pool := &runner.Pool{Workers: w, JobDeadline: *deadline, Retries: *retries}
 		if *progress {
 			pool.OnProgress = onProgress
 		}

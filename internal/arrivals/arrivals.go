@@ -349,7 +349,8 @@ type classState struct {
 
 	random   *rng.RNG
 	arriveFn des.Event
-	next     int // arrival index of the next arrival
+	arriveTm des.Timer // pending next-arrival event, if any
+	next     int       // arrival index of the next arrival
 
 	slots []flowSlot
 
@@ -454,7 +455,7 @@ func (e *Engine) Arm() {
 		cs.cycles = make([]palm.Cycle, 0, cs.MaxArrivals)
 		cs.lastChange = cs.Start
 		if t := cs.Start + cs.Gap.draw(cs.random); t < cs.Stop {
-			cs.sndSched.At(t, cs.arriveFn)
+			cs.arriveTm = cs.sndSched.At(t, cs.arriveFn)
 		}
 	}
 }
@@ -557,7 +558,7 @@ func (cs *classState) arrive() {
 
 	if cs.next < cs.MaxArrivals {
 		if t := now + cs.Gap.draw(cs.random); t < cs.Stop {
-			cs.sndSched.At(t, cs.arriveFn)
+			cs.arriveTm = cs.sndSched.At(t, cs.arriveFn)
 		}
 	}
 }
@@ -582,13 +583,7 @@ func (cs *classState) start(i, flow int, size int64, now float64) {
 			tfrc.RenewRaw(p.snd, p.rcv, flow, cfg)
 		} else {
 			cs.constructions++
-			snd, rcv := tfrc.NewFlowRaw(cs.sndSched, cs.sndNet, cs.rcvSched, cs.rcvNet, flow, cfg)
-			sl.tfrcSnd, sl.tfrcRcv = snd, rcv
-			// Bound once per endpoint pair: the closures capture the
-			// endpoints, which know their current flow, so recycling
-			// does not rebuild them.
-			snd.OnDone(func() { cs.flowDone(snd.Flow()) })
-			rcv.OnIdle(func() { cs.eng.maybeReclaim(rcv.Flow()) })
+			sl.tfrcSnd, sl.tfrcRcv = cs.newTFRC(flow, cfg)
 		}
 		cs.eng.host.AttachLive(flow, sl.tfrcSnd, sl.tfrcRcv, cs.FwdHops, cs.RevHops, cs.FwdExtra, cs.RevDelay)
 		sl.tfrcSnd.Start()
@@ -602,10 +597,7 @@ func (cs *classState) start(i, flow int, size int64, now float64) {
 			tcp.RenewRaw(p.snd, p.rcv, flow, cfg)
 		} else {
 			cs.constructions++
-			snd := tcp.NewSender(cs.sndSched, cs.sndNet, flow, cfg)
-			rcv := tcp.NewReceiver(cs.rcvSched, cs.rcvNet, flow, cfg)
-			sl.tcpSnd, sl.tcpRcv = snd, rcv
-			snd.OnDone(func() { cs.flowDone(snd.Flow()) })
+			sl.tcpSnd, sl.tcpRcv = cs.newTCP(flow, cfg)
 		}
 		cs.eng.host.AttachLive(flow, sl.tcpSnd, sl.tcpRcv, cs.FwdHops, cs.RevHops, cs.FwdExtra, cs.RevDelay)
 		sl.tcpSnd.Start()
@@ -625,6 +617,25 @@ func (cs *classState) start(i, flow int, size int64, now float64) {
 		cs.eng.host.AttachLive(flow, snd, rcv, cs.FwdHops, cs.RevHops, cs.FwdExtra, cs.RevDelay)
 		sl.probe.Start()
 	}
+}
+
+// newTFRC builds a fresh TFRC endpoint pair with its lifecycle hooks
+// bound once: the closures capture the endpoints, which know their
+// current flow, so recycling does not rebuild them.
+func (cs *classState) newTFRC(flow int, cfg tfrc.Config) (*tfrc.Sender, *tfrc.Receiver) {
+	snd, rcv := tfrc.NewFlowRaw(cs.sndSched, cs.sndNet, cs.rcvSched, cs.rcvNet, flow, cfg)
+	snd.OnDone(func() { cs.flowDone(snd.Flow()) })
+	rcv.OnIdle(func() { cs.eng.maybeReclaim(rcv.Flow()) })
+	return snd, rcv
+}
+
+// newTCP builds a fresh TCP endpoint pair with its completion hook
+// bound once.
+func (cs *classState) newTCP(flow int, cfg tcp.Config) (*tcp.Sender, *tcp.Receiver) {
+	snd := tcp.NewSender(cs.sndSched, cs.sndNet, flow, cfg)
+	rcv := tcp.NewReceiver(cs.rcvSched, cs.rcvNet, flow, cfg)
+	snd.OnDone(func() { cs.flowDone(snd.Flow()) })
+	return snd, rcv
 }
 
 // probe builds a fresh CBR probe with its completion hook bound once.

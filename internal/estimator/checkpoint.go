@@ -1,0 +1,39 @@
+package estimator
+
+import "repro/internal/checkpoint"
+
+// Save writes the observed interval history. The weight vector is
+// configuration and comes from the rebuild.
+func (e *LossIntervalEstimator) Save(w *checkpoint.Writer) {
+	w.Int(len(e.history))
+	for _, v := range e.history {
+		w.F64(v)
+	}
+}
+
+// Restore overlays a history saved by Save onto a freshly built
+// estimator with the same window.
+func (e *LossIntervalEstimator) Restore(r *checkpoint.Reader) {
+	n := r.Count()
+	if n > len(e.weights) {
+		r.Fail("loss-interval history of %d exceeds window %d", n, len(e.weights))
+		return
+	}
+	e.history = e.history[:0]
+	for i := 0; i < n; i++ {
+		e.history = append(e.history, r.F64())
+	}
+}
+
+// Save writes the smoothed value and readiness. The smoothing constant
+// is configuration and comes from the rebuild.
+func (rt *RTT) Save(w *checkpoint.Writer) {
+	w.F64(rt.value)
+	w.Bool(rt.ready)
+}
+
+// Restore overlays state saved by Save.
+func (rt *RTT) Restore(r *checkpoint.Reader) {
+	rt.value = r.F64()
+	rt.ready = r.Bool()
+}

@@ -22,3 +22,5 @@ func BenchmarkReversePathSteadyState(b *testing.B) { perfbench.ReversePathSteady
 func BenchmarkShardedChainBaseline(b *testing.B) { perfbench.ShardedChainBaseline(b) }
 
 func BenchmarkShardedChainSteadyState(b *testing.B) { perfbench.ShardedChainSteadyState(b) }
+
+func BenchmarkCheckpointedChainSteadyState(b *testing.B) { perfbench.CheckpointedChainSteadyState(b) }

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/runner"
+	"repro/internal/topology"
+)
+
+// withCheckpoint runs fn with the process-wide checkpoint and observe
+// options swapped in, restoring both afterwards. The checkpoint tests
+// are deliberately NOT parallel: they mutate package globals, and the
+// testing package guarantees sequential tests never overlap paused
+// parallel ones.
+func withCheckpoint(t *testing.T, ck CheckpointOptions, obs ObserveOptions, fn func()) {
+	t.Helper()
+	oldCk, oldObs := Checkpoint, Observe
+	Checkpoint, Observe = ck, obs
+	defer func() { Checkpoint, Observe = oldCk, oldObs }()
+	fn()
+}
+
+// The tentpole contract: a run that snapshots along the way emits the
+// same bytes as one that never does, and a run resumed from any of
+// those snapshots finishes on the identical trajectory — across the
+// serial arena, the sharded executor, and with metrics plus epoch
+// logging on. The TestMain leak check is armed, so every resumed run
+// also proves the freelist ledger survives the restore boundary.
+func TestCheckpointResumeByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-level checkpoint runs skipped in -short mode")
+	}
+	sz := Sizing{Events: 2000, SimFactor: 0.04, Pairs: []int{1}, PairsCap: 1}
+	cases := []struct {
+		name     string
+		scenario string
+		shards   int
+		obs      ObserveOptions
+	}{
+		{"serial", "parkinglot", 0, ObserveOptions{}},
+		{"shards2", "parkinglot", 2, ObserveOptions{}},
+		{"shards4", "parkinglot", 4, ObserveOptions{}},
+		{"metrics-epochs", "parkinglot", 0, ObserveOptions{Metrics: true, Epochs: 4}},
+		{"shards2-metrics-epochs", "parkinglot", 2, ObserveOptions{Metrics: true, Epochs: 4}},
+		{"faults-watch", "linkflap", 0, ObserveOptions{}},
+		{"churn", "surge", 0, ObserveOptions{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			szk := sz
+			szk.Shards = tc.shards
+			dir := t.TempDir()
+			var base, snap, res []byte
+			withCheckpoint(t, CheckpointOptions{}, tc.obs, func() {
+				base = renderAll(t, tc.scenario, szk, runner.Serial{})
+			})
+			withCheckpoint(t, CheckpointOptions{Every: 2, Dir: dir}, tc.obs, func() {
+				snap = renderAll(t, tc.scenario, szk, runner.Serial{})
+			})
+			withCheckpoint(t, CheckpointOptions{Resume: dir}, tc.obs, func() {
+				res = renderAll(t, tc.scenario, szk, runner.Serial{})
+			})
+			if len(base) == 0 {
+				t.Fatal("empty baseline output")
+			}
+			if !bytes.Equal(base, snap) {
+				t.Fatalf("snapshotting changed the trajectory\nbase:\n%s\nckpt:\n%s", base, snap)
+			}
+			if !bytes.Equal(base, res) {
+				t.Fatalf("resumed run differs from uninterrupted\nbase:\n%s\nresume:\n%s", base, res)
+			}
+		})
+	}
+}
+
+// A resume pointed at a directory with no snapshot for the job degrades
+// to a from-scratch run with identical output — the self-healing pool
+// relies on this when a job dies before its first save.
+func TestCheckpointResumeMissingSnapshotRunsScratch(t *testing.T) {
+	cfg := parkingLotBase(Sizing{SimFactor: 0.02})
+	cfg.Seed = 31
+	cfg.Label = "scratch"
+	base := RunTopoSim(cfg)
+	cfg.Resume = t.TempDir()
+	res := RunTopoSim(cfg)
+	if !reflect.DeepEqual(base, res) {
+		t.Fatalf("scratch-degraded resume differs:\n%+v\n%+v", base.TFRC, res.TFRC)
+	}
+}
+
+// Resuming under any config that disagrees with the snapshot's must
+// fail loudly, naming both digests, before any simulation runs.
+func TestCheckpointDigestMismatch(t *testing.T) {
+	dir := t.TempDir()
+	cfg := parkingLotBase(Sizing{SimFactor: 0.02})
+	cfg.Seed = 17
+	cfg.Label = "digest"
+	withCheckpoint(t, CheckpointOptions{Every: 1, Dir: dir}, ObserveOptions{}, func() {
+		RunTopoSim(cfg)
+	})
+	snapDigest := configDigest(&cfg, 1, 0)
+
+	cases := []struct {
+		name string
+		mut  func(*TopoSimConfig)
+	}{
+		{"seed", func(c *TopoSimConfig) { c.Seed++ }},
+		{"hops", func(c *TopoSimConfig) { c.Hops++ }},
+		{"duration", func(c *TopoSimConfig) { c.Duration *= 2 }},
+		{"flows", func(c *TopoSimConfig) { c.NTFRC++ }},
+		{"capacity", func(c *TopoSimConfig) { c.Capacity *= 2 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := cfg
+			tc.mut(&bad)
+			bad.Resume = dir
+			runDigest := configDigest(&bad, 1, 0)
+			if runDigest == snapDigest {
+				t.Fatal("mutation did not change the config digest")
+			}
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("mismatched resume did not panic")
+				}
+				msg := fmt.Sprint(r)
+				for _, want := range []string{
+					"config digest mismatch",
+					fmt.Sprintf("%016x", snapDigest),
+					fmt.Sprintf("%016x", runDigest),
+				} {
+					if !strings.Contains(msg, want) {
+						t.Fatalf("diagnostic %q missing %q", msg, want)
+					}
+				}
+			}()
+			RunTopoSim(bad)
+		})
+	}
+}
+
+// The self-healing loop end to end: a job that crashes after its
+// checkpoints are written is retried by the hardened pool, resumes from
+// its own snapshot, and delivers the same result as a run that never
+// failed — with the retry visible in the pool snapshot.
+func TestRetriedJobResumesToSameResult(t *testing.T) {
+	cfg := parkingLotBase(Sizing{SimFactor: 0.02})
+	cfg.Seed = 23
+
+	plain := cfg
+	plain.Label = "retry"
+	want := RunTopoSim(plain)
+
+	withCheckpoint(t, CheckpointOptions{Every: 2, Dir: t.TempDir()}, ObserveOptions{}, func() {
+		job := topoJob("retry", cfg)
+		inner := job.Run
+		job.Run = func(ctx context.Context) any {
+			v := inner(ctx)
+			if runner.Attempt(ctx) == 1 {
+				panic("injected crash after checkpointing")
+			}
+			return v
+		}
+		p := &runner.Pool{Workers: 1, Retries: 1, RetryBase: time.Millisecond}
+		results, err := p.Execute(context.Background(), []runner.Job{job})
+		if err != nil {
+			t.Fatalf("retried job still failed: %v", err)
+		}
+		got, ok := results[0].(TopoSimResult)
+		if !ok {
+			t.Fatalf("result = %T", results[0])
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("retried result differs from never-failed run:\n%+v\n%+v", want.TFRC, got.TFRC)
+		}
+		if snap := p.Snapshot(); snap.Retries != 1 {
+			t.Fatalf("pool snapshot retries = %d, want 1", snap.Retries)
+		}
+	})
+}
+
+// fakeObsEngine exposes a hand-built link set to the observability
+// sampler.
+type fakeObsEngine struct{ links []*netsim.Link }
+
+func (f fakeObsEngine) Links() int                           { return len(f.links) }
+func (f fakeObsEngine) Link(id topology.LinkID) *netsim.Link { return f.links[id] }
+func (f fakeObsEngine) Fired() uint64                        { return 0 }
+func (f fakeObsEngine) Pending() int                         { return 0 }
+func (f fakeObsEngine) Outstanding() int64                   { return 0 }
+
+// The barrier-aligned Unbounded depth samples must be monotone: the
+// high-water series never decreases (it is a cumulative maximum) and
+// the headroom series never increases, with each pair summing to the
+// effective hard cap.
+func TestUnboundedSamplesMonotone(t *testing.T) {
+	var sched des.Scheduler
+	u := netsim.NewUnbounded()
+	l := netsim.NewLink(&sched, 1e6, 0.01, u)
+	o := &obsRun{eng: fakeObsEngine{links: []*netsim.Link{l}}, epochs: 4}
+	for _, hw := range []int{0, 3, 7, 7, 12} {
+		u.HighWater = hw
+		o.sampleUnbounded()
+	}
+	if len(o.uhw) != 5 || len(o.headroom) != 5 {
+		t.Fatalf("sample counts = %d, %d, want 5 each", len(o.uhw), len(o.headroom))
+	}
+	for i := range o.uhw {
+		if i > 0 && o.uhw[i] < o.uhw[i-1] {
+			t.Fatalf("high-water samples decreased: %v", o.uhw)
+		}
+		if i > 0 && o.headroom[i] > o.headroom[i-1] {
+			t.Fatalf("headroom samples increased: %v", o.headroom)
+		}
+		if o.uhw[i]+o.headroom[i] != netsim.DefaultUnboundedCap {
+			t.Fatalf("sample %d: hw %v + headroom %v != cap %d",
+				i, o.uhw[i], o.headroom[i], netsim.DefaultUnboundedCap)
+		}
+	}
+}

@@ -96,6 +96,13 @@ type obsRun struct {
 
 	log  *obs.EpochLog
 	prev obs.Epoch
+	// uhw and headroom are the boundary-aligned Unbounded queue samples
+	// (satellite of the checkpoint work): at each epoch boundary, the
+	// deepest high-water mark over the run's Unbounded queues and the
+	// tightest remaining headroom to the hard occupancy cap. Empty when
+	// the run has no Unbounded queues or metrics are off.
+	uhw      []float64
+	headroom []float64
 }
 
 // newObsRun returns the collector for one run, or nil when Observe is
@@ -141,6 +148,79 @@ func (o *obsRun) totals() obs.Epoch {
 	return cum
 }
 
+// begin fixes the epoch baseline at the end of warmup. Call it once,
+// after the stats reset, before the first measured step.
+func (o *obsRun) begin() {
+	if o == nil || o.epochs <= 1 {
+		return
+	}
+	o.prev = o.totals()
+}
+
+// boundary closes epoch i, spanning [start, end], at the current
+// (phase-aligned) instant: the window's flow deltas against the
+// previous boundary's totals plus end-of-window state, and the
+// boundary-aligned Unbounded queue samples.
+func (o *obsRun) boundary(i int, start, end float64) {
+	if o == nil || o.epochs <= 1 {
+		return
+	}
+	cur := o.totals()
+	o.log.Add(obs.Epoch{
+		Index: i, Start: start, End: end,
+		Fired:       cur.Fired - o.prev.Fired,
+		Enqueued:    cur.Enqueued - o.prev.Enqueued,
+		Forwarded:   cur.Forwarded - o.prev.Forwarded,
+		Bytes:       cur.Bytes - o.prev.Bytes,
+		QueueDrops:  cur.QueueDrops - o.prev.QueueDrops,
+		EarlyDrops:  cur.EarlyDrops - o.prev.EarlyDrops,
+		FaultDrops:  cur.FaultDrops - o.prev.FaultDrops,
+		QueueLen:    cur.QueueLen,
+		Pending:     cur.Pending,
+		Outstanding: cur.Outstanding,
+	})
+	o.prev = cur
+	if Observe.Metrics {
+		o.sampleUnbounded()
+	}
+}
+
+// sampleUnbounded records the deepest Unbounded high-water mark and the
+// tightest hard-cap headroom over the run's links, one sample per call.
+// Runs without Unbounded queues record nothing.
+func (o *obsRun) sampleUnbounded() {
+	hw, head, any := unboundedDepth(o.eng)
+	if !any {
+		return
+	}
+	o.uhw = append(o.uhw, float64(hw))
+	o.headroom = append(o.headroom, float64(head))
+}
+
+// unboundedDepth scans the engine's links for Unbounded queues: the
+// maximum high-water mark, the minimum remaining headroom against each
+// queue's effective hard cap, and whether any such queue exists.
+func unboundedDepth(eng obsEngine) (hw, head int, any bool) {
+	for id := 0; id < eng.Links(); id++ {
+		u, ok := eng.Link(topology.LinkID(id)).Queue().(*netsim.Unbounded)
+		if !ok {
+			continue
+		}
+		cap := u.Cap
+		if cap <= 0 {
+			cap = netsim.DefaultUnboundedCap
+		}
+		if !any || u.HighWater > hw {
+			hw = u.HighWater
+		}
+		if h := cap - u.HighWater; !any || h < head {
+			head = h
+		}
+		any = true
+	}
+	return hw, head, any
+}
+
 // runMeasured advances the engine from the end of warmup (time from) to
 // the end of the run (time to) via run (the engine's RunUntil),
 // sampling epoch boundaries when epoch logging is on. With
@@ -153,7 +233,7 @@ func (o *obsRun) runMeasured(run func(t float64), from, to float64) {
 		run(to)
 		return
 	}
-	o.prev = o.totals()
+	o.begin()
 	n := o.epochs
 	w := (to - from) / float64(n)
 	start := from
@@ -163,21 +243,7 @@ func (o *obsRun) runMeasured(run func(t float64), from, to float64) {
 			end = to
 		}
 		run(end)
-		cur := o.totals()
-		o.log.Add(obs.Epoch{
-			Index: i, Start: start, End: end,
-			Fired:       cur.Fired - o.prev.Fired,
-			Enqueued:    cur.Enqueued - o.prev.Enqueued,
-			Forwarded:   cur.Forwarded - o.prev.Forwarded,
-			Bytes:       cur.Bytes - o.prev.Bytes,
-			QueueDrops:  cur.QueueDrops - o.prev.QueueDrops,
-			EarlyDrops:  cur.EarlyDrops - o.prev.EarlyDrops,
-			FaultDrops:  cur.FaultDrops - o.prev.FaultDrops,
-			QueueLen:    cur.QueueLen,
-			Pending:     cur.Pending,
-			Outstanding: cur.Outstanding,
-		})
-		o.prev = cur
+		o.boundary(i, start, end)
 		start = end
 	}
 }
@@ -215,6 +281,22 @@ func (o *obsRun) collect(tf []tfrc.Stats, tc []tcp.Stats) *RunObs {
 			reg.Counter(pre + "forwarded").Add(l.Forwarded)
 			reg.Counter(pre + "queue_drops").Add(drops + early)
 			reg.Counter(pre + "fault_drops").Add(l.FaultDrops)
+		}
+		// Unbounded depth gauges: the boundary-aligned samples when epoch
+		// stepping collected them, else one end-of-run sample. Runs with
+		// no Unbounded queues register neither gauge.
+		if hw, head, any := unboundedDepth(o.eng); any {
+			g := reg.Gauge("net.unbounded_highwater")
+			h := reg.Gauge("net.unbounded_headroom")
+			if len(o.uhw) > 0 {
+				for i := range o.uhw {
+					g.Observe(o.uhw[i])
+					h.Observe(o.headroom[i])
+				}
+			} else {
+				g.Observe(float64(hw))
+				h.Observe(float64(head))
+			}
 		}
 		obsClass(reg, "tfrc", len(tf), func(add func(string, int64), g func(string, float64), h *obs.Histogram) {
 			for _, st := range tf {

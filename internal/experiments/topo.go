@@ -104,6 +104,17 @@ type TopoSimConfig struct {
 	// never changes the simulation trajectory, and TSV epoch blocks stay
 	// gated on the user's Observe selection.
 	ForceEpochs int
+	// Label names the run for checkpointing: the snapshot file is
+	// Checkpoint.Dir/<sanitized label>.ckpt, and the label is folded
+	// into the config digest. The scenario layer sets it to the job
+	// name; an empty label opts the run out of checkpoint/resume.
+	Label string
+	// Resume, when set, asks this run to continue from the snapshot for
+	// its label found in the named directory (a missing snapshot
+	// degrades to a from-scratch run, a mismatched one fails loudly).
+	// The run layer sets it from Checkpoint.Resume and from the
+	// self-healing retry path; it is not part of the config digest.
+	Resume string
 }
 
 // RecoveryWatch configures post-outage recovery measurement: each long
@@ -134,6 +145,9 @@ type rateWatch struct {
 
 	preRate     float64
 	recoveredAt float64
+	// tm is the pending sample timer, retained so a snapshot can save
+	// and re-arm it with its original identity.
+	tm des.Timer
 }
 
 func newRateWatch(sched *des.Scheduler, rate func() float64, w RecoveryWatch, end float64) *rateWatch {
@@ -145,7 +159,7 @@ func newRateWatch(sched *des.Scheduler, rate func() float64, w RecoveryWatch, en
 	}
 	rw := &rateWatch{sched: sched, rate: rate, w: w, end: end, recoveredAt: -1}
 	rw.fn = rw.sample
-	sched.At(sched.Now(), rw.fn)
+	rw.tm = sched.At(sched.Now(), rw.fn)
 	return rw
 }
 
@@ -159,7 +173,7 @@ func (rw *rateWatch) sample() {
 		rw.recoveredAt = now
 	}
 	if next := now + rw.w.Interval; next <= rw.end {
-		rw.sched.At(next, rw.fn)
+		rw.tm = rw.sched.At(next, rw.fn)
 	}
 }
 
@@ -275,7 +289,8 @@ func RunTopoSim(cfg TopoSimConfig) TopoSimResult {
 	// serial and sharded engines. A nil plan arms nothing and consumes
 	// no randomness, so fault-free runs are byte-identical to builds
 	// that predate the fault layer.
-	if err := fault.Arm(env, cfg.Faults); err != nil {
+	armed, err := fault.Arm(env, cfg.Faults)
+	if err != nil {
 		panic(fmt.Sprintf("experiments: invalid fault plan: %v", err))
 	}
 
@@ -293,6 +308,7 @@ func RunTopoSim(cfg TopoSimConfig) TopoSimResult {
 	end := cfg.Warmup + cfg.Duration
 	flowID := 0
 	tfrcSenders := make([]*tfrc.Sender, 0, cfg.NTFRC)
+	tfrcReceivers := make([]*tfrc.Receiver, 0, cfg.NTFRC)
 	watchers := make([]*rateWatch, 0, cfg.NTFRC)
 	baseRTTs := make([]float64, 0, cfg.NTFRC)
 	for i := 0; i < cfg.NTFRC; i++ {
@@ -303,9 +319,10 @@ func RunTopoSim(cfg TopoSimConfig) TopoSimResult {
 			env.SetReverseRoute(flowID, revRoute...)
 		}
 		sndSched, sndNet, rcvSched, rcvNet := env.FlowEnv(flowID)
-		snd, _ := tfrc.NewFlowOn(sndSched, sndNet, rcvSched, rcvNet, flowID, c,
+		snd, rcv := tfrc.NewFlowOn(sndSched, sndNet, rcvSched, rcvNet, flowID, c,
 			cfg.AccessDelay*k, cfg.RevDelay*k)
 		tfrcSenders = append(tfrcSenders, snd)
+		tfrcReceivers = append(tfrcReceivers, rcv)
 		baseRTTs = append(baseRTTs, env.BaseRTT(flowID))
 		staggeredStart(sndSched, seedRNG, cfg.Warmup, snd.Start)
 		if cfg.Watch != nil {
@@ -314,26 +331,30 @@ func RunTopoSim(cfg TopoSimConfig) TopoSimResult {
 		flowID++
 	}
 	tcpSenders := make([]*tcp.Sender, 0, cfg.NTCP)
+	tcpReceivers := make([]*tcp.Receiver, 0, cfg.NTCP)
 	for i := 0; i < cfg.NTCP; i++ {
 		k := spread(i, cfg.NTCP)
 		if cfg.MirrorRev {
 			env.SetReverseRoute(flowID, revRoute...)
 		}
 		sndSched, sndNet, rcvSched, rcvNet := env.FlowEnv(flowID)
-		snd, _ := tcp.NewFlowOn(sndSched, sndNet, rcvSched, rcvNet, flowID, tcp.DefaultConfig(),
+		snd, rcv := tcp.NewFlowOn(sndSched, sndNet, rcvSched, rcvNet, flowID, tcp.DefaultConfig(),
 			cfg.AccessDelay*k, cfg.RevDelay*k)
 		tcpSenders = append(tcpSenders, snd)
+		tcpReceivers = append(tcpReceivers, rcv)
 		staggeredStart(sndSched, seedRNG, cfg.Warmup, snd.Start)
 		flowID++
 	}
 	crossSenders := make([]*tcp.Sender, 0, cfg.Hops*cfg.CrossPerHop)
+	crossReceivers := make([]*tcp.Receiver, 0, cfg.Hops*cfg.CrossPerHop)
 	for h := 0; h < cfg.Hops; h++ {
 		for i := 0; i < cfg.CrossPerHop; i++ {
 			env.SetRoute(flowID, route[h])
 			sndSched, sndNet, rcvSched, rcvNet := env.FlowEnv(flowID)
-			snd, _ := tcp.NewFlowOn(sndSched, sndNet, rcvSched, rcvNet, flowID, tcp.DefaultConfig(),
+			snd, rcv := tcp.NewFlowOn(sndSched, sndNet, rcvSched, rcvNet, flowID, tcp.DefaultConfig(),
 				0, cfg.CrossRevDelay)
 			crossSenders = append(crossSenders, snd)
+			crossReceivers = append(crossReceivers, rcv)
 			staggeredStart(sndSched, seedRNG, cfg.Warmup, snd.Start)
 			flowID++
 		}
@@ -383,11 +404,61 @@ func RunTopoSim(cfg TopoSimConfig) TopoSimResult {
 		churn.Arm()
 	}
 
-	env.RunUntil(cfg.Warmup)
-	resetStats(tfrcSenders)
-	resetStats(tcpSenders)
-	resetStats(crossSenders)
-	ob.runMeasured(env.RunUntil, cfg.Warmup, end)
+	// Checkpoint-off runs take the exact pre-checkpoint path: two RunUntil
+	// calls (plus epoch boundaries), no capture, no extra branches. With
+	// snapshotting or resuming requested the driver below sequences the
+	// same warmup/reset/measure steps around the save and restore hooks.
+	ckptOn := Checkpoint.Every > 0 && Checkpoint.Dir != "" && cfg.Label != ""
+	resuming := cfg.Resume != "" && cfg.Label != ""
+	if ckptOn || resuming {
+		if Observe.TraceCap > 0 {
+			panic("experiments: checkpoint/resume is incompatible with event tracing (-trace): the bounded trace rings are not part of a snapshot")
+		}
+		ce, ok := env.(ckptExec)
+		if !ok {
+			panic("experiments: executor does not support checkpointing")
+		}
+		shards := 1
+		if cfg.Shards > 1 {
+			shards = cfg.Shards
+		}
+		obEpochs := 0
+		if ob != nil {
+			obEpochs = ob.epochs
+		}
+		d := &topoCkpt{
+			cfg: &cfg, env: ce, ob: ob, armed: armed, watchers: watchers,
+			end: end, saving: ckptOn, resume: cfg.Resume,
+			digest: configDigest(&cfg, shards, obEpochs),
+		}
+		if churn != nil {
+			d.churn = churn
+		}
+		for i := range tfrcSenders {
+			d.tfrcSnd = append(d.tfrcSnd, tfrcSenders[i])
+			d.tfrcRcv = append(d.tfrcRcv, tfrcReceivers[i])
+		}
+		for i := range tcpSenders {
+			d.tcpSnd = append(d.tcpSnd, tcpSenders[i])
+			d.tcpRcv = append(d.tcpRcv, tcpReceivers[i])
+		}
+		for i := range crossSenders {
+			d.crossSnd = append(d.crossSnd, crossSenders[i])
+			d.crossRcv = append(d.crossRcv, crossReceivers[i])
+		}
+		d.statResetters = []func(){
+			func() { resetStats(tfrcSenders) },
+			func() { resetStats(tcpSenders) },
+			func() { resetStats(crossSenders) },
+		}
+		d.run()
+	} else {
+		env.RunUntil(cfg.Warmup)
+		resetStats(tfrcSenders)
+		resetStats(tcpSenders)
+		resetStats(crossSenders)
+		ob.runMeasured(env.RunUntil, cfg.Warmup, end)
+	}
 
 	var res TopoSimResult
 	res.TFRCPerFlow = tfrcStats(tfrcSenders)
@@ -467,12 +538,25 @@ type topoCell struct {
 	hops, L int
 }
 
-// topoJob wraps one multi-hop run as a runner job.
+// topoJob wraps one multi-hop run as a runner job. The job name becomes
+// the run's checkpoint label; a retry attempt (the self-healing pool
+// re-dispatching a deadline-abandoned or panicked job) resumes from the
+// job's own last snapshot when checkpointing is on, and an explicit
+// Checkpoint.Resume directory applies to first attempts too.
 func topoJob(name string, cfg TopoSimConfig) runner.Job {
 	return runner.Job{
 		Name: name,
 		Seed: cfg.Seed,
-		Run:  func(context.Context) any { return RunTopoSim(cfg) },
+		Run: func(ctx context.Context) any {
+			c := cfg
+			c.Label = name
+			c.Resume = Checkpoint.Resume
+			if c.Resume == "" && runner.Attempt(ctx) > 1 &&
+				Checkpoint.Every > 0 && Checkpoint.Dir != "" {
+				c.Resume = Checkpoint.Dir
+			}
+			return RunTopoSim(c)
+		},
 	}
 }
 

@@ -308,6 +308,22 @@ func (c *linkCtl) apply(ev Event) {
 	}
 }
 
+// armedEvent is one scheduled plan event held for checkpointing: the
+// scheduler it fired on, the bound closure, and the live timer.
+type armedEvent struct {
+	sched *des.Scheduler
+	fn    des.Event
+	tm    des.Timer
+}
+
+// Armed is the run-time handle Arm returns: the scheduled events in
+// plan order and the per-link fault controls in link-id order. A nil
+// Armed (from arming a nil plan) is valid and saves as empty.
+type Armed struct {
+	events []armedEvent
+	ctls   []*linkCtl
+}
+
 // Arm validates the plan against the host and schedules every event on
 // the scheduler owning its link, installing Fault hooks on the links
 // that need one (outages and loss processes; pure rate renegotiation
@@ -315,15 +331,18 @@ func (c *linkCtl) apply(ev Event) {
 // links materialized — and before simulated time advances, in a fixed
 // position of the setup sequence: armed events carry the arming-time
 // scheduling key, which is how they keep a stable order against
-// same-instant runtime events on every executor.
-func Arm(h Host, p *Plan) error {
+// same-instant runtime events on every executor. The returned handle
+// exposes the armed state to the checkpoint layer; callers that never
+// snapshot may discard it.
+func Arm(h Host, p *Plan) (*Armed, error) {
 	if p == nil {
-		return nil
+		return nil, nil
 	}
 	if err := p.Validate(h.Links()); err != nil {
-		return err
+		return nil, err
 	}
 	th, _ := h.(TracedHost)
+	a := &Armed{}
 	ctls := map[topology.LinkID]*linkCtl{}
 	hook := func(id topology.LinkID) *linkCtl {
 		c := ctls[id]
@@ -334,6 +353,7 @@ func Arm(h Host, p *Plan) error {
 			}
 			c.link.Fault = c.fault
 			ctls[id] = c
+			a.ctls = append(a.ctls, c)
 		}
 		return c
 	}
@@ -347,29 +367,28 @@ func Arm(h Host, p *Plan) error {
 		c.rnd = *rng.New(LinkSeed(p.Seed, g.Link))
 	}
 	for _, ev := range p.Events {
-		var c *linkCtl
-		if ev.Op == SetRate {
-			c = ctls[ev.Link]
-			if c == nil {
-				// Rate renegotiation needs no packet inspection: apply
-				// straight to the link, no hook installed.
-				l := h.Link(ev.Link)
-				var tr *obs.Tracer
-				if th != nil {
-					tr = th.LinkTracer(ev.Link)
-				}
-				ev := ev
-				h.LinkSched(ev.Link).At(ev.At, func() {
-					l.Rate = ev.Rate
-					tr.Emit(ev.At, obs.EvFaultRate, -1, int32(ev.Link), ev.Rate)
-				})
-				continue
+		var fn des.Event
+		if ev.Op == SetRate && ctls[ev.Link] == nil {
+			// Rate renegotiation needs no packet inspection: apply
+			// straight to the link, no hook installed.
+			l := h.Link(ev.Link)
+			var tr *obs.Tracer
+			if th != nil {
+				tr = th.LinkTracer(ev.Link)
+			}
+			ev := ev
+			fn = func() {
+				l.Rate = ev.Rate
+				tr.Emit(ev.At, obs.EvFaultRate, -1, int32(ev.Link), ev.Rate)
 			}
 		} else {
-			c = hook(ev.Link)
+			c := hook(ev.Link)
+			ev := ev
+			fn = func() { c.apply(ev) }
 		}
-		ev := ev
-		h.LinkSched(ev.Link).At(ev.At, func() { c.apply(ev) })
+		sched := h.LinkSched(ev.Link)
+		a.events = append(a.events, armedEvent{sched: sched, fn: fn, tm: sched.At(ev.At, fn)})
 	}
-	return nil
+	sort.Slice(a.ctls, func(i, j int) bool { return a.ctls[i].id < a.ctls[j].id })
+	return a, nil
 }

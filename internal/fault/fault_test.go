@@ -82,7 +82,7 @@ func TestGEStationaryLossConvergence(t *testing.T) {
 		h := newOneLinkHost(1e6, 0.01, netsim.NewUnbounded())
 		h.link.Deliver = func(p *netsim.Packet) {}
 		plan := &Plan{Seed: 0xfa0 + uint64(gi), Losses: []GE{g}}
-		if err := Arm(h, plan); err != nil {
+		if _, err := Arm(h, plan); err != nil {
 			t.Fatalf("grid %d: %v", gi, err)
 		}
 		dropped := 0
@@ -109,7 +109,7 @@ func TestFlapDrainSemantics(t *testing.T) {
 	h.link.Release = func(p *netsim.Packet) { released++ }
 
 	plan := (&Plan{}).Flap(0, 10, 20, Drain)
-	if err := Arm(h, plan); err != nil {
+	if _, err := Arm(h, plan); err != nil {
 		t.Fatal(err)
 	}
 	// Four packets at t=0: 4 s of backlog, all drain before the outage.
@@ -141,7 +141,7 @@ func TestFlapFlushSemantics(t *testing.T) {
 	h.link.Release = func(p *netsim.Packet) { released++ }
 
 	plan := (&Plan{}).Flap(0, 0.5, 20, Flush)
-	if err := Arm(h, plan); err != nil {
+	if _, err := Arm(h, plan); err != nil {
 		t.Fatal(err)
 	}
 	// Four packets at t=0: the first serializes until t=1, the other
@@ -169,7 +169,7 @@ func TestSetRateRenegotiation(t *testing.T) {
 
 	// Halve the rate at t=0.5, mid-service of the first packet.
 	plan := &Plan{Events: []Event{{At: 0.5, Link: 0, Op: SetRate, Rate: 500}}}
-	if err := Arm(h, plan); err != nil {
+	if _, err := Arm(h, plan); err != nil {
 		t.Fatal(err)
 	}
 	h.sched.At(0, func() {
@@ -190,11 +190,11 @@ func TestSetRateRenegotiation(t *testing.T) {
 func TestArmMinimality(t *testing.T) {
 	h := newOneLinkHost(1000, 0, netsim.NewDropTail(32))
 	h.link.Deliver = func(p *netsim.Packet) {}
-	if err := Arm(h, nil); err != nil {
+	if _, err := Arm(h, nil); err != nil {
 		t.Fatal(err)
 	}
 	plan := &Plan{Events: []Event{{At: 1, Link: 0, Op: SetRate, Rate: 2000}}}
-	if err := Arm(h, plan); err != nil {
+	if _, err := Arm(h, plan); err != nil {
 		t.Fatal(err)
 	}
 	if h.link.Fault != nil {
@@ -215,7 +215,7 @@ func TestPerLinkStreamsIndependent(t *testing.T) {
 		g := GE{Link: 0, MeanGood: 20, MeanBad: 5, LossBad: 0.8}
 		// Arm against link id 0 but seed the stream as the given id.
 		plan := &Plan{Seed: LinkSeed(42, link), Losses: []GE{g}}
-		if err := Arm(h, plan); err != nil {
+		if _, err := Arm(h, plan); err != nil {
 			t.Fatal(err)
 		}
 		var p netsim.Packet

@@ -488,10 +488,20 @@ type Link struct {
 	// BytesForwarded counts bytes fully transmitted.
 	BytesForwarded int64
 
-	txPkt                       *Packet // the packet currently being serialized
-	prop                        []*Packet
+	txPkt *Packet   // the packet currently being serialized
+	txTm  des.Timer // its serialization-completion timer
+	// prop pairs each propagating packet with its delivery timer, so a
+	// checkpoint can translate the pipeline into (packet, timer) records.
+	prop                        []propEntry
 	propHead, propLen           int
 	onTxDoneFn, deliverOldestFn des.Event
+}
+
+// propEntry is one packet in the propagation pipeline with the timer
+// that will deliver it.
+type propEntry struct {
+	p  *Packet
+	tm des.Timer
 }
 
 // NewLink builds a link with the given rate (bytes/second), propagation
@@ -594,7 +604,7 @@ func (l *Link) transmitNext() {
 	}
 	l.busy = true
 	l.txPkt = p
-	l.sched.After(float64(p.Size)/l.Rate, l.onTxDoneFn)
+	l.txTm = l.sched.After(float64(p.Size)/l.Rate, l.onTxDoneFn)
 }
 
 // onTxDone fires when the serialization of txPkt completes: the packet
@@ -606,8 +616,7 @@ func (l *Link) onTxDone() {
 	if l.Handoff != nil {
 		l.Handoff(p)
 	} else {
-		l.propPush(p)
-		l.sched.After(l.Delay, l.deliverOldestFn)
+		l.propPush(p, l.sched.After(l.Delay, l.deliverOldestFn))
 	}
 	l.transmitNext()
 }
@@ -619,22 +628,22 @@ func (l *Link) deliverOldest() {
 	l.Deliver(l.propPop())
 }
 
-func (l *Link) propPush(p *Packet) {
+func (l *Link) propPush(p *Packet, tm des.Timer) {
 	if l.propLen == len(l.prop) {
-		grown := make([]*Packet, max(8, 2*len(l.prop)))
+		grown := make([]propEntry, max(8, 2*len(l.prop)))
 		for i := 0; i < l.propLen; i++ {
 			grown[i] = l.prop[(l.propHead+i)%len(l.prop)]
 		}
 		l.prop = grown
 		l.propHead = 0
 	}
-	l.prop[(l.propHead+l.propLen)%len(l.prop)] = p
+	l.prop[(l.propHead+l.propLen)%len(l.prop)] = propEntry{p, tm}
 	l.propLen++
 }
 
 func (l *Link) propPop() *Packet {
-	p := l.prop[l.propHead]
-	l.prop[l.propHead] = nil
+	p := l.prop[l.propHead].p
+	l.prop[l.propHead] = propEntry{}
 	l.propHead = (l.propHead + 1) % len(l.prop)
 	l.propLen--
 	return p

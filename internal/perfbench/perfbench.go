@@ -149,6 +149,53 @@ func ParkingLotSteadyState(b *testing.B) {
 	}
 }
 
+// CheckpointedChainSteadyState runs the exact ParkingLotSteadyState
+// workload with checkpointing live: a full deterministic snapshot of
+// the simulation (timer wheel, RNG streams, queue contents, protocol
+// state, freelist ledger) is captured and written to disk at the end of
+// warmup and every 5 simulated seconds — five snapshots per run.
+// Against ParkingLotSteadyState it bounds the overhead of the
+// checkpoint subsystem when it is ON; the checkpoint-off cost is pinned
+// at zero by ParkingLotSteadyState itself, whose path has no capture
+// branches.
+func CheckpointedChainSteadyState(b *testing.B) {
+	cfg := experiments.TopoSimConfig{
+		Hops:          3,
+		Capacity:      1.25e6,
+		Buffer:        64,
+		HopDelay:      0.01,
+		AccessDelay:   0.005,
+		RevDelay:      0.025,
+		NTFRC:         4,
+		NTCP:          4,
+		CrossPerHop:   2,
+		CrossRevDelay: 0.02,
+		L:             8,
+		Comprehensive: true,
+		Duration:      25,
+		Warmup:        5,
+		Seed:          17,
+		RevJitter:     0.2,
+		Label:         "bench checkpointed chain",
+	}
+	old := experiments.Checkpoint
+	experiments.Checkpoint = experiments.CheckpointOptions{Every: 5, Dir: b.TempDir()}
+	defer func() { experiments.Checkpoint = old }()
+	var events uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTopoSim(cfg)
+		events = res.EventsFired
+	}
+	b.StopTimer()
+	if events > 0 {
+		secPerOp := b.Elapsed().Seconds() / float64(b.N)
+		b.ReportMetric(float64(events)/secPerOp, "events/sec")
+		b.ReportMetric(float64(events), "events/run")
+	}
+}
+
 // DeepChainSteadyState measures whole-simulation throughput in the
 // scale-out regime the scalechain scenarios sweep: 64 TFRC + 64 TCP
 // long flows across a 12-hop chain with 2 crossing TCP flows per hop

@@ -56,6 +56,20 @@ func (r *RNG) Reseed(seed uint64) {
 	}
 }
 
+// State returns the generator's four state words, for checkpointing.
+// Restoring them with SetState reproduces the stream exactly.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator state with words previously
+// captured by State. It panics on the all-zero state, which xoshiro
+// cannot occupy and which State can therefore never return.
+func (r *RNG) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		panic("rng: SetState with all-zero state")
+	}
+	r.s = s
+}
+
 // Split derives an independent generator from r. The derived stream is
 // decorrelated from r's future output, which makes it convenient to hand
 // sub-streams to concurrently constructed model components.

@@ -263,3 +263,33 @@ func BenchmarkExp(b *testing.B) {
 		_ = r.Exp(1)
 	}
 }
+
+func TestStateRoundTrip(t *testing.T) {
+	r := New(12345)
+	for i := 0; i < 17; i++ {
+		r.Uint64()
+	}
+	saved := r.State()
+	want := make([]uint64, 32)
+	for i := range want {
+		want[i] = r.Uint64()
+	}
+	// Restore into a generator with a completely different history.
+	other := New(999)
+	other.Float64()
+	other.SetState(saved)
+	for i, w := range want {
+		if got := other.Uint64(); got != w {
+			t.Fatalf("draw %d after SetState = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestSetStateRejectsZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetState accepted the all-zero state")
+		}
+	}()
+	New(1).SetState([4]uint64{})
+}

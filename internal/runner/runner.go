@@ -81,11 +81,21 @@ type JobError struct {
 	Name string
 	// Seed is the job's deterministic seed.
 	Seed uint64
-	// Err is what failed: a watchdog deadline or a recovered panic.
+	// Err is what finally failed: a watchdog deadline or a recovered
+	// panic, from the last attempt.
 	Err error
+	// Attempts counts how many times the job ran (1 when the pool had no
+	// retry budget).
+	Attempts int
+	// Chain holds every attempt's error in attempt order; its last entry
+	// is Err. Nil when the job ran once.
+	Chain []error
 }
 
 func (e JobError) Error() string {
+	if e.Attempts > 1 {
+		return fmt.Sprintf("job %d (%s, seed %d) failed %d attempts: %v", e.Index, e.Name, e.Seed, e.Attempts, e.Err)
+	}
 	return fmt.Sprintf("job %d (%s, seed %d): %v", e.Index, e.Name, e.Seed, e.Err)
 }
 
@@ -124,6 +134,19 @@ type Pool struct {
 	// goroutine until it returns; that is the price of guaranteed
 	// progress past a hung job.
 	JobDeadline time.Duration
+	// Retries, when positive, gives every failing job that many extra
+	// attempts (deadline-abandoned and panicked jobs alike) with
+	// exponential backoff between attempts, and — like JobDeadline —
+	// hardens the pool: failures are collected into a *Manifest instead
+	// of nuking the batch. Each attempt sees its ordinal through
+	// Attempt(ctx), so checkpoint-aware jobs can resume from their last
+	// snapshot instead of recomputing from scratch.
+	Retries int
+	// RetryBase and RetryMax bound the backoff schedule: the wait before
+	// attempt n+1 is RetryBase·2^(n-1), capped at RetryMax. Zero values
+	// default to 100ms and 5s.
+	RetryBase time.Duration
+	RetryMax  time.Duration
 
 	// Batch-progress atomics behind Snapshot: stored by Execute and its
 	// workers, read from any goroutine by the live-introspection
@@ -132,6 +155,7 @@ type Pool struct {
 	snapDone    atomic.Int64
 	snapFailed  atomic.Int64
 	snapRunning atomic.Int64
+	snapRetries atomic.Int64
 	snapStartNs atomic.Int64 // wall-clock batch start, UnixNano
 }
 
@@ -148,6 +172,9 @@ type PoolSnapshot struct {
 	Failed int
 	// Running counts jobs currently executing on workers.
 	Running int
+	// Retries counts retry attempts dispatched so far (a job that fails
+	// twice and then succeeds contributes two).
+	Retries int
 	// Elapsed is the wall-clock time since the batch started.
 	Elapsed time.Duration
 }
@@ -160,6 +187,7 @@ func (p *Pool) Snapshot() PoolSnapshot {
 		Done:    int(p.snapDone.Load()),
 		Failed:  int(p.snapFailed.Load()),
 		Running: int(p.snapRunning.Load()),
+		Retries: int(p.snapRetries.Load()),
 	}
 	if start := p.snapStartNs.Load(); start > 0 {
 		s.Elapsed = time.Duration(time.Now().UnixNano() - start)
@@ -191,6 +219,7 @@ func (p *Pool) Execute(ctx context.Context, jobs []Job) ([]any, error) {
 	p.snapDone.Store(0)
 	p.snapFailed.Store(0)
 	p.snapRunning.Store(0)
+	p.snapRetries.Store(0)
 	p.snapStartNs.Store(time.Now().UnixNano())
 
 	outer := ctx
@@ -219,26 +248,25 @@ func (p *Pool) Execute(ctx context.Context, jobs []Job) ([]any, error) {
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				var v any
-				var err error
 				p.snapRunning.Add(1)
-				if p.JobDeadline > 0 {
-					v, err = p.runDeadlined(ctx, i, jobs[i])
-				} else {
-					v, err = runOne(ctx, i, jobs[i])
-				}
+				v, attempts, chain, err := p.runAttempts(ctx, i, jobs[i])
 				p.snapRunning.Add(-1)
 				if err != nil {
 					p.snapFailed.Add(1)
 					// Cancellation (the caller's or a fail-fast peer's)
 					// always aborts; in hardened mode every other
 					// failure is recorded and the worker moves on.
-					if p.JobDeadline <= 0 || ctx.Err() != nil {
+					if !p.hardened() || ctx.Err() != nil {
 						fail(err)
 						return
 					}
+					je := JobError{Index: i, Name: jobs[i].Name, Seed: jobs[i].Seed,
+						Err: err, Attempts: attempts}
+					if attempts > 1 {
+						je.Chain = chain
+					}
 					mu.Lock()
-					failed = append(failed, JobError{Index: i, Name: jobs[i].Name, Seed: jobs[i].Seed, Err: err})
+					failed = append(failed, je)
 					mu.Unlock()
 					continue
 				}
@@ -277,6 +305,90 @@ dispatch:
 		return results, &Manifest{Total: len(jobs), Failed: failed}
 	}
 	return results, nil
+}
+
+// hardened reports whether the pool collects failures into a Manifest
+// instead of failing fast: either robustness feature (the per-job
+// watchdog or the retry budget) switches the mode on.
+func (p *Pool) hardened() bool { return p.JobDeadline > 0 || p.Retries > 0 }
+
+// runAttempts executes one job up to 1+Retries times, backing off
+// exponentially between attempts. It returns the first successful
+// result with the attempt ordinal that produced it and the errors of
+// the attempts before it; or, when every attempt failed, a nil value,
+// the full error chain, and the last error. Each attempt's context
+// carries its ordinal (see Attempt), so a checkpoint-aware job can
+// resume from its last snapshot instead of recomputing from scratch.
+func (p *Pool) runAttempts(ctx context.Context, i int, j Job) (any, int, []error, error) {
+	attempts := 1 + p.Retries
+	if attempts < 1 {
+		attempts = 1
+	}
+	var chain []error
+	for a := 1; a <= attempts; a++ {
+		actx := WithAttempt(ctx, a)
+		var v any
+		var err error
+		if p.JobDeadline > 0 {
+			v, err = p.runDeadlined(actx, i, j)
+		} else {
+			v, err = runOne(actx, i, j)
+		}
+		if err == nil {
+			return v, a, chain, nil
+		}
+		chain = append(chain, err)
+		if ctx.Err() != nil || a == attempts {
+			break
+		}
+		p.snapRetries.Add(1)
+		select {
+		case <-time.After(retryDelay(p.RetryBase, p.RetryMax, a)):
+		case <-ctx.Done():
+			return nil, a, chain, chain[len(chain)-1]
+		}
+	}
+	return nil, len(chain), chain, chain[len(chain)-1]
+}
+
+// retryDelay is the backoff before the attempt following failed attempt
+// n (1-based): base·2^(n-1), capped at max. Zero base and max default
+// to 100ms and 5s.
+func retryDelay(base, max time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base
+	for k := 1; k < attempt; k++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// attemptKey carries the attempt ordinal in a job's context.
+type attemptKey struct{}
+
+// WithAttempt returns a context carrying the attempt ordinal (1-based).
+func WithAttempt(ctx context.Context, n int) context.Context {
+	return context.WithValue(ctx, attemptKey{}, n)
+}
+
+// Attempt returns the attempt ordinal carried by the context, 1 when
+// none is (every non-retrying execution path).
+func Attempt(ctx context.Context) int {
+	if n, ok := ctx.Value(attemptKey{}).(int); ok && n > 0 {
+		return n
+	}
+	return 1
 }
 
 // runDeadlined is runOne behind a watchdog: the job runs on its own

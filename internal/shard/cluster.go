@@ -152,6 +152,14 @@ func (c *Cluster) Reset() {
 		s.sched.Reset()
 		s.issued, s.returned = 0, 0
 		s.pendingDeliveries, s.pendingInjections = 0, 0
+		for i := range s.liveDel {
+			s.liveDel[i] = nil
+		}
+		s.liveDel = s.liveDel[:0]
+		for i := range s.liveInj {
+			s.liveInj[i] = nil
+		}
+		s.liveInj = s.liveInj[:0]
 		s.links = s.links[:0]
 		s.wbuf = 0
 		s.Trace = nil
@@ -516,8 +524,8 @@ func (c *Cluster) returnToSender(s *Shard, fs *flowRec, p *netsim.Packet) {
 		delay *= 1 + c.reverseJitter*(2*fs.jitter.Float64()-1)
 	}
 	if fs.senderShard == s.id {
-		dv := s.getDelivery(fs.sender, p)
-		s.sched.After(delay, dv.run)
+		dv := s.getDelivery(fs.sender, p, true)
+		dv.tm = s.sched.After(delay, dv.run)
 		return
 	}
 	s.emit(fs.senderShard, kindToSender, p, s.sched.Now()+delay)
@@ -562,8 +570,8 @@ func (c *Cluster) arrive(s *Shard, p *netsim.Packet) {
 		s.PutPacket(p)
 		return
 	}
-	dv := s.getDelivery(fs.receiver, p)
-	s.sched.After(fs.fwdExtra, dv.run)
+	dv := s.getDelivery(fs.receiver, p, false)
+	dv.tm = s.sched.After(fs.fwdExtra, dv.run)
 }
 
 // BaseRTT returns the no-queueing round-trip time for the flow, as

@@ -102,36 +102,58 @@ const (
 
 // delivery is a pending intra-shard hand-off to an endpoint after a
 // pure delay, recycled through the shard's pool (the run callback is
-// allocated once per object, not per packet).
+// allocated once per object, not per packet). tm, idx and toSender are
+// checkpoint bookkeeping: the live-delivery registry lets a snapshot
+// enumerate the pending hand-offs and resolve each one's endpoint from
+// its flow on restore.
 type delivery struct {
-	s   *Shard
-	to  netsim.Endpoint
-	p   *netsim.Packet
-	run des.Event
+	s        *Shard
+	to       netsim.Endpoint
+	p        *netsim.Packet
+	run      des.Event
+	tm       des.Timer
+	idx      int32
+	toSender bool
 }
 
 func (dv *delivery) deliver() {
 	to, p := dv.to, dv.p
 	dv.to, dv.p = nil, nil
-	dv.s.dpool = append(dv.s.dpool, dv)
-	dv.s.pendingDeliveries--
+	s := dv.s
+	last := len(s.liveDel) - 1
+	moved := s.liveDel[last]
+	s.liveDel[dv.idx] = moved
+	moved.idx = dv.idx
+	s.liveDel[last] = nil
+	s.liveDel = s.liveDel[:last]
+	s.dpool = append(s.dpool, dv)
+	s.pendingDeliveries--
 	to.Receive(p)
-	dv.s.PutPacket(p)
+	s.PutPacket(p)
 }
 
 // injection is a pending cross-shard message arrival, recycled like
 // delivery. It holds the destination-shard copy of the packet between
-// the barrier that scheduled it and the event that consumes it.
+// the barrier that scheduled it and the event that consumes it. tm and
+// idx are checkpoint bookkeeping, like delivery's.
 type injection struct {
 	s    *Shard
 	p    *netsim.Packet
 	kind uint8
 	run  des.Event
+	tm   des.Timer
+	idx  int32
 }
 
 func (in *injection) fire() {
 	s, p, kind := in.s, in.p, in.kind
 	in.p = nil
+	last := len(s.liveInj) - 1
+	moved := s.liveInj[last]
+	s.liveInj[in.idx] = moved
+	moved.idx = in.idx
+	s.liveInj[last] = nil
+	s.liveInj = s.liveInj[:last]
 	s.ipool = append(s.ipool, in)
 	s.pendingInjections--
 	if kind == kindArrive {
@@ -164,6 +186,11 @@ type Shard struct {
 	pool  []*netsim.Packet
 	dpool []*delivery
 	ipool []*injection
+
+	// liveDel / liveInj index the pending deliveries and injections for
+	// the checkpoint layer (unordered; removal swap-fills).
+	liveDel []*delivery
+	liveInj []*injection
 
 	issued            int64
 	returned          int64
@@ -351,7 +378,7 @@ func (s *Shard) InNetwork() int {
 }
 
 // getDelivery mirrors topology's delivery pooling.
-func (s *Shard) getDelivery(to netsim.Endpoint, p *netsim.Packet) *delivery {
+func (s *Shard) getDelivery(to netsim.Endpoint, p *netsim.Packet, toSender bool) *delivery {
 	var dv *delivery
 	if m := len(s.dpool); m > 0 {
 		dv = s.dpool[m-1]
@@ -362,6 +389,9 @@ func (s *Shard) getDelivery(to netsim.Endpoint, p *netsim.Packet) *delivery {
 	}
 	dv.to = to
 	dv.p = p
+	dv.toSender = toSender
+	dv.idx = int32(len(s.liveDel))
+	s.liveDel = append(s.liveDel, dv)
 	s.pendingDeliveries++
 	return dv
 }
@@ -393,6 +423,8 @@ func (s *Shard) inject(m *message) {
 	*p = m.pkt
 	in.p = p
 	in.kind = m.kind
+	in.idx = int32(len(s.liveInj))
+	s.liveInj = append(s.liveInj, in)
 	s.pendingInjections++
-	s.sched.AtOrigin(m.at, m.origin, in.run)
+	in.tm = s.sched.AtOrigin(m.at, m.origin, in.run)
 }

@@ -73,21 +73,35 @@ type flowState struct {
 // delivery is one pending hand-off of a packet to an endpoint after a
 // pure delay (per-flow forward extra or reverse path). Deliveries are
 // recycled through the network's pool; the bound run callback is
-// allocated once per delivery object, not per packet.
+// allocated once per delivery object, not per packet. Live deliveries
+// are indexed in the network's registry (idx is the registry position,
+// maintained by swap-remove) so a checkpoint can enumerate them;
+// toSender records which of the flow's endpoints the hand-off targets,
+// and tm is the pending hand-off timer, both needed to re-create the
+// delivery on restore.
 type delivery struct {
-	n   *Network
-	to  netsim.Endpoint
-	p   *netsim.Packet
-	run des.Event
+	n        *Network
+	to       netsim.Endpoint
+	p        *netsim.Packet
+	run      des.Event
+	tm       des.Timer
+	idx      int32
+	toSender bool
 }
 
 func (dv *delivery) deliver() {
+	n := dv.n
+	last := len(n.liveDel) - 1
+	n.liveDel[dv.idx] = n.liveDel[last]
+	n.liveDel[dv.idx].idx = dv.idx
+	n.liveDel[last] = nil
+	n.liveDel = n.liveDel[:last]
 	to, p := dv.to, dv.p
 	dv.to, dv.p = nil, nil
-	dv.n.dpool = append(dv.n.dpool, dv)
-	dv.n.pendingDeliveries--
+	n.dpool = append(n.dpool, dv)
+	n.pendingDeliveries--
 	to.Receive(p)
-	dv.n.PutPacket(p)
+	n.PutPacket(p)
 }
 
 // Network is a packet-level network graph implementing netsim.Network.
@@ -144,6 +158,10 @@ type Network struct {
 	pool   []*netsim.Packet
 	dpool  []*delivery
 	fsPool []*flowState
+	// liveDel indexes the in-flight deliveries (swap-removed as they
+	// fire) so a checkpoint can enumerate them without walking the
+	// scheduler.
+	liveDel []*delivery
 
 	issued            int64
 	returned          int64
@@ -217,6 +235,10 @@ func (n *Network) Reset() {
 	n.jitterSeed = 0
 	n.issued, n.returned = 0, 0
 	n.pendingDeliveries = 0
+	for i := range n.liveDel {
+		n.liveDel[i] = nil
+	}
+	n.liveDel = n.liveDel[:0]
 	n.Trace = nil
 }
 
@@ -626,7 +648,7 @@ func (n *Network) PutPacket(p *netsim.Packet) {
 	}
 }
 
-func (n *Network) getDelivery(to netsim.Endpoint, p *netsim.Packet) *delivery {
+func (n *Network) getDelivery(to netsim.Endpoint, p *netsim.Packet, toSender bool) *delivery {
 	var dv *delivery
 	if m := len(n.dpool); m > 0 {
 		dv = n.dpool[m-1]
@@ -637,6 +659,9 @@ func (n *Network) getDelivery(to netsim.Endpoint, p *netsim.Packet) *delivery {
 	}
 	dv.to = to
 	dv.p = p
+	dv.toSender = toSender
+	dv.idx = int32(len(n.liveDel))
+	n.liveDel = append(n.liveDel, dv)
 	n.pendingDeliveries++
 	return dv
 }
@@ -690,8 +715,8 @@ func (n *Network) returnToSender(fs *flowState, p *netsim.Packet) {
 	if n.ReverseJitter > 0 {
 		delay *= 1 + n.ReverseJitter*(2*fs.jitter.Float64()-1)
 	}
-	dv := n.getDelivery(fs.sender, p)
-	n.Sched.After(delay, dv.run)
+	dv := n.getDelivery(fs.sender, p, true)
+	dv.tm = n.Sched.After(delay, dv.run)
 }
 
 // arriveReverse handles a reverse-path packet exiting a link: forward
@@ -736,8 +761,8 @@ func (n *Network) arrive(p *netsim.Packet) {
 		n.PutPacket(p)
 		return
 	}
-	dv := n.getDelivery(fs.receiver, p)
-	n.Sched.After(fs.fwdExtra, dv.run)
+	dv := n.getDelivery(fs.receiver, p, false)
+	dv.tm = n.Sched.After(fs.fwdExtra, dv.run)
 }
 
 // BaseRTT returns the no-queueing round-trip time for the flow: the sum
